@@ -1,0 +1,115 @@
+//! # lmi-alloc — power-of-two-aligned GPU memory allocators
+//!
+//! The runtime half of LMI (paper §V): every memory type gets an allocation
+//! policy that produces 2ⁿ-aligned buffers and embeds the extent into the
+//! returned pointer.
+//!
+//! * [`global`] — the `cudaMalloc`/`cudaFree` analogue over the global
+//!   arena, with peak-RSS accounting used to reproduce the fragmentation
+//!   study of paper Fig. 4;
+//! * [`device_heap`] — the in-kernel `malloc`/`free` analogue: a
+//!   buffer-group allocator with chunk units and shared group headers
+//!   mirroring CUDA's allocator (paper Fig. 5), thread-striped so warps can
+//!   allocate concurrently (paper Fig. 3);
+//! * [`stack`] — per-thread stack frames, power-of-two aligned as the LMI
+//!   compiler emits them (paper Fig. 7);
+//! * [`shared`] — per-block shared-memory allocation, aligned by the
+//!   "driver" at kernel launch.
+//!
+//! Each allocator runs under an [`AlignmentPolicy`]: `CudaDefault` (256-byte
+//! granularity — the unprotected baseline) or `PowerOfTwo` (LMI). The RSS
+//! delta between the two policies *is* the paper's memory-fragmentation
+//! metric.
+
+pub mod device_heap;
+pub mod global;
+pub mod shared;
+pub mod stack;
+
+use lmi_core::PtrConfig;
+
+/// Size-rounding policy applied by an allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignmentPolicy {
+    /// CUDA's default 256-byte allocation granularity (baseline).
+    CudaDefault,
+    /// LMI's power-of-two rounding with in-pointer extent metadata.
+    PowerOfTwo,
+}
+
+impl AlignmentPolicy {
+    /// Rounds a requested size according to the policy.
+    pub fn round(self, size: u64, cfg: &PtrConfig) -> u64 {
+        let size = size.max(1);
+        match self {
+            AlignmentPolicy::CudaDefault => {
+                let k = cfg.min_align();
+                size.div_ceil(k) * k
+            }
+            AlignmentPolicy::PowerOfTwo => cfg.round_up(size).unwrap_or(size),
+        }
+    }
+
+    /// The address alignment the policy guarantees for a rounded size.
+    pub fn alignment_for(self, rounded: u64, cfg: &PtrConfig) -> u64 {
+        match self {
+            AlignmentPolicy::CudaDefault => cfg.min_align(),
+            AlignmentPolicy::PowerOfTwo => rounded.max(cfg.min_align()),
+        }
+    }
+}
+
+/// Errors from the allocators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// The arena is exhausted.
+    OutOfMemory,
+    /// The requested size exceeds the device limit.
+    SizeTooLarge(u64),
+    /// `free` of a pointer that is not a live allocation base.
+    InvalidFree(u64),
+    /// Second `free` of the same allocation.
+    DoubleFree(u64),
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::OutOfMemory => write!(f, "arena exhausted"),
+            AllocError::SizeTooLarge(s) => write!(f, "allocation of {s} bytes exceeds limit"),
+            AllocError::InvalidFree(a) => write!(f, "invalid free of {a:#x}"),
+            AllocError::DoubleFree(a) => write!(f, "double free of {a:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+pub use device_heap::{DeviceHeap, DeviceHeapStats};
+pub use global::{GlobalAllocator, RssStats};
+pub use shared::SharedLayout;
+pub use stack::ThreadStack;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounding_policies_differ_exactly_as_fig4_expects() {
+        let cfg = PtrConfig::default();
+        // A power-of-two-plus-header allocation (the backprop/needle case):
+        // base rounds 1032 -> 1280, LMI doubles it to 2048.
+        assert_eq!(AlignmentPolicy::CudaDefault.round(1032, &cfg), 1280);
+        assert_eq!(AlignmentPolicy::PowerOfTwo.round(1032, &cfg), 2048);
+        // An already-aligned allocation costs the same under both.
+        assert_eq!(AlignmentPolicy::CudaDefault.round(4096, &cfg), 4096);
+        assert_eq!(AlignmentPolicy::PowerOfTwo.round(4096, &cfg), 4096);
+    }
+
+    #[test]
+    fn alignment_guarantees() {
+        let cfg = PtrConfig::default();
+        assert_eq!(AlignmentPolicy::CudaDefault.alignment_for(1280, &cfg), 256);
+        assert_eq!(AlignmentPolicy::PowerOfTwo.alignment_for(2048, &cfg), 2048);
+    }
+}

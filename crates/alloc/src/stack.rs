@@ -1,0 +1,166 @@
+//! Per-thread stack (local-memory) allocation (paper Fig. 7).
+//!
+//! On a real GPU the driver writes the stack top into constant bank 0 and
+//! the compiler reserves frames by subtracting from it (`IADD3 R1, R1,
+//! -0x60, RZ`). Under LMI the driver first aligns the stack top and the
+//! compiler subtracts sizes **rounded up to powers of two**, so every stack
+//! buffer is 2ⁿ-aligned and its pointer carries an extent.
+
+use lmi_core::{DevicePtr, PtrConfig};
+
+use crate::{AlignmentPolicy, AllocError};
+
+/// One thread's downward-growing stack.
+#[derive(Debug, Clone)]
+pub struct ThreadStack {
+    cfg: PtrConfig,
+    policy: AlignmentPolicy,
+    window_base: u64,
+    sp: u64,
+    frames: Vec<(u64, u64)>, // (buffer base, reserved size)
+}
+
+impl ThreadStack {
+    /// A stack over the window `[window_base, window_base + len)`, with the
+    /// stack pointer starting at the top.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is not K-aligned (the driver aligns it, §V-B).
+    pub fn new(cfg: PtrConfig, policy: AlignmentPolicy, window_base: u64, len: u64) -> ThreadStack {
+        assert_eq!(window_base % cfg.min_align(), 0);
+        assert_eq!(len % cfg.min_align(), 0);
+        ThreadStack { cfg, policy, window_base, sp: window_base + len, frames: Vec::new() }
+    }
+
+    /// The current stack pointer.
+    pub fn sp(&self) -> u64 {
+        self.sp
+    }
+
+    /// Reserves a stack buffer of `size` bytes (an `alloca`); returns its
+    /// pointer — extent-carrying under the `PowerOfTwo` policy.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::OutOfMemory`] on stack overflow (the window is fixed).
+    pub fn push(&mut self, size: u64) -> Result<u64, AllocError> {
+        let reserved = self.policy.round(size, &self.cfg);
+        let align = self.policy.alignment_for(reserved, &self.cfg);
+        // Subtract then align downward, like the compiler-emitted IADD3.
+        let base = (self.sp - reserved) & !(align - 1);
+        if base < self.window_base {
+            return Err(AllocError::OutOfMemory);
+        }
+        self.sp = base;
+        self.frames.push((base, reserved));
+        match self.policy {
+            AlignmentPolicy::CudaDefault => Ok(base),
+            AlignmentPolicy::PowerOfTwo => Ok(DevicePtr::encode(base, size, &self.cfg)
+                .expect("frame base is aligned by construction")
+                .raw()),
+        }
+    }
+
+    /// Pops the most recent buffer (scope exit). The *caller* (compiler
+    /// pass) is responsible for nullifying pointers into it (§VIII).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame is live.
+    pub fn pop(&mut self) -> u64 {
+        let (base, reserved) = self.frames.pop().expect("pop on empty stack");
+        self.sp = base + reserved;
+        base
+    }
+
+    /// Bytes currently reserved in the window.
+    pub fn used(&self) -> u64 {
+        self.frames.iter().map(|&(_, r)| r).sum()
+    }
+
+    /// Ground truth: the live stack buffer containing `addr`.
+    pub fn buffer_containing(&self, addr: u64) -> Option<(u64, u64)> {
+        self.frames
+            .iter()
+            .copied()
+            .find(|&(base, reserved)| addr >= base && addr < base + reserved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WINDOW: u64 = 0x0300_0000_0000;
+    const LEN: u64 = 64 * 1024;
+
+    fn lmi() -> ThreadStack {
+        ThreadStack::new(PtrConfig::default(), AlignmentPolicy::PowerOfTwo, WINDOW, LEN)
+    }
+
+    #[test]
+    fn fig7_example_96_bytes() {
+        // `int buf[24]` = 96 bytes: baseline reserves 0x60-ish (256 here due
+        // to K), LMI rounds to 256 and aligns.
+        let cfg = PtrConfig::default();
+        let mut s = lmi();
+        let p = s.push(96).unwrap();
+        let ptr = DevicePtr::from_raw(p);
+        assert_eq!(ptr.size(&cfg), Some(256));
+        assert_eq!(ptr.addr() % 256, 0);
+        assert!(ptr.addr() >= WINDOW && ptr.addr() < WINDOW + LEN);
+    }
+
+    #[test]
+    fn frames_nest_downward_without_overlap() {
+        let mut s = lmi();
+        let a = DevicePtr::from_raw(s.push(300).unwrap());
+        let b = DevicePtr::from_raw(s.push(100).unwrap());
+        let cfg = PtrConfig::default();
+        assert!(b.addr() + b.size(&cfg).unwrap() <= a.addr(), "stack grows down");
+    }
+
+    #[test]
+    fn pop_restores_the_stack_pointer() {
+        let mut s = lmi();
+        let sp0 = s.sp();
+        s.push(512).unwrap();
+        s.push(256).unwrap();
+        s.pop();
+        s.pop();
+        assert_eq!(s.sp(), sp0);
+        assert_eq!(s.used(), 0);
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        let mut s = ThreadStack::new(
+            PtrConfig::default(),
+            AlignmentPolicy::PowerOfTwo,
+            WINDOW,
+            1024,
+        );
+        s.push(512).unwrap();
+        s.push(256).unwrap();
+        s.push(256).unwrap();
+        assert_eq!(s.push(1), Err(AllocError::OutOfMemory));
+    }
+
+    #[test]
+    fn baseline_policy_returns_bare_pointers() {
+        let mut s =
+            ThreadStack::new(PtrConfig::default(), AlignmentPolicy::CudaDefault, WINDOW, LEN);
+        let p = s.push(96).unwrap();
+        assert_eq!(DevicePtr::from_raw(p).extent(), 0);
+    }
+
+    #[test]
+    fn ground_truth_lookup() {
+        let mut s = lmi();
+        let p = DevicePtr::from_raw(s.push(100).unwrap());
+        assert!(s.buffer_containing(p.addr() + 50).is_some());
+        s.pop();
+        assert!(s.buffer_containing(p.addr() + 50).is_none(), "dead after pop");
+    }
+}

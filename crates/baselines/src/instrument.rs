@@ -1,0 +1,151 @@
+//! Binary-rewriting engine: inject instruction sequences after selected
+//! instructions, fixing up branch targets.
+
+use lmi_isa::{Instruction, Opcode, Operand, Program};
+
+/// Rewrites `program`, appending `inject(ins, pc)`'s sequence immediately
+/// after each instruction, and remapping all branch targets to the new
+/// instruction positions.
+///
+/// # Panics
+///
+/// Panics if an injected sequence contains a branch (injected code must be
+/// straight-line) or if the rewritten program would exceed the register
+/// budget recorded in `regs_per_thread`.
+pub fn instrument(
+    program: &Program,
+    mut inject: impl FnMut(&Instruction, usize) -> Vec<Instruction>,
+) -> Program {
+    let n = program.instructions.len();
+    // First pass: compute the new position of every old pc.
+    let mut new_pos = Vec::with_capacity(n + 1);
+    let mut cursor = 0usize;
+    let mut sequences: Vec<Vec<Instruction>> = Vec::with_capacity(n);
+    for (pc, ins) in program.instructions.iter().enumerate() {
+        new_pos.push(cursor);
+        let seq = inject(ins, pc);
+        assert!(
+            seq.iter().all(|i| i.opcode != Opcode::Bra),
+            "injected sequences must be straight-line"
+        );
+        cursor += 1 + seq.len();
+        sequences.push(seq);
+    }
+    new_pos.push(cursor); // branch-past-the-end stays valid
+
+    // Second pass: emit with remapped branch targets.
+    let mut out = Program::new(program.name.clone());
+    out.shared_bytes = program.shared_bytes;
+    out.local_bytes = program.local_bytes;
+    let mut max_reg = program.regs_per_thread.saturating_sub(1);
+    for (pc, ins) in program.instructions.iter().enumerate() {
+        let mut ins = ins.clone();
+        if ins.opcode == Opcode::Bra {
+            if let Operand::Imm(t) = ins.srcs[0] {
+                let t = (t.max(0) as usize).min(n);
+                ins.srcs[0] = Operand::Imm(new_pos[t] as i32);
+            }
+        }
+        out.instructions.push(ins);
+        for injected in &sequences[pc] {
+            for r in injected.dest_regs().into_iter().chain(injected.source_regs()) {
+                if !r.is_zero_reg() {
+                    max_reg = max_reg.max(r.0);
+                }
+            }
+            out.instructions.push(injected.clone());
+        }
+    }
+    assert!(max_reg <= 126, "instrumented program exceeds the register file");
+    out.regs_per_thread = max_reg + 1;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmi_isa::instr::CmpOp;
+    use lmi_isa::reg::PredReg;
+    use lmi_isa::{ProgramBuilder, Reg};
+
+    fn looped_program() -> Program {
+        let mut b = ProgramBuilder::new("loop");
+        b.push(Instruction::mov(Reg(2), 0));
+        let top = b.label();
+        b.push(Instruction::iadd3(Reg(2), Reg(2), 1));
+        b.push(Instruction::isetp(PredReg(0), Reg(2), CmpOp::Lt, 4));
+        b.branch_if(top, PredReg(0), false);
+        b.push(Instruction::exit());
+        b.build()
+    }
+
+    #[test]
+    fn no_injection_is_identity() {
+        let p = looped_program();
+        let out = instrument(&p, |_, _| Vec::new());
+        assert_eq!(out.instructions, p.instructions);
+    }
+
+    #[test]
+    fn branch_targets_are_remapped() {
+        let p = looped_program();
+        // Inject two NOPs after every IADD3.
+        let out = instrument(&p, |ins, _| {
+            if ins.opcode == Opcode::Iadd3 {
+                vec![Instruction::nop(), Instruction::nop()]
+            } else {
+                Vec::new()
+            }
+        });
+        assert_eq!(out.len(), p.len() + 2);
+        // The loop branch originally targeted pc 1 (the IADD3); the IADD3 is
+        // still at position 1 (only code after it shifted).
+        let bra = out.instructions.iter().find(|i| i.opcode == Opcode::Bra).unwrap();
+        assert_eq!(bra.srcs[0], Operand::Imm(1));
+        // Behavior check: the loop still runs 4 iterations (simulated in
+        // lmi-sim integration tests; here we check static structure).
+        assert_eq!(out.instructions[1].opcode, Opcode::Iadd3);
+        assert_eq!(out.instructions[2].opcode, Opcode::Nop);
+    }
+
+    #[test]
+    fn forward_branch_remaps_too() {
+        let mut b = ProgramBuilder::new("fwd");
+        b.push(Instruction::isetp(PredReg(0), Reg(0), CmpOp::Eq, 0));
+        let skip = b.forward_branch_if(PredReg(0), false);
+        b.push(Instruction::mov(Reg(2), 1));
+        b.bind(skip);
+        b.push(Instruction::exit());
+        let p = b.build();
+        let out = instrument(&p, |ins, _| {
+            if ins.opcode == Opcode::Mov {
+                vec![Instruction::nop()]
+            } else {
+                Vec::new()
+            }
+        });
+        let bra = out.instructions.iter().find(|i| i.opcode == Opcode::Bra).unwrap();
+        // Old target 3 (EXIT) moved to 4.
+        assert_eq!(bra.srcs[0], Operand::Imm(4));
+    }
+
+    #[test]
+    fn register_budget_is_tracked() {
+        let p = looped_program();
+        let out = instrument(&p, |ins, _| {
+            if ins.opcode == Opcode::Iadd3 {
+                vec![Instruction::mov(Reg(100), 0)]
+            } else {
+                Vec::new()
+            }
+        });
+        assert_eq!(out.regs_per_thread, 101);
+    }
+
+    #[test]
+    #[should_panic(expected = "straight-line")]
+    fn injected_branches_are_rejected() {
+        let p = looped_program();
+        let _ = instrument(&p, |_, _| vec![Instruction::bra(0)]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the binary-rewriting engine: under arbitrary
+//! injection patterns, control flow is preserved — every branch still
+//! lands on the instruction it originally targeted.
+
+use lmi_baselines::instrument;
+use lmi_isa::instr::CmpOp;
+use lmi_isa::reg::PredReg;
+use lmi_isa::{Instruction, Opcode, Operand, Program, ProgramBuilder, Reg};
+use proptest::prelude::*;
+
+/// Builds a program with `n` filler instructions and branches at chosen
+/// positions targeting chosen original indices.
+fn build_program(n: usize, branches: &[(usize, usize)]) -> Program {
+    let mut b = ProgramBuilder::new("p");
+    let branch_at: std::collections::HashMap<usize, usize> =
+        branches.iter().copied().collect();
+    for pc in 0..n {
+        if let Some(&target) = branch_at.get(&pc) {
+            b.push(
+                Instruction::bra(target as i32)
+                    .with_pred(lmi_isa::Predicate { reg: PredReg(0), negated: false }),
+            );
+        } else {
+            match pc % 3 {
+                0 => b.push(Instruction::iadd3(Reg(2), Reg(2), 1)),
+                1 => b.push(Instruction::mov(Reg(3), pc as i32)),
+                _ => b.push(Instruction::isetp(PredReg(0), Reg(2), CmpOp::Lt, 100)),
+            };
+        }
+    }
+    b.push(Instruction::exit());
+    b.build()
+}
+
+fn arb_case() -> impl Strategy<Value = (usize, Vec<(usize, usize)>, Vec<bool>)> {
+    (5usize..40).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0..=n), 0..5),
+            proptest::collection::vec(any::<bool>(), n + 1),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn branch_targets_survive_arbitrary_injection((n, branches, inject_at) in arb_case()) {
+        let original = build_program(n, &branches);
+        let out = instrument(&original, |_, pc| {
+            if inject_at.get(pc).copied().unwrap_or(false) {
+                vec![Instruction::nop(), Instruction::nop()]
+            } else {
+                Vec::new()
+            }
+        });
+
+        // Reconstruct the old->new position map independently.
+        let mut new_pos = Vec::new();
+        let mut cursor = 0usize;
+        for pc in 0..original.len() {
+            new_pos.push(cursor);
+            cursor += 1 + if inject_at.get(pc).copied().unwrap_or(false) { 2 } else { 0 };
+        }
+        new_pos.push(cursor);
+
+        // Every original instruction sits at its mapped position …
+        for (pc, ins) in original.instructions.iter().enumerate() {
+            let moved = &out.instructions[new_pos[pc]];
+            if ins.opcode == Opcode::Bra {
+                prop_assert_eq!(moved.opcode, Opcode::Bra);
+                // … and every branch points at the mapped target.
+                let old_target = match ins.srcs[0] {
+                    Operand::Imm(t) => t as usize,
+                    _ => unreachable!(),
+                };
+                let new_target = match moved.srcs[0] {
+                    Operand::Imm(t) => t as usize,
+                    _ => unreachable!(),
+                };
+                prop_assert_eq!(new_target, new_pos[old_target.min(original.len())]);
+            } else {
+                prop_assert_eq!(moved, ins);
+            }
+        }
+    }
+
+    #[test]
+    fn injection_count_is_exact((n, branches, inject_at) in arb_case()) {
+        let original = build_program(n, &branches);
+        let injected_total: usize = (0..original.len())
+            .filter(|&pc| inject_at.get(pc).copied().unwrap_or(false))
+            .count()
+            * 2;
+        let out = instrument(&original, |_, pc| {
+            if inject_at.get(pc).copied().unwrap_or(false) {
+                vec![Instruction::nop(), Instruction::nop()]
+            } else {
+                Vec::new()
+            }
+        });
+        prop_assert_eq!(out.len(), original.len() + injected_total);
+    }
+}

@@ -1,0 +1,84 @@
+//! Criterion benchmarks of the toolchain components: IR compilation with
+//! the LMI pass, binary instrumentation, the security matrix, and the
+//! hardware-model queries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lmi_baselines::{instrument_baggy, instrument_memcheck};
+use lmi_compiler::ir::{CmpKind, FunctionBuilder, IBinOp, Region, Ty};
+use lmi_compiler::{compile, CompileOptions};
+use lmi_core::hw::{DatapathWidth, OcuNetlist};
+use lmi_security::table::run_matrix;
+use lmi_workloads::{all_workloads, generate};
+
+fn saxpy_ir() -> lmi_compiler::Function {
+    let mut b = FunctionBuilder::new("saxpy");
+    let x = b.param(Ty::Ptr(Region::Global));
+    let y = b.param(Ty::Ptr(Region::Global));
+    let n = b.param(Ty::I32);
+    let tid = b.tid();
+    let zero = b.const_i32(0);
+    let i = b.var(zero);
+    let body = b.new_block();
+    let exit = b.new_block();
+    b.jump(body);
+    b.switch_to(body);
+    let iv = b.read_var(i);
+    let idx = b.ibin(IBinOp::Add, tid, iv);
+    let xe = b.gep(x, idx, 4);
+    let xv = b.load_f32(xe);
+    let ye = b.gep(y, idx, 4);
+    let yv = b.load_f32(ye);
+    let s = b.fadd(xv, yv);
+    b.store(ye, s, 4);
+    let one = b.const_i32(1);
+    let next = b.ibin(IBinOp::Add, iv, one);
+    b.write_var(i, next);
+    let c = b.cmp(CmpKind::Lt, next, n);
+    b.branch(c, body, exit);
+    b.switch_to(exit);
+    b.ret();
+    b.build()
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let func = saxpy_ir();
+    c.bench_function("compiler/lmi_build", |b| {
+        b.iter(|| compile(black_box(&func), CompileOptions::default()).unwrap())
+    });
+    c.bench_function("compiler/optimized_build", |b| {
+        b.iter(|| compile(black_box(&func), CompileOptions::optimized()).unwrap())
+    });
+}
+
+fn bench_instrumentation(c: &mut Criterion) {
+    let spec = all_workloads().into_iter().find(|w| w.name == "bert").unwrap();
+    let program = generate(&spec);
+    c.bench_function("instrument/baggy", |b| {
+        b.iter(|| instrument_baggy(black_box(&program)))
+    });
+    c.bench_function("instrument/memcheck", |b| {
+        b.iter(|| instrument_memcheck(black_box(&program)))
+    });
+}
+
+fn bench_security_matrix(c: &mut Criterion) {
+    c.bench_function("security/table3_matrix", |b| b.iter(run_matrix));
+}
+
+fn bench_hw_model(c: &mut Criterion) {
+    c.bench_function("hw/netlist_synthesis", |b| {
+        b.iter(|| {
+            let n = OcuNetlist::new(black_box(DatapathWidth::W32));
+            (n.area_ge(), n.critical_path_ps(), n.latency_cycles(3.0))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_compile,
+    bench_instrumentation,
+    bench_security_matrix,
+    bench_hw_model
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Regenerates paper Fig. 13: normalized execution time (log scale) of the
+//! LMI DBI implementation vs. Compute Sanitizer's memcheck. AD benchmarks
+//! are excluded, as in the paper (NVBit/compute-sanitizer incompatibility).
+//!
+//! The per-benchmark crossovers are governed by the ratio of LMI bound
+//! checks to LD/ST instructions, also printed (paper: 67.14 for gaussian
+//! vs 28.13 for swin — our synthetic kernels have proportionally lower
+//! ratios, same ordering).
+
+use lmi_baselines::dbi::check_site_counts;
+use lmi_bench::{geomean, normalized, print_row, Mechanism};
+use lmi_workloads::{all_workloads, generate, Suite};
+
+fn main() {
+    println!("Fig. 13 — DBI tools, normalized execution time (log scale)\n");
+    print_row(
+        "workload",
+        &["LMI-DBI", "memcheck", "checks:LDST"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+    );
+    let mut lmi_all = Vec::new();
+    let mut mc_all = Vec::new();
+    for spec in all_workloads() {
+        if spec.suite == Suite::Ad {
+            continue; // excluded in the paper (footnote 1)
+        }
+        let lmi_dbi = normalized(&spec, Mechanism::LmiDbi);
+        let memcheck = normalized(&spec, Mechanism::Memcheck);
+        let (sites, mem_sites) = check_site_counts(&generate(&spec));
+        lmi_all.push(lmi_dbi);
+        mc_all.push(memcheck);
+        print_row(
+            spec.name,
+            &[
+                format!("{lmi_dbi:.2}x"),
+                format!("{memcheck:.2}x"),
+                format!("{:.2}", sites as f64 / mem_sites as f64),
+            ],
+        );
+    }
+    println!();
+    print_row(
+        "geometric mean",
+        &[
+            format!("{:.2}x", geomean(lmi_all.iter().copied())),
+            format!("{:.2}x", geomean(mc_all.iter().copied())),
+            String::new(),
+        ],
+    );
+    println!(
+        "\npaper: LMI-DBI geomean 72.95x, memcheck 32.98x; memcheck wins \
+         big on gaussian (check-dense), the gap narrows on swin. JIT \
+         overhead ({}x) applied per §XI-B.",
+        lmi_baselines::JIT_OVERHEAD
+    );
+}

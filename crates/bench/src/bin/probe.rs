@@ -1,0 +1,51 @@
+//! Developer diagnostic: decomposes a workload's LMI overhead into its
+//! program-variant and mechanism components, and reports where the cycles
+//! go under each mechanism.
+//!
+//! Usage: `cargo run --release -p lmi-bench --bin probe [workload]`
+
+use lmi_alloc::AlignmentPolicy;
+use lmi_sim::{Gpu, GpuConfig, LmiMechanism, NullMechanism};
+use lmi_workloads::{all_workloads, prepare, PreparedWorkload};
+
+fn run(prep: &PreparedWorkload, lmi_mech: bool, phase: u64) -> (u64, lmi_sim::SimStats) {
+    let mut launch = prep.launch.clone();
+    launch.phase = phase;
+    let mut gpu = Gpu::new(GpuConfig::small());
+    let stats = if lmi_mech {
+        gpu.run(&launch, &mut LmiMechanism::default_config())
+    } else {
+        gpu.run(&launch, &mut NullMechanism)
+    };
+    (stats.cycles, stats)
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "hotspot".into());
+    let w = all_workloads()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("unknown workload `{name}`"));
+
+    let base_prep = prepare(&w, AlignmentPolicy::CudaDefault);
+    let lmi_prep = prepare(&w, AlignmentPolicy::PowerOfTwo);
+
+    println!("{name}: per-phase cycles (baseline program vs LMI program, both unchecked)");
+    for phase in 0..4u64 {
+        let (c1, _) = run(&base_prep, false, phase);
+        let (c2, _) = run(&lmi_prep, false, phase);
+        println!(
+            "  phase {phase}: base {c1:>8}  lmi-prog {c2:>8}  ratio {:.4}",
+            c2 as f64 / c1 as f64
+        );
+    }
+
+    let (a, _) = run(&base_prep, false, 0);
+    let (b, _) = run(&lmi_prep, false, 0);
+    let (c, stats) = run(&lmi_prep, true, 0);
+    println!("\ndecomposition at phase 0:");
+    println!("  program-variant effect: {:+.4}%", (b as f64 / a as f64 - 1.0) * 100.0);
+    println!("  mechanism effect:       {:+.4}%", (c as f64 / b as f64 - 1.0) * 100.0);
+    println!("  total:                  {:+.4}%", (c as f64 / a as f64 - 1.0) * 100.0);
+    println!("\nLMI run statistics:\n{stats}");
+}

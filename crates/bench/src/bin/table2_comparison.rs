@@ -1,0 +1,105 @@
+//! Regenerates paper Table II: the qualitative comparison of memory-safety
+//! mechanisms, with LMI's quantitative cells (coverage, overhead) filled in
+//! from this reproduction's own measurements.
+
+use lmi_bench::{mean, normalized, print_row, Mechanism};
+use lmi_security::table::{coverage, run_matrix};
+use lmi_workloads::all_workloads;
+
+struct Row {
+    name: &'static str,
+    target: &'static str,
+    base: &'static str,
+    mechanism: &'static str,
+    spatial: &'static str,
+    temporal: &'static str,
+    metadata_access: &'static str,
+    overhead: String,
+}
+
+fn main() {
+    println!("Table II — security coverage and overhead comparison\n");
+
+    // Published rows (from the papers' own reports).
+    let mut rows = vec![
+        Row { name: "Baggy Bounds", target: "CPU", base: "SW", mechanism: "Pointer Aligning",
+              spatial: "stack+heap", temporal: "partial", metadata_access: "no (64-bit)",
+              overhead: "72% (SPEC2000)".into() },
+        Row { name: "No-Fat", target: "CPU", base: "HW", mechanism: "Pointer Aligning",
+              spatial: "heap", temporal: "partial", metadata_access: "yes",
+              overhead: "8%".into() },
+        Row { name: "C3", target: "CPU", base: "HW", mechanism: "Pointer Encryption",
+              spatial: "heap", temporal: "yes", metadata_access: "no",
+              overhead: "0.01%".into() },
+        Row { name: "clArmor", target: "GPU", base: "SW", mechanism: "Canary",
+              spatial: "global only", temporal: "no", metadata_access: "no",
+              overhead: "x1.48".into() },
+        Row { name: "GMOD", target: "GPU", base: "SW", mechanism: "Canary",
+              spatial: "global only", temporal: "no", metadata_access: "no",
+              overhead: "x3.06".into() },
+        Row { name: "Compute Sanitizer", target: "GPU", base: "SW", mechanism: "Tripwires",
+              spatial: "all (coarse)", temporal: "partial", metadata_access: "yes",
+              overhead: "x72.29".into() },
+        Row { name: "GPUShield", target: "GPU", base: "HW", mechanism: "Pointer Tagging",
+              spatial: "global", temporal: "no", metadata_access: "yes",
+              overhead: "0.8%".into() },
+        Row { name: "cuCatch", target: "GPU", base: "SW", mechanism: "Pointer Tagging",
+              spatial: "global+stack", temporal: "mostly", metadata_access: "yes",
+              overhead: "19%".into() },
+        Row { name: "IMT", target: "GPU", base: "HW", mechanism: "Memory Tagging",
+              spatial: "global", temporal: "partial", metadata_access: "yes",
+              overhead: "2.69%".into() },
+    ];
+
+    // LMI's row, measured by this reproduction (security matrix + a sample
+    // of the Fig. 12 runs).
+    let matrix = run_matrix();
+    let lmi_col = 3;
+    let (sd, st) = coverage(&matrix, lmi_col, true);
+    let (td, tt) = coverage(&matrix, lmi_col, false);
+    let sample: Vec<f64> = all_workloads()
+        .iter()
+        .filter(|w| ["hotspot", "bert", "lud_cuda", "srad_v1"].contains(&w.name))
+        .map(|w| normalized(w, Mechanism::Lmi) - 1.0)
+        .collect();
+    rows.push(Row {
+        name: "LMI (this repo)",
+        target: "GPU",
+        base: "HW",
+        mechanism: "Pointer Aligning",
+        spatial: "global+shared+stack+heap",
+        temporal: "partial (§VIII)",
+        metadata_access: "no",
+        overhead: format!(
+            "{:.2}% (measured); spatial {}/{}, temporal {}/{}",
+            mean(sample) * 100.0,
+            sd,
+            st,
+            td,
+            tt
+        ),
+    });
+
+    print_row(
+        "name",
+        &["target", "base", "mechanism", "spatial", "temporal", "meta", "overhead"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+    );
+    for r in rows {
+        print_row(
+            r.name,
+            &[
+                r.target.to_string(),
+                r.base.to_string(),
+                r.mechanism.to_string(),
+                r.spatial.to_string(),
+                r.temporal.to_string(),
+                r.metadata_access.to_string(),
+                r.overhead,
+            ],
+        );
+    }
+    println!("\npaper LMI row: spatial coverage 85.7%, temporal 75.0%, perf overhead 0.2%, no metadata access.");
+}

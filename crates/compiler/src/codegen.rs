@@ -1,0 +1,802 @@
+//! Backend: lowers the kernel IR to the SASS-like ISA, attaching the LMI
+//! hint bits computed by the analysis (paper §VI: "information gathered from
+//! the LLVM IR analysis is passed as metadata to the backend and utilized
+//! for microcode generation").
+//!
+//! Under [`CompileOptions::lmi`], the backend additionally:
+//!
+//! * lays out stack and shared buffers power-of-two aligned, largest first,
+//!   so every buffer base is aligned to its own rounded size (paper Fig. 7:
+//!   the prologue subtracts the rounded frame size from the stack top read
+//!   from `c[0x0][0x28]`);
+//! * embeds the statically known extent into stack/shared buffer pointers
+//!   at generation time;
+//! * lowers the pass-inserted [`InstKind::Invalidate`] to an extent-clearing
+//!   `AND` on the pointer's high register (§VIII).
+
+use lmi_core::PtrConfig;
+use lmi_isa::instr::CmpOp;
+use lmi_isa::op::SpecialReg;
+use lmi_isa::reg::PredReg;
+use lmi_isa::{abi, HintBits, Instruction, MemRef, Opcode, Operand, Predicate, Program, Reg};
+
+use crate::error::CompileError;
+use crate::ir::{
+    BlockId, CmpKind, FBinOp, Function, IBinOp, InstKind, Region, Terminator, Ty, ValueId,
+};
+use crate::pass::{analyze, transform, PointerAnalysis};
+
+/// High-word mask that clears the 5 extent bits (`ADDR_MASK >> 32`).
+const EXTENT_CLEAR_MASK: i32 = 0x07FF_FFFF;
+
+/// Backend options.
+#[derive(Debug, Clone, Copy)]
+pub struct CompileOptions {
+    /// Enable the LMI pass: hint bits, aligned buffers, extent embedding,
+    /// temporal instrumentation. When `false` the backend emits the
+    /// unprotected baseline binary.
+    pub lmi: bool,
+    /// Run the generic optimizer (constant folding + DCE) before the LMI
+    /// pass, the way a production toolchain orders them.
+    pub optimize: bool,
+    /// Pointer-format configuration (extent encoding).
+    pub ptr: PtrConfig,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions { lmi: true, optimize: false, ptr: PtrConfig::default() }
+    }
+}
+
+impl CompileOptions {
+    /// Baseline (unprotected) compilation.
+    pub fn baseline() -> CompileOptions {
+        CompileOptions { lmi: false, ..CompileOptions::default() }
+    }
+
+    /// Optimized LMI compilation (`-O`-style).
+    pub fn optimized() -> CompileOptions {
+        CompileOptions { optimize: true, ..CompileOptions::default() }
+    }
+}
+
+/// A compiled kernel.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    /// The executable program.
+    pub program: Program,
+    /// Total stack frame bytes reserved per thread.
+    pub frame_bytes: u64,
+    /// Total static shared bytes per block.
+    pub shared_bytes: u64,
+    /// Number of instructions carrying the activation hint.
+    pub hinted: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    /// One 32-bit register.
+    Single(Reg),
+    /// An even-aligned register pair (base named).
+    Pair(Reg),
+    /// The value is a comparison held in a predicate register.
+    Pred(PredReg),
+    /// Effect-only instruction.
+    None,
+}
+
+impl Slot {
+    fn reg(self) -> Reg {
+        match self {
+            Slot::Single(r) | Slot::Pair(r) => r,
+            _ => panic!("value has no GPR"),
+        }
+    }
+}
+
+struct RegAlloc {
+    next: u8,
+}
+
+impl RegAlloc {
+    fn new(first_free: u8) -> RegAlloc {
+        RegAlloc { next: first_free }
+    }
+
+    fn single(&mut self) -> Result<Reg, CompileError> {
+        if self.next > 125 {
+            return Err(CompileError::OutOfRegisters);
+        }
+        let r = Reg(self.next);
+        self.next += 1;
+        Ok(r)
+    }
+
+    fn pair(&mut self) -> Result<Reg, CompileError> {
+        if self.next % 2 == 1 {
+            self.next += 1;
+        }
+        if self.next > 124 {
+            return Err(CompileError::OutOfRegisters);
+        }
+        let r = Reg(self.next);
+        self.next += 2;
+        Ok(r)
+    }
+}
+
+/// One aligned buffer placement: `(value, offset, rounded size, extent)`.
+#[derive(Debug, Clone, Copy)]
+struct Placement {
+    value: ValueId,
+    offset: u64,
+    extent: u8,
+}
+
+fn layout_buffers(
+    items: &[(ValueId, u64)],
+    lmi: bool,
+    ptr: &PtrConfig,
+) -> (Vec<Placement>, u64) {
+    // Largest-first placement keeps every 2ⁿ buffer aligned to its own size
+    // provided the frame base is aligned to the largest size.
+    let mut rounded: Vec<(ValueId, u64, u8)> = items
+        .iter()
+        .map(|&(v, size)| {
+            if lmi {
+                let r = ptr.round_up(size).expect("kernel buffers are under the limit");
+                (v, r, ptr.extent_for_size(size).expect("checked"))
+            } else {
+                (v, size.next_multiple_of(16), 0)
+            }
+        })
+        .collect();
+    rounded.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let largest = rounded.first().map(|r| r.1).unwrap_or(0);
+    let mut offset = 0;
+    let mut placements = Vec::new();
+    for (value, size, extent) in rounded {
+        placements.push(Placement { value, offset, extent });
+        offset += size;
+    }
+    // Round the frame to the largest buffer's alignment so the frame base
+    // (stack top − frame) stays aligned to every buffer it holds.
+    let total = if lmi {
+        offset.next_multiple_of(largest.max(1))
+    } else {
+        offset.next_multiple_of(16)
+    };
+    (placements, total)
+}
+
+/// Compiles a function.
+///
+/// # Errors
+///
+/// Propagates [`CompileError`] from the analysis (forbidden casts, pointer
+/// stores) or register exhaustion.
+pub fn compile(func: &Function, options: CompileOptions) -> Result<CompiledKernel, CompileError> {
+    let mut func = func.clone();
+    debug_assert_eq!(crate::verify::verify(&func), Ok(()), "input IR is malformed");
+    if options.optimize {
+        crate::opt::optimize(&mut func);
+    }
+    let analysis = analyze(&func)?;
+    if options.lmi {
+        transform(&mut func);
+    }
+    debug_assert_eq!(crate::verify::verify(&func), Ok(()), "passes broke the IR");
+    Codegen::new(&func, &analysis, options).run()
+}
+
+struct Codegen<'a> {
+    func: &'a Function,
+    analysis: &'a PointerAnalysis,
+    options: CompileOptions,
+    regs: RegAlloc,
+    slots: Vec<Slot>,
+    var_slots: Vec<Slot>,
+    stack: Vec<Placement>,
+    shared: Vec<Placement>,
+    frame_bytes: u64,
+    shared_bytes: u64,
+    /// Emitted instructions plus, for branches, the IR block they target.
+    code: Vec<(Instruction, Option<BlockId>)>,
+    block_pcs: Vec<usize>,
+    sp: Reg,
+    shared_base: Reg,
+}
+
+impl<'a> Codegen<'a> {
+    fn new(func: &'a Function, analysis: &'a PointerAnalysis, options: CompileOptions) -> Self {
+        Codegen {
+            func,
+            analysis,
+            options,
+            // R0..R1 scratch, R2:R3 stack pointer, R4:R5 shared base.
+            regs: RegAlloc::new(6),
+            slots: vec![Slot::None; func.insts.len()],
+            var_slots: Vec::new(),
+            stack: Vec::new(),
+            shared: Vec::new(),
+            frame_bytes: 0,
+            shared_bytes: 0,
+            code: Vec::new(),
+            block_pcs: Vec::new(),
+            sp: Reg(2),
+            shared_base: Reg(4),
+        }
+    }
+
+    fn emit(&mut self, ins: Instruction) {
+        self.code.push((ins, None));
+    }
+
+    fn emit_branch(&mut self, ins: Instruction, target: BlockId) {
+        self.code.push((ins, Some(target)));
+    }
+
+    fn slot_for_ty(&mut self, ty: Ty) -> Result<Slot, CompileError> {
+        Ok(match ty {
+            Ty::I32 | Ty::F32 => Slot::Single(self.regs.single()?),
+            Ty::I64 | Ty::Ptr(_) => Slot::Pair(self.regs.pair()?),
+            Ty::Bool => Slot::Pred(PredReg(0)),
+        })
+    }
+
+    /// Widens a 32-bit value into a fresh pair (sign-extended).
+    fn widen(&mut self, src: Reg) -> Result<Reg, CompileError> {
+        let pair = self.regs.pair()?;
+        self.emit(Instruction::mov(pair, src));
+        // hi = (src >>> 31) * -1 : 0 or 0xFFFF_FFFF.
+        self.emit(Instruction::int2(Opcode::Shr, Reg(0), src, 31));
+        self.emit(Instruction::imad(pair.pair_high(), Reg(0), -1, Reg::RZ));
+        Ok(pair)
+    }
+
+    fn hints_for(&self, v: ValueId) -> HintBits {
+        if !self.options.lmi {
+            return HintBits::NONE;
+        }
+        match self.analysis.pointer_operand(v) {
+            Some(sel) => HintBits::check_operand(sel),
+            None => HintBits::NONE,
+        }
+    }
+
+    fn run(mut self) -> Result<CompiledKernel, CompileError> {
+        // Buffer layout.
+        let stack_items: Vec<(ValueId, u64)> = self
+            .func
+            .insts
+            .iter()
+            .enumerate()
+            .filter_map(|(v, i)| match i.kind {
+                InstKind::Alloca { size } => Some((v, size)),
+                _ => None,
+            })
+            .collect();
+        let shared_items: Vec<(ValueId, u64)> = self
+            .func
+            .insts
+            .iter()
+            .enumerate()
+            .filter_map(|(v, i)| match i.kind {
+                InstKind::SharedAlloc { size } => Some((v, size)),
+                _ => None,
+            })
+            .collect();
+        let (stack, frame) = layout_buffers(&stack_items, self.options.lmi, &self.options.ptr);
+        let (shared, shared_total) =
+            layout_buffers(&shared_items, self.options.lmi, &self.options.ptr);
+        self.stack = stack;
+        self.shared = shared;
+        self.frame_bytes = frame;
+        self.shared_bytes = shared_total;
+
+        for &ty in &self.func.vars {
+            let slot = self.slot_for_ty(ty)?;
+            self.var_slots.push(slot);
+        }
+
+        // Prologue: stack pointer (Fig. 7) and shared base.
+        if !stack_items.is_empty() {
+            self.emit(Instruction::ldc(self.sp, abi::LAUNCH_BANK, abi::STACK_TOP_OFFSET, 8));
+            self.emit(Instruction::iadd64(self.sp, self.sp, -(self.frame_bytes as i32)));
+        }
+        if !shared_items.is_empty() {
+            self.emit(Instruction::ldc(
+                self.shared_base,
+                abi::LAUNCH_BANK,
+                abi::SHARED_BASE_OFFSET,
+                8,
+            ));
+        }
+
+        // Body, block by block.
+        for (b, block) in self.func.blocks.iter().enumerate() {
+            self.block_pcs.push(self.code.len());
+            let insts = block.insts.clone();
+            for v in insts {
+                self.lower(v)?;
+            }
+            match block.term {
+                Terminator::Jump(t) => {
+                    self.emit_branch(Instruction::bra(0), t);
+                }
+                Terminator::Branch { cond, then_, else_ } => {
+                    let pred = match self.slots[cond] {
+                        Slot::Pred(p) => p,
+                        _ => {
+                            return Err(CompileError::TypeMismatch(
+                                "branch condition is not a predicate".into(),
+                            ))
+                        }
+                    };
+                    self.emit_branch(
+                        Instruction::bra(0).with_pred(Predicate::when(pred)),
+                        then_,
+                    );
+                    if else_ != b + 1 {
+                        self.emit_branch(Instruction::bra(0), else_);
+                    }
+                }
+                Terminator::Ret => self.emit(Instruction::exit()),
+                Terminator::Unterminated => unreachable!("builder guarantees termination"),
+            }
+        }
+
+        // Patch branch targets and finalize.
+        let mut program = Program::new(self.func.name.clone());
+        program.local_bytes = self.frame_bytes as u32;
+        program.shared_bytes = self.shared_bytes as u32;
+        let mut max_reg = 6u8;
+        for (mut ins, target) in self.code {
+            if let Some(t) = target {
+                ins.srcs[0] = Operand::Imm(self.block_pcs[t] as i32);
+            }
+            for r in ins.dest_regs().into_iter().chain(ins.source_regs()) {
+                if !r.is_zero_reg() {
+                    max_reg = max_reg.max(r.0);
+                }
+            }
+            program.instructions.push(ins);
+        }
+        program.regs_per_thread = max_reg + 1;
+        let hinted = program.hinted_count();
+        Ok(CompiledKernel {
+            program,
+            frame_bytes: self.frame_bytes,
+            shared_bytes: self.shared_bytes,
+            hinted,
+        })
+    }
+
+    fn lower(&mut self, v: ValueId) -> Result<(), CompileError> {
+        let inst = self.func.insts[v].clone();
+        let slot = match inst.ty {
+            Some(ty) => self.slot_for_ty(ty)?,
+            None => Slot::None,
+        };
+        self.slots[v] = slot;
+
+        match inst.kind {
+            InstKind::ConstI32(c) => self.emit(Instruction::mov(slot.reg(), c)),
+            InstKind::ConstF32(c) => self.emit(Instruction::mov(slot.reg(), c.to_bits() as i32)),
+            InstKind::ConstI64(c) => {
+                let r = slot.reg();
+                self.emit(Instruction::mov(r, c as i32));
+                self.emit(Instruction::mov(r.pair_high(), (c >> 32) as i32));
+            }
+            InstKind::Param(index) => {
+                let width = match inst.ty.expect("params produce values") {
+                    Ty::I32 | Ty::F32 => 4,
+                    _ => 8,
+                };
+                self.emit(Instruction::ldc(
+                    slot.reg(),
+                    abi::LAUNCH_BANK,
+                    abi::param_offset(index),
+                    width,
+                ));
+            }
+            InstKind::Tid => self.emit(Instruction::s2r(slot.reg(), SpecialReg::TidX)),
+            InstKind::CtaId => self.emit(Instruction::s2r(slot.reg(), SpecialReg::CtaIdX)),
+            InstKind::NTid => self.emit(Instruction::s2r(slot.reg(), SpecialReg::NtidX)),
+            InstKind::Alloca { .. } => self.lower_buffer(v, slot, true),
+            InstKind::SharedAlloc { .. } => self.lower_buffer(v, slot, false),
+            InstKind::Malloc { size } => {
+                let size_reg = self.slots[size].reg();
+                self.emit(Instruction::malloc(slot.reg(), size_reg));
+            }
+            InstKind::Free { ptr } => {
+                let r = self.slots[ptr].reg();
+                self.emit(Instruction::free(r));
+            }
+            InstKind::Invalidate { ptr } => {
+                let r = self.slots[ptr].reg();
+                self.emit(Instruction::int2(
+                    Opcode::And,
+                    r.pair_high(),
+                    r.pair_high(),
+                    EXTENT_CLEAR_MASK,
+                ));
+            }
+            InstKind::Gep { ptr, index, scale } => {
+                let base = self.slots[ptr].reg();
+                let idx = self.slots[index].reg();
+                let hints = self.hints_for(v);
+                if scale.is_power_of_two() {
+                    self.emit(
+                        Instruction::lea64(slot.reg(), base, idx, scale.trailing_zeros() as u8)
+                            .with_hints(hints),
+                    );
+                } else {
+                    self.emit(Instruction::imad(Reg(0), idx, scale as i32, Reg::RZ));
+                    let wide = self.widen(Reg(0))?;
+                    self.emit(Instruction::iadd64(slot.reg(), base, wide).with_hints(hints));
+                }
+            }
+            InstKind::IBin { op, a, b } => self.lower_ibin(v, slot, op, a, b)?,
+            InstKind::FBin { op, a, b } => {
+                let (ra, rb) = (self.slots[a].reg(), self.slots[b].reg());
+                let opcode = match op {
+                    FBinOp::Add => Opcode::Fadd,
+                    FBinOp::Mul => Opcode::Fmul,
+                };
+                self.emit(Instruction::float2(opcode, slot.reg(), ra, rb));
+            }
+            InstKind::Cmp { kind, a, b } => {
+                let cmp = match kind {
+                    CmpKind::Eq => CmpOp::Eq,
+                    CmpKind::Ne => CmpOp::Ne,
+                    CmpKind::Lt => CmpOp::Lt,
+                    CmpKind::Ge => CmpOp::Ge,
+                };
+                let (ra, rb) = (self.slots[a].reg(), self.slots[b].reg());
+                self.emit(Instruction::isetp(PredReg(0), ra, cmp, rb));
+            }
+            InstKind::Load { ptr, width } => {
+                let addr = self.slots[ptr].reg();
+                let mem = MemRef::new(addr, 0, width);
+                let op = self.mem_opcode(ptr, true);
+                self.emit(load_for(op, slot.reg(), mem));
+            }
+            InstKind::Store { ptr, value, width } => {
+                let addr = self.slots[ptr].reg();
+                let val = self.slots[value].reg();
+                let mem = MemRef::new(addr, 0, width);
+                let op = self.mem_opcode(ptr, false);
+                self.emit(store_for(op, mem, val));
+            }
+            InstKind::ReadVar(var) => {
+                let src = self.var_slots[var];
+                match (src, slot) {
+                    (Slot::Single(s), Slot::Single(d)) => self.emit(Instruction::mov(d, s)),
+                    (Slot::Pair(s), Slot::Pair(d)) => {
+                        let marked = self.options.lmi && self.func.vars[var].is_ptr();
+                        let mut mv = Instruction::mov64(d, s);
+                        if marked {
+                            // IMOV of a pointer is verified too (§IV-A2).
+                            mv = mv.with_hints(HintBits::check_operand(0));
+                        }
+                        self.emit(mv);
+                    }
+                    _ => return Err(CompileError::TypeMismatch("var slot mismatch".into())),
+                }
+            }
+            InstKind::WriteVar { var, value } => {
+                let dst = self.var_slots[var];
+                let src = self.slots[value];
+                match (src, dst) {
+                    (Slot::Single(s), Slot::Single(d)) => self.emit(Instruction::mov(d, s)),
+                    (Slot::Pair(s), Slot::Pair(d)) => {
+                        let marked = self.options.lmi && self.func.vars[var].is_ptr();
+                        let mut mv = Instruction::mov64(d, s);
+                        if marked {
+                            mv = mv.with_hints(HintBits::check_operand(0));
+                        }
+                        self.emit(mv);
+                    }
+                    _ => return Err(CompileError::TypeMismatch("var slot mismatch".into())),
+                }
+            }
+            InstKind::PtrToInt { .. } | InstKind::IntToPtr { .. } => {
+                unreachable!("analysis rejects forbidden casts before codegen")
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_buffer(&mut self, v: ValueId, slot: Slot, is_stack: bool) {
+        let placements = if is_stack { &self.stack } else { &self.shared };
+        let p = *placements
+            .iter()
+            .find(|p| p.value == v)
+            .expect("buffer placed during layout");
+        let base = if is_stack { self.sp } else { self.shared_base };
+        let dst = slot.reg();
+        self.emit(Instruction::iadd64(dst, base, p.offset as i32));
+        if self.options.lmi {
+            // Embed the statically known extent (pointer generation).
+            let bits = (p.extent as i32) << 27;
+            self.emit(Instruction::int2(Opcode::Or, dst.pair_high(), dst.pair_high(), bits));
+        }
+    }
+
+    fn lower_ibin(
+        &mut self,
+        v: ValueId,
+        slot: Slot,
+        op: IBinOp,
+        a: ValueId,
+        b: ValueId,
+    ) -> Result<(), CompileError> {
+        let ptr_side = self.analysis.pointer_operand(v);
+        if let Some(side) = ptr_side {
+            // Pointer arithmetic on a 64-bit pair.
+            let (ptr, other) = if side == 0 { (a, b) } else { (b, a) };
+            let ptr_reg = self.slots[ptr].reg();
+            let mut other_reg = self.slots[other].reg();
+            if matches!(self.slots[other], Slot::Single(_)) {
+                if op == IBinOp::Sub {
+                    // Negate before widening: ptr - x == ptr + (-x).
+                    self.emit(Instruction::imad(Reg(0), other_reg, -1, Reg::RZ));
+                    other_reg = Reg(0);
+                }
+                other_reg = self.widen(other_reg)?;
+            }
+            let hints = self.hints_for(v);
+            let ins = if side == 0 {
+                Instruction::iadd64(slot.reg(), ptr_reg, other_reg)
+            } else {
+                // Pointer in operand slot 1 — exercises S = 1.
+                let mut i = Instruction::iadd64(slot.reg(), other_reg, ptr_reg);
+                i.srcs[0] = Operand::Reg(other_reg);
+                i.srcs[1] = Operand::Reg(ptr_reg);
+                i
+            };
+            self.emit(ins.with_hints(hints));
+            return Ok(());
+        }
+        let (ra, rb) = (self.slots[a].reg(), self.slots[b].reg());
+        let d = slot.reg();
+        match op {
+            IBinOp::Add => self.emit(Instruction::iadd3(d, ra, rb)),
+            IBinOp::Sub => self.emit(Instruction::imad(d, rb, -1, ra)),
+            IBinOp::Mul => self.emit(Instruction::imad(d, ra, rb, Reg::RZ)),
+            IBinOp::And => self.emit(Instruction::int2(Opcode::And, d, ra, rb)),
+            IBinOp::Or => self.emit(Instruction::int2(Opcode::Or, d, ra, rb)),
+            IBinOp::Xor => self.emit(Instruction::int2(Opcode::Xor, d, ra, rb)),
+            IBinOp::Shl => self.emit(Instruction::int2(Opcode::Shl, d, ra, rb)),
+            IBinOp::Shr => self.emit(Instruction::int2(Opcode::Shr, d, ra, rb)),
+        }
+        Ok(())
+    }
+
+    fn mem_opcode(&self, ptr: ValueId, is_load: bool) -> Opcode {
+        let region = match self.func.insts[ptr].ty {
+            Some(Ty::Ptr(r)) => r,
+            _ => Region::Global,
+        };
+        match (region, is_load) {
+            (Region::Global | Region::Heap, true) => Opcode::Ldg,
+            (Region::Global | Region::Heap, false) => Opcode::Stg,
+            (Region::Shared, true) => Opcode::Lds,
+            (Region::Shared, false) => Opcode::Sts,
+            (Region::Local, true) => Opcode::Ldl,
+            (Region::Local, false) => Opcode::Stl,
+        }
+    }
+}
+
+fn load_for(op: Opcode, dst: Reg, mem: MemRef) -> Instruction {
+    match op {
+        Opcode::Ldg => Instruction::ldg(dst, mem),
+        Opcode::Lds => Instruction::lds(dst, mem),
+        Opcode::Ldl => Instruction::ldl(dst, mem),
+        other => unreachable!("{other} is not a load"),
+    }
+}
+
+fn store_for(op: Opcode, mem: MemRef, val: Reg) -> Instruction {
+    match op {
+        Opcode::Stg => Instruction::stg(mem, val),
+        Opcode::Sts => Instruction::sts(mem, val),
+        Opcode::Stl => Instruction::stl(mem, val),
+        other => unreachable!("{other} is not a store"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::FunctionBuilder;
+
+    fn simple_kernel() -> Function {
+        // data[tid] += 1 over global memory.
+        let mut b = FunctionBuilder::new("incr");
+        let data = b.param(Ty::Ptr(Region::Global));
+        let tid = b.tid();
+        let e = b.gep(data, tid, 4);
+        let v = b.load_i32(e);
+        let one = b.const_i32(1);
+        let v2 = b.ibin(IBinOp::Add, v, one);
+        b.store(e, v2, 4);
+        b.ret();
+        b.build()
+    }
+
+    #[test]
+    fn lmi_build_marks_exactly_the_pointer_ops() {
+        let k = compile(&simple_kernel(), CompileOptions::default()).unwrap();
+        assert_eq!(k.hinted, 1, "only the GEP is pointer arithmetic");
+        let hinted: Vec<_> =
+            k.program.instructions.iter().filter(|i| i.hints.activate).collect();
+        assert_eq!(hinted[0].opcode, Opcode::Lea64);
+    }
+
+    #[test]
+    fn baseline_build_has_no_hints() {
+        let k = compile(&simple_kernel(), CompileOptions::baseline()).unwrap();
+        assert_eq!(k.hinted, 0);
+    }
+
+    #[test]
+    fn stack_frame_is_pow2_aligned_and_fig7_shaped() {
+        let mut b = FunctionBuilder::new("dummy2");
+        b.alloca(96); // Fig. 7's 0x60-byte buffer
+        b.ret();
+        let k = compile(&b.build(), CompileOptions::default()).unwrap();
+        assert_eq!(k.frame_bytes, 256, "96 B rounds to the 256 B minimum");
+        // Prologue: LDC of the stack top, then the subtracting IADD64.
+        let p = &k.program.instructions;
+        assert_eq!(p[0].opcode, Opcode::Ldc);
+        assert_eq!(p[1].opcode, Opcode::Iadd64);
+        assert_eq!(p[1].srcs[1], Operand::Imm(-256));
+    }
+
+    #[test]
+    fn baseline_frame_is_16_byte_granular() {
+        let mut b = FunctionBuilder::new("dummy");
+        b.alloca(96);
+        b.ret();
+        let k = compile(&b.build(), CompileOptions::baseline()).unwrap();
+        assert_eq!(k.frame_bytes, 96);
+    }
+
+    #[test]
+    fn multiple_allocas_are_each_self_aligned() {
+        let mut b = FunctionBuilder::new("k");
+        b.alloca(100); // -> 256
+        b.alloca(1000); // -> 1024
+        b.alloca(300); // -> 512
+        b.ret();
+        let k = compile(&b.build(), CompileOptions::default()).unwrap();
+        assert_eq!(k.frame_bytes, 2048, "1024 + 512 + 256 rounded to 1024");
+        // Offsets are descending-size: 0 (1024), 1024 (512), 1536 (256) —
+        // each offset is a multiple of its own buffer size.
+        let offs: Vec<i32> = k
+            .program
+            .instructions
+            .iter()
+            .filter(|i| i.opcode == Opcode::Iadd64 && i.srcs[1] != Operand::Imm(-2048))
+            .filter_map(|i| match i.srcs[1] {
+                Operand::Imm(v) if v >= 0 => Some(v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(offs, vec![1536, 0, 1024], "per-alloca offsets in program order");
+        assert_eq!(offs[1] % 1024, 0);
+        assert_eq!(offs[2] % 512, 0);
+        assert_eq!(offs[0] % 256, 0);
+    }
+
+    #[test]
+    fn free_is_followed_by_extent_clearing_and()
+    {
+        let mut b = FunctionBuilder::new("k");
+        let sz = b.const_i32(64);
+        let p = b.malloc(sz);
+        b.free(p);
+        b.ret();
+        let k = compile(&b.build(), CompileOptions::default()).unwrap();
+        let p = &k.program.instructions;
+        let free_at = p.iter().position(|i| i.opcode == Opcode::Free).unwrap();
+        assert_eq!(p[free_at + 1].opcode, Opcode::And);
+        assert_eq!(p[free_at + 1].srcs[1], Operand::Imm(EXTENT_CLEAR_MASK));
+    }
+
+    #[test]
+    fn baseline_emits_no_invalidation() {
+        let mut b = FunctionBuilder::new("k");
+        let sz = b.const_i32(64);
+        let p = b.malloc(sz);
+        b.free(p);
+        b.ret();
+        let k = compile(&b.build(), CompileOptions::baseline()).unwrap();
+        assert!(!k.program.instructions.iter().any(|i| i.opcode == Opcode::And));
+    }
+
+    #[test]
+    fn pointer_in_second_operand_sets_s_bit() {
+        let mut b = FunctionBuilder::new("k");
+        let p = b.param(Ty::Ptr(Region::Heap));
+        let four = b.const_i32(4);
+        b.ibin(IBinOp::Add, four, p);
+        b.ret();
+        let k = compile(&b.build(), CompileOptions::default()).unwrap();
+        let marked = k
+            .program
+            .instructions
+            .iter()
+            .find(|i| i.hints.activate)
+            .expect("one marked add");
+        assert_eq!(marked.hints.select, 1);
+    }
+
+    #[test]
+    fn branches_resolve_to_block_pcs() {
+        let mut b = FunctionBuilder::new("k");
+        let t = b.tid();
+        let zero = b.const_i32(0);
+        let c = b.cmp(CmpKind::Eq, t, zero);
+        let then_ = b.new_block();
+        let done = b.new_block();
+        b.branch(c, then_, done);
+        b.switch_to(then_);
+        b.jump(done);
+        b.switch_to(done);
+        b.ret();
+        let k = compile(&b.build(), CompileOptions::default()).unwrap();
+        // All BRA targets must be valid instruction indices.
+        for ins in &k.program.instructions {
+            if ins.opcode == Opcode::Bra {
+                match ins.srcs[0] {
+                    Operand::Imm(t) => {
+                        assert!((t as usize) <= k.program.len(), "target {t} in range")
+                    }
+                    ref other => panic!("branch target {other:?}"),
+                }
+            }
+        }
+        assert_eq!(k.program.instructions.last().unwrap().opcode, Opcode::Exit);
+    }
+
+    #[test]
+    fn pointer_vars_get_marked_moves() {
+        let mut b = FunctionBuilder::new("k");
+        let p = b.param(Ty::Ptr(Region::Global));
+        let var = b.var(p);
+        let q = b.read_var(var);
+        let t = b.tid();
+        let _ = b.gep(q, t, 4);
+        b.ret();
+        let k = compile(&b.build(), CompileOptions::default()).unwrap();
+        let moves: Vec<_> = k
+            .program
+            .instructions
+            .iter()
+            .filter(|i| i.opcode == Opcode::Mov64)
+            .collect();
+        assert!(!moves.is_empty());
+        assert!(moves.iter().all(|m| m.hints.activate), "IMOV of pointers is verified");
+    }
+
+    #[test]
+    fn shared_buffers_get_extents_too() {
+        let mut b = FunctionBuilder::new("k");
+        let s = b.shared_alloc(1000);
+        let t = b.tid();
+        let e = b.gep(s, t, 4);
+        let z = b.const_i32(0);
+        b.store(e, z, 4);
+        b.ret();
+        let k = compile(&b.build(), CompileOptions::default()).unwrap();
+        assert_eq!(k.shared_bytes, 1024);
+        assert!(k.program.instructions.iter().any(|i| i.opcode == Opcode::Sts));
+        // An OR embeds the shared buffer's extent into the pointer.
+        assert!(k.program.instructions.iter().any(|i| i.opcode == Opcode::Or));
+    }
+}

@@ -1,0 +1,52 @@
+//! Compiler diagnostics.
+
+use std::fmt;
+
+use crate::ir::ValueId;
+
+/// Errors raised by the LMI pass or the backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A `ptrtoint` instruction was found — forbidden by LMI's
+    /// correct-by-construction rule (paper §XII-B).
+    PtrToIntForbidden {
+        /// The offending instruction.
+        inst: ValueId,
+    },
+    /// An `inttoptr` instruction was found (paper §XII-B: immediate-value
+    /// pointer assignment would bypass extent verification).
+    IntToPtrForbidden {
+        /// The offending instruction.
+        inst: ValueId,
+    },
+    /// A pointer value is stored to memory — LMI restricts in-memory
+    /// pointers (paper §VI-A).
+    PointerStoredToMemory {
+        /// The offending store instruction.
+        inst: ValueId,
+    },
+    /// The kernel needs more registers than the architecture provides.
+    OutOfRegisters,
+    /// Internal type error in the IR (builder misuse).
+    TypeMismatch(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::PtrToIntForbidden { inst } => {
+                write!(f, "ptrtoint at value %{inst} violates correct-by-construction")
+            }
+            CompileError::IntToPtrForbidden { inst } => {
+                write!(f, "inttoptr at value %{inst} violates correct-by-construction")
+            }
+            CompileError::PointerStoredToMemory { inst } => {
+                write!(f, "store of a pointer value at %{inst}; LMI forbids in-memory pointers")
+            }
+            CompileError::OutOfRegisters => write!(f, "kernel exceeds the register budget"),
+            CompileError::TypeMismatch(msg) => write!(f, "type mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}

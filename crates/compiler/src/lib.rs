@@ -1,0 +1,58 @@
+//! # lmi-compiler — the kernel IR and the LMI compiler pass
+//!
+//! LMI needs compiler support for three things (paper §VI):
+//!
+//! 1. **Pointer-operand analysis** (Fig. 8): a dataflow pass over the kernel
+//!    IR identifies every instruction that performs pointer arithmetic and
+//!    records *which* operand holds the pointer. The result is delivered to
+//!    the backend as metadata and becomes the `A`/`S` hint bits in the
+//!    instruction microcode.
+//! 2. **Aligned stack allocation** (Fig. 7): stack buffers are rounded up to
+//!    powers of two and laid out so every buffer is size-aligned; the
+//!    prologue reserves the whole frame by subtracting from the stack top
+//!    read from constant bank 0.
+//! 3. **Temporal-safety instrumentation** (§VIII): an extent-nullifying
+//!    instruction is inserted after every `free()` and before returns that
+//!    end frames holding stack buffers.
+//!
+//! The pass also enforces LMI's correct-by-construction restrictions
+//! (§VI-A, §XII-B): `ptrtoint`/`inttoptr` casts and storing pointers to
+//! memory are compile errors.
+//!
+//! ## Example
+//!
+//! ```
+//! use lmi_compiler::ir::{FunctionBuilder, Region, Ty};
+//! use lmi_compiler::pass::analyze;
+//!
+//! // __global__ void scale(float* data) { data[tid] *= 2.0f; }
+//! let mut b = FunctionBuilder::new("scale");
+//! let data = b.param(Ty::Ptr(Region::Global));
+//! let tid = b.tid();
+//! let elem = b.gep(data, tid, 4);
+//! let v = b.load_f32(elem);
+//! let two = b.const_f32(2.0);
+//! let scaled = b.fmul(v, two);
+//! b.store(elem, scaled, 4);
+//! b.ret();
+//! let func = b.build();
+//!
+//! let analysis = analyze(&func)?;
+//! assert!(analysis.is_pointer(elem));
+//! assert_eq!(analysis.pointer_operand(elem), Some(0)); // S bit = 0
+//! # Ok::<(), lmi_compiler::CompileError>(())
+//! ```
+
+pub mod codegen;
+pub mod error;
+pub mod ir;
+pub mod opt;
+pub mod pass;
+pub mod verify;
+
+pub use codegen::{compile, CompiledKernel, CompileOptions};
+pub use error::CompileError;
+pub use ir::{Function, FunctionBuilder, Region, Ty, ValueId};
+pub use opt::{optimize, OptStats};
+pub use pass::{analyze, cast_census, transform, CastCensus, PointerAnalysis};
+pub use verify::{verify, VerifyError};

@@ -1,0 +1,360 @@
+//! The LMI compiler pass (paper §VI, Fig. 8).
+//!
+//! [`analyze`] walks the kernel, propagates pointer-ness through the
+//! dataflow (including mutable variables, the moral equivalent of LLVM's
+//! `getOperand`-chasing in Fig. 8), records **which operand of every
+//! pointer-arithmetic instruction holds the pointer** — the metadata that
+//! becomes the backend's `A`/`S` hint bits — and enforces the
+//! correct-by-construction restrictions:
+//!
+//! * `ptrtoint` / `inttoptr` are compile errors (§XII-B);
+//! * storing a pointer to memory is a compile error (§VI-A).
+//!
+//! [`transform`] inserts the temporal-safety instrumentation of §VIII:
+//! extent nullification after every `free()` and, for stack buffers, before
+//! every return.
+
+use std::collections::HashMap;
+
+use crate::error::CompileError;
+use crate::ir::{Function, Inst, InstKind, Terminator, ValueId};
+
+/// Result of the pointer-operand analysis.
+#[derive(Debug, Clone, Default)]
+pub struct PointerAnalysis {
+    pointer_values: Vec<bool>,
+    /// value -> operand index (0/1) that carries the pointer.
+    marks: HashMap<ValueId, u8>,
+}
+
+impl PointerAnalysis {
+    /// Returns `true` if the value holds a pointer.
+    pub fn is_pointer(&self, v: ValueId) -> bool {
+        self.pointer_values.get(v).copied().unwrap_or(false)
+    }
+
+    /// For a pointer-arithmetic instruction: the operand index (0 or 1) that
+    /// carries the incoming pointer — the future S hint bit.
+    pub fn pointer_operand(&self, v: ValueId) -> Option<u8> {
+        self.marks.get(&v).copied()
+    }
+
+    /// Number of instructions marked for OCU checking.
+    pub fn marked_count(&self) -> usize {
+        self.marks.len()
+    }
+}
+
+/// Counts of forbidden casts (for the §XII-B corpus census, which reports
+/// rather than rejects).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CastCensus {
+    /// Number of `ptrtoint` instructions.
+    pub ptrtoint: usize,
+    /// Number of `inttoptr` instructions.
+    pub inttoptr: usize,
+}
+
+impl CastCensus {
+    /// Returns `true` when the kernel is cast-free (the common case the
+    /// paper measured: 0 instances in 57 benchmark kernels).
+    pub fn is_clean(&self) -> bool {
+        self.ptrtoint == 0 && self.inttoptr == 0
+    }
+}
+
+/// Scans a function for forbidden casts without failing.
+pub fn cast_census(func: &Function) -> CastCensus {
+    let mut census = CastCensus::default();
+    for inst in &func.insts {
+        match inst.kind {
+            InstKind::PtrToInt { .. } => census.ptrtoint += 1,
+            InstKind::IntToPtr { .. } => census.inttoptr += 1,
+            _ => {}
+        }
+    }
+    census
+}
+
+/// Runs the pointer-operand analysis and the correct-by-construction checks.
+///
+/// # Errors
+///
+/// * [`CompileError::PtrToIntForbidden`] / [`CompileError::IntToPtrForbidden`]
+///   on forbidden casts;
+/// * [`CompileError::PointerStoredToMemory`] when a pointer value is stored.
+pub fn analyze(func: &Function) -> Result<PointerAnalysis, CompileError> {
+    let mut analysis = PointerAnalysis {
+        pointer_values: vec![false; func.insts.len()],
+        marks: HashMap::new(),
+    };
+
+    // Pointer-ness of mutable vars: fixpoint (a var becomes a pointer if any
+    // write stores a pointer into it).
+    let mut var_is_ptr = vec![false; func.vars.len()];
+    loop {
+        let mut changed = false;
+        for (v, inst) in func.insts.iter().enumerate() {
+            let is_ptr = value_is_pointer(inst, &analysis.pointer_values, &var_is_ptr);
+            if is_ptr && !analysis.pointer_values[v] {
+                analysis.pointer_values[v] = true;
+                changed = true;
+            }
+            if let InstKind::WriteVar { var, value } = inst.kind {
+                if analysis.pointer_values[value] && !var_is_ptr[var] {
+                    var_is_ptr[var] = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Second sweep: operand marking and restriction checks.
+    for (v, inst) in func.insts.iter().enumerate() {
+        match inst.kind {
+            InstKind::PtrToInt { .. } => return Err(CompileError::PtrToIntForbidden { inst: v }),
+            InstKind::IntToPtr { .. } => return Err(CompileError::IntToPtrForbidden { inst: v }),
+            InstKind::Store { value, .. } if analysis.pointer_values[value] => {
+                return Err(CompileError::PointerStoredToMemory { inst: v });
+            }
+            InstKind::Gep { .. } => {
+                analysis.marks.insert(v, 0);
+            }
+            InstKind::IBin { a, b, .. } => {
+                // Fig. 8's isPointerOperand(): find which input is the
+                // pointer; both-pointer forms mark operand 0.
+                if analysis.pointer_values[a] {
+                    analysis.marks.insert(v, 0);
+                } else if analysis.pointer_values[b] {
+                    analysis.marks.insert(v, 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(analysis)
+}
+
+fn value_is_pointer(inst: &Inst, values: &[bool], vars: &[bool]) -> bool {
+    match inst.kind {
+        InstKind::Param(_) => inst.ty.map(|t| t.is_ptr()).unwrap_or(false),
+        InstKind::Alloca { .. }
+        | InstKind::SharedAlloc { .. }
+        | InstKind::Malloc { .. }
+        | InstKind::Gep { .. }
+        | InstKind::IntToPtr { .. } => true,
+        InstKind::IBin { a, b, .. } => values[a] || values[b],
+        InstKind::ReadVar(var) => vars[var],
+        _ => false,
+    }
+}
+
+/// Inserts the §VIII temporal-safety instrumentation:
+///
+/// * an [`InstKind::Invalidate`] after every `free(p)` (nullifies `p`'s
+///   extent);
+/// * before every `Ret`, an `Invalidate` for each stack buffer (allocas go
+///   out of scope — use-after-scope protection).
+///
+/// Returns the number of instructions inserted.
+pub fn transform(func: &mut Function) -> usize {
+    let mut inserted = 0;
+
+    // Invalidate after free: collect (block, position, ptr) sites first.
+    let mut free_sites = Vec::new();
+    for (b, i, v) in func.iter_insts() {
+        if let InstKind::Free { ptr } = func.insts[v].kind {
+            free_sites.push((b, i, ptr));
+        }
+    }
+    // Insert back to front so positions stay valid.
+    free_sites.sort_by(|x, y| y.cmp(x));
+    for (b, i, ptr) in free_sites {
+        let id = func.insts.len();
+        func.insts.push(Inst { kind: InstKind::Invalidate { ptr }, ty: None });
+        func.blocks[b].insts.insert(i + 1, id);
+        inserted += 1;
+    }
+
+    // Invalidate allocas before returns.
+    let allocas: Vec<ValueId> = func
+        .insts
+        .iter()
+        .enumerate()
+        .filter(|(_, inst)| matches!(inst.kind, InstKind::Alloca { .. }))
+        .map(|(v, _)| v)
+        .collect();
+    if !allocas.is_empty() {
+        for b in 0..func.blocks.len() {
+            if func.blocks[b].term == Terminator::Ret {
+                for &ptr in &allocas {
+                    let id = func.insts.len();
+                    func.insts.push(Inst { kind: InstKind::Invalidate { ptr }, ty: None });
+                    func.blocks[b].insts.push(id);
+                    inserted += 1;
+                }
+            }
+        }
+    }
+    inserted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{FunctionBuilder, IBinOp, Region, Ty};
+
+    #[test]
+    fn gep_is_marked_with_operand_zero() {
+        let mut b = FunctionBuilder::new("k");
+        let p = b.param(Ty::Ptr(Region::Global));
+        let t = b.tid();
+        let e = b.gep(p, t, 4);
+        b.ret();
+        let f = b.build();
+        let a = analyze(&f).unwrap();
+        assert!(a.is_pointer(e));
+        assert_eq!(a.pointer_operand(e), Some(0));
+        assert_eq!(a.marked_count(), 1);
+    }
+
+    #[test]
+    fn ibin_marks_the_pointer_operand_side() {
+        let mut b = FunctionBuilder::new("k");
+        let p = b.param(Ty::Ptr(Region::Heap));
+        let four = b.const_i32(4);
+        let q0 = b.ibin(IBinOp::Add, p, four); // pointer left -> S=0
+        let q1 = b.ibin(IBinOp::Add, four, p); // pointer right -> S=1
+        b.ret();
+        let f = b.build();
+        let a = analyze(&f).unwrap();
+        assert_eq!(a.pointer_operand(q0), Some(0));
+        assert_eq!(a.pointer_operand(q1), Some(1));
+    }
+
+    #[test]
+    fn pointerness_flows_through_vars() {
+        let mut b = FunctionBuilder::new("k");
+        let p = b.param(Ty::Ptr(Region::Global));
+        let cur = b.var(p);
+        let r = b.read_var(cur);
+        let four = b.const_i32(4);
+        let next = b.ibin(IBinOp::Add, r, four);
+        b.write_var(cur, next);
+        let again = b.read_var(cur);
+        b.ret();
+        let f = b.build();
+        let a = analyze(&f).unwrap();
+        assert!(a.is_pointer(r));
+        assert!(a.is_pointer(next));
+        assert!(a.is_pointer(again));
+        assert_eq!(a.pointer_operand(next), Some(0));
+    }
+
+    #[test]
+    fn non_pointer_arithmetic_is_never_marked() {
+        let mut b = FunctionBuilder::new("k");
+        let x = b.const_i32(3);
+        let y = b.const_i32(4);
+        let z = b.ibin(IBinOp::Mul, x, y);
+        let w = b.ibin(IBinOp::Add, z, x);
+        b.ret();
+        let f = b.build();
+        let a = analyze(&f).unwrap();
+        assert!(!a.is_pointer(z));
+        assert!(!a.is_pointer(w));
+        assert_eq!(a.marked_count(), 0, "no false hint bits");
+    }
+
+    #[test]
+    fn ptrtoint_is_a_compile_error() {
+        let mut b = FunctionBuilder::new("k");
+        let p = b.param(Ty::Ptr(Region::Global));
+        let cast = b.ptr_to_int(p);
+        b.ret();
+        let f = b.build();
+        assert_eq!(analyze(&f).unwrap_err(), CompileError::PtrToIntForbidden { inst: cast });
+    }
+
+    #[test]
+    fn inttoptr_is_a_compile_error() {
+        let mut b = FunctionBuilder::new("k");
+        let x = b.const_i64(0x1234);
+        let cast = b.int_to_ptr(x, Region::Global);
+        b.ret();
+        let f = b.build();
+        assert_eq!(analyze(&f).unwrap_err(), CompileError::IntToPtrForbidden { inst: cast });
+    }
+
+    #[test]
+    fn storing_a_pointer_is_a_compile_error() {
+        let mut b = FunctionBuilder::new("k");
+        let p = b.param(Ty::Ptr(Region::Global));
+        let q = b.param(Ty::Ptr(Region::Global));
+        b.store(q, p, 8);
+        b.ret();
+        let f = b.build();
+        assert!(matches!(analyze(&f).unwrap_err(), CompileError::PointerStoredToMemory { .. }));
+    }
+
+    #[test]
+    fn census_counts_without_failing() {
+        let mut b = FunctionBuilder::new("k");
+        let p = b.param(Ty::Ptr(Region::Global));
+        b.ptr_to_int(p);
+        let x = b.const_i64(1);
+        b.int_to_ptr(x, Region::Heap);
+        b.ret();
+        let f = b.build();
+        let c = cast_census(&f);
+        assert_eq!(c, CastCensus { ptrtoint: 1, inttoptr: 1 });
+        assert!(!c.is_clean());
+    }
+
+    #[test]
+    fn transform_inserts_invalidate_after_free() {
+        let mut b = FunctionBuilder::new("k");
+        let sz = b.const_i32(64);
+        let p = b.malloc(sz);
+        b.free(p);
+        b.ret();
+        let mut f = b.build();
+        let n = transform(&mut f);
+        assert_eq!(n, 1);
+        // The invalidate directly follows the free in the entry block.
+        let block = &f.blocks[0];
+        let free_pos = block
+            .insts
+            .iter()
+            .position(|&v| matches!(f.insts[v].kind, InstKind::Free { .. }))
+            .unwrap();
+        let next = block.insts[free_pos + 1];
+        assert!(matches!(f.insts[next].kind, InstKind::Invalidate { ptr } if ptr == p));
+    }
+
+    #[test]
+    fn transform_invalidates_allocas_before_every_ret() {
+        let mut b = FunctionBuilder::new("k");
+        let buf = b.alloca(96);
+        let t = b.tid();
+        let zero = b.const_i32(0);
+        let c = b.cmp(crate::ir::CmpKind::Eq, t, zero);
+        let then_ = b.new_block();
+        let else_ = b.new_block();
+        b.branch(c, then_, else_);
+        b.switch_to(then_);
+        b.ret();
+        b.switch_to(else_);
+        b.ret();
+        let mut f = b.build();
+        let n = transform(&mut f);
+        assert_eq!(n, 2, "one invalidate per return");
+        for bid in [then_, else_] {
+            let last = *f.blocks[bid].insts.last().unwrap();
+            assert!(matches!(f.insts[last].kind, InstKind::Invalidate { ptr } if ptr == buf));
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Property tests on the compiler: the pointer analysis marks exactly the
+//! address-deriving instructions (no false hints, no missed hints), the
+//! optimizer preserves effects, and codegen is total over well-typed IR.
+
+use lmi_compiler::ir::{Function, FunctionBuilder, IBinOp, InstKind, Region, Ty};
+use lmi_compiler::{analyze, compile, optimize, CompileOptions};
+use proptest::prelude::*;
+
+/// Random straight-line kernel recipe over two global pointers and a
+/// handful of scalars.
+#[derive(Debug, Clone)]
+enum Step {
+    Gep { ptr: u8, idx: u8, scale: u8 },
+    PtrAdd { ptr: u8, scalar: u8, swapped: bool },
+    Arith { op: u8, a: u8, b: u8 },
+    Load { recent_ptr: u8 },
+    Store { recent_ptr: u8, value: u8 },
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (any::<u8>(), any::<u8>(), prop_oneof![Just(1u8), Just(2), Just(4), Just(8), Just(12)])
+                .prop_map(|(ptr, idx, scale)| Step::Gep { ptr, idx, scale }),
+            (any::<u8>(), any::<u8>(), any::<bool>())
+                .prop_map(|(ptr, scalar, swapped)| Step::PtrAdd { ptr, scalar, swapped }),
+            (any::<u8>(), any::<u8>(), any::<u8>())
+                .prop_map(|(op, a, b)| Step::Arith { op, a, b }),
+            any::<u8>().prop_map(|recent_ptr| Step::Load { recent_ptr }),
+            (any::<u8>(), any::<u8>())
+                .prop_map(|(recent_ptr, value)| Step::Store { recent_ptr, value }),
+        ],
+        1..30,
+    )
+}
+
+fn build(steps: &[Step]) -> Function {
+    let mut b = FunctionBuilder::new("p");
+    let p0 = b.param(Ty::Ptr(Region::Global));
+    let p1 = b.param(Ty::Ptr(Region::Heap));
+    let tid = b.tid();
+    let c1 = b.const_i32(3);
+    let mut scalars = vec![tid, c1];
+    let mut pointers = vec![p0, p1];
+    for step in steps {
+        match *step {
+            Step::Gep { ptr, idx, scale } => {
+                let base = pointers[ptr as usize % pointers.len()];
+                let index = scalars[idx as usize % scalars.len()];
+                pointers.push(b.gep(base, index, scale));
+            }
+            Step::PtrAdd { ptr, scalar, swapped } => {
+                let p = pointers[ptr as usize % pointers.len()];
+                let s = scalars[scalar as usize % scalars.len()];
+                let q = if swapped {
+                    b.ibin(IBinOp::Add, s, p)
+                } else {
+                    b.ibin(IBinOp::Add, p, s)
+                };
+                pointers.push(q);
+            }
+            Step::Arith { op, a, b: rhs } => {
+                let x = scalars[a as usize % scalars.len()];
+                let y = scalars[rhs as usize % scalars.len()];
+                let op = match op % 4 {
+                    0 => IBinOp::Add,
+                    1 => IBinOp::Mul,
+                    2 => IBinOp::Xor,
+                    _ => IBinOp::And,
+                };
+                scalars.push(b.ibin(op, x, y));
+            }
+            Step::Load { recent_ptr } => {
+                let p = pointers[recent_ptr as usize % pointers.len()];
+                scalars.push(b.load_i32(p));
+            }
+            Step::Store { recent_ptr, value } => {
+                let p = pointers[recent_ptr as usize % pointers.len()];
+                let v = scalars[value as usize % scalars.len()];
+                b.store(p, v, 4);
+            }
+        }
+    }
+    b.ret();
+    b.build()
+}
+
+/// Independent recomputation of pointer-ness straight off the types.
+fn expected_marks(func: &Function) -> Vec<usize> {
+    func.insts
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| match i.kind {
+            InstKind::Gep { .. } => true,
+            InstKind::IBin { a, b, .. } => {
+                let is_ptr = |v: usize| {
+                    func.insts[v].ty.map(|t| t.is_ptr()).unwrap_or(false)
+                };
+                is_ptr(a) || is_ptr(b)
+            }
+            _ => false,
+        })
+        .map(|(v, _)| v)
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn analysis_marks_exactly_the_pointer_ops(steps in arb_steps()) {
+        let func = build(&steps);
+        let analysis = analyze(&func).unwrap();
+        let expected = expected_marks(&func);
+        for (v, inst) in func.insts.iter().enumerate() {
+            let should = expected.contains(&v);
+            prop_assert_eq!(
+                analysis.pointer_operand(v).is_some(),
+                should,
+                "value %{} ({:?})",
+                v,
+                inst.kind
+            );
+        }
+        prop_assert_eq!(analysis.marked_count(), expected.len());
+    }
+
+    #[test]
+    fn s_bit_points_at_the_pointer_side(steps in arb_steps()) {
+        let func = build(&steps);
+        let analysis = analyze(&func).unwrap();
+        for (v, inst) in func.insts.iter().enumerate() {
+            if let InstKind::IBin { a, b, .. } = inst.kind {
+                if let Some(side) = analysis.pointer_operand(v) {
+                    let chosen = if side == 0 { a } else { b };
+                    prop_assert!(
+                        analysis.is_pointer(chosen),
+                        "%{v}: S={side} selects a non-pointer"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimizer_preserves_side_effects(steps in arb_steps()) {
+        let mut func = build(&steps);
+        let count_effects = |f: &Function| {
+            f.iter_insts()
+                .filter(|&(_, _, v)| {
+                    matches!(
+                        f.insts[v].kind,
+                        InstKind::Store { .. } | InstKind::Free { .. } | InstKind::Malloc { .. }
+                    )
+                })
+                .count()
+        };
+        let before = count_effects(&func);
+        optimize(&mut func);
+        prop_assert_eq!(count_effects(&func), before);
+        // The optimized function still analyzes and compiles.
+        prop_assert!(analyze(&func).is_ok());
+    }
+
+    #[test]
+    fn compile_is_total_over_wellformed_ir(steps in arb_steps()) {
+        let func = build(&steps);
+        for opts in [CompileOptions::default(), CompileOptions::baseline(), CompileOptions::optimized()] {
+            match compile(&func, opts) {
+                Ok(kernel) => {
+                    // Everything the backend emits is microcode-encodable.
+                    kernel.program.assemble(lmi_isa::ComputeCapability::Cc80).unwrap();
+                }
+                Err(lmi_compiler::CompileError::OutOfRegisters) => {
+                    // Acceptable for large random kernels (no spilling).
+                }
+                Err(e) => prop_assert!(false, "unexpected error {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lmi_build_marks_no_fpu_or_mem_instruction(steps in arb_steps()) {
+        let func = build(&steps);
+        if let Ok(kernel) = compile(&func, CompileOptions::default()) {
+            for ins in &kernel.program.instructions {
+                if ins.hints.activate {
+                    prop_assert!(ins.opcode.can_carry_hints(), "{} marked", ins.opcode);
+                }
+            }
+        }
+    }
+}

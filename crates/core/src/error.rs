@@ -1,0 +1,93 @@
+//! Memory-safety violation vocabulary shared across the workspace.
+
+use std::fmt;
+
+/// Kinds of temporal memory-safety violations (paper §IX-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TemporalKind {
+    /// Dereference of a pointer whose buffer was freed.
+    UseAfterFree,
+    /// Dereference of a stack pointer after the frame went out of scope.
+    UseAfterScope,
+    /// `free` of a pointer that does not point at a live allocation base.
+    InvalidFree,
+    /// Second `free` of the same allocation.
+    DoubleFree,
+}
+
+impl fmt::Display for TemporalKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TemporalKind::UseAfterFree => "use-after-free",
+            TemporalKind::UseAfterScope => "use-after-scope",
+            TemporalKind::InvalidFree => "invalid free",
+            TemporalKind::DoubleFree => "double free",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A detected memory-safety violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Violation {
+    /// Spatial violation: an access (or poisoned pointer dereference)
+    /// outside the bounds of its buffer.
+    Spatial {
+        /// The faulting virtual address (extent bits stripped), if known.
+        addr: u64,
+    },
+    /// Temporal violation.
+    Temporal(TemporalKind),
+    /// Dereference of a pointer whose extent is zero and whose provenance
+    /// is unknown (never initialized from an allocation).
+    InvalidPointer {
+        /// The faulting raw pointer value.
+        raw: u64,
+    },
+}
+
+impl Violation {
+    /// Returns `true` for spatial violations.
+    pub fn is_spatial(self) -> bool {
+        matches!(self, Violation::Spatial { .. })
+    }
+
+    /// Returns `true` for temporal violations.
+    pub fn is_temporal(self) -> bool {
+        matches!(self, Violation::Temporal(_))
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Spatial { addr } => write!(f, "spatial violation at {addr:#x}"),
+            Violation::Temporal(kind) => write!(f, "temporal violation: {kind}"),
+            Violation::InvalidPointer { raw } => {
+                write!(f, "dereference of invalid pointer {raw:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_helpers() {
+        assert!(Violation::Spatial { addr: 0 }.is_spatial());
+        assert!(!Violation::Spatial { addr: 0 }.is_temporal());
+        assert!(Violation::Temporal(TemporalKind::UseAfterFree).is_temporal());
+        assert!(!Violation::InvalidPointer { raw: 1 }.is_spatial());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let v = Violation::Temporal(TemporalKind::DoubleFree);
+        assert_eq!(v.to_string(), "temporal violation: double free");
+        assert!(Violation::Spatial { addr: 0x1234 }.to_string().contains("0x1234"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Hardware-overhead comparison data (paper Table VI).
+//!
+//! The rows for No-Fat, C3, IMT and GPUShield reproduce the figures the
+//! paper compiled from those papers' descriptions; the LMI row is computed
+//! live from the [`super::netlist`] model.
+
+use super::netlist::{DatapathWidth, OcuNetlist};
+
+/// Hardware granularity at which the additional logic is replicated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MechanismGranularity {
+    /// Per CPU/GPU core.
+    PerCore,
+    /// Per streaming multiprocessor.
+    PerSm,
+    /// Per warp.
+    PerWarp,
+    /// Per thread (lane).
+    PerThread,
+}
+
+impl MechanismGranularity {
+    /// Table VI's suffix notation (`/C`, `/SM`, `/W`, `/T`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            MechanismGranularity::PerCore => "/C",
+            MechanismGranularity::PerSm => "/SM",
+            MechanismGranularity::PerWarp => "/W",
+            MechanismGranularity::PerThread => "/T",
+        }
+    }
+}
+
+/// One row of Table VI.
+#[derive(Debug, Clone)]
+pub struct HwCostRow {
+    /// Mechanism name.
+    pub name: &'static str,
+    /// Description of the additional logic.
+    pub logic: &'static str,
+    /// Gate-equivalent count.
+    pub gates_ge: f64,
+    /// Replication granularity of the gate count.
+    pub granularity: MechanismGranularity,
+    /// Dedicated SRAM bytes (at the same granularity).
+    pub sram_bytes: u32,
+    /// System IPs whose verification the mechanism perturbs.
+    pub to_be_verified: &'static str,
+}
+
+/// All Table VI rows; the LMI entry is computed from the netlist model.
+pub fn comparison_rows() -> Vec<HwCostRow> {
+    let lmi = OcuNetlist::new(DatapathWidth::W32);
+    vec![
+        HwCostRow {
+            name: "No-Fat",
+            logic: "Bounds checking, base computing",
+            gates_ge: 59_476.0,
+            granularity: MechanismGranularity::PerCore,
+            sram_bytes: 1024,
+            to_be_verified: "LSU, NoC, cache",
+        },
+        HwCostRow {
+            name: "C3",
+            logic: "Keystream generator",
+            gates_ge: 27_280.0,
+            granularity: MechanismGranularity::PerCore,
+            sram_bytes: 0,
+            to_be_verified: "LSU, NoC, cache",
+        },
+        HwCostRow {
+            name: "IMT",
+            logic: "Tag logic in ECC",
+            gates_ge: 900.0,
+            granularity: MechanismGranularity::PerSm,
+            sram_bytes: 0,
+            to_be_verified: "Memctrl, ECC, cache",
+        },
+        HwCostRow {
+            name: "GPUShield",
+            logic: "2-Level cache, comparator",
+            gates_ge: 1000.0,
+            granularity: MechanismGranularity::PerWarp,
+            sram_bytes: 910,
+            to_be_verified: "LSU, NoC, cache",
+        },
+        HwCostRow {
+            name: "LMI",
+            logic: "4x gate, subtract, shift, comparator",
+            gates_ge: lmi.area_ge(),
+            granularity: MechanismGranularity::PerThread,
+            sram_bytes: 0,
+            to_be_verified: "ALU (INT only), LSU",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lmi_is_the_smallest_and_needs_no_sram() {
+        let rows = comparison_rows();
+        let lmi = rows.iter().find(|r| r.name == "LMI").unwrap();
+        assert_eq!(lmi.sram_bytes, 0);
+        assert_eq!(lmi.granularity, MechanismGranularity::PerThread);
+        for row in &rows {
+            if row.name != "LMI" {
+                assert!(
+                    lmi.gates_ge < row.gates_ge,
+                    "LMI ({:.0} GE) should undercut {} ({:.0} GE)",
+                    lmi.gates_ge,
+                    row.name,
+                    row.gates_ge
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn verification_scope_is_confined_to_alu_and_lsu() {
+        let rows = comparison_rows();
+        let lmi = rows.iter().find(|r| r.name == "LMI").unwrap();
+        assert!(!lmi.to_be_verified.contains("NoC"));
+        assert!(!lmi.to_be_verified.contains("cache"));
+    }
+
+    #[test]
+    fn granularity_suffixes() {
+        assert_eq!(MechanismGranularity::PerCore.suffix(), "/C");
+        assert_eq!(MechanismGranularity::PerThread.suffix(), "/T");
+    }
+}

@@ -1,0 +1,265 @@
+//! Structural netlist of the OCU and derived area/timing figures.
+//!
+//! The datapath follows paper §VII: operand selection, a mask generator
+//! driven by the extent bits ("subtract, shift"), an XOR difference stage, a
+//! mask-AND stage, and a zero comparator, plus the extent-clear gates.
+//!
+//! Two datapath widths are modeled:
+//!
+//! * [`DatapathWidth::W32`] — the lean per-thread unit the paper reports in
+//!   Table VI (≈153 GE/thread): it monitors the *high* 32-bit register of
+//!   the pointer pair, where the extent and all UM bits of buffers up to the
+//!   device limit live; the thermometer mask only needs to cover address
+//!   bits 32–37 (buffers larger than 4 GiB).
+//! * [`DatapathWidth::W64`] — a monolithic 64-bit checker matching this
+//!   reproduction's single-instruction 64-bit pointer ALU model, used for
+//!   the ablation study.
+
+use super::cells::{CellKind, CellLibrary};
+
+/// Datapath width of the OCU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatapathWidth {
+    /// 32-bit (high-register) checker — the paper's Table VI configuration.
+    W32,
+    /// Full 64-bit checker.
+    W64,
+}
+
+impl DatapathWidth {
+    /// Width in bits.
+    pub fn bits(self) -> usize {
+        match self {
+            DatapathWidth::W32 => 32,
+            DatapathWidth::W64 => 64,
+        }
+    }
+}
+
+/// One pipeline-stage-free logic stage of the netlist.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    /// Stage name (for reports).
+    pub name: &'static str,
+    /// Cells instantiated: `(kind, count)`.
+    pub cells: Vec<(CellKind, usize)>,
+    /// The longest gate chain through the stage.
+    pub path: Vec<CellKind>,
+}
+
+impl Stage {
+    /// Total stage area in gate equivalents.
+    pub fn ge(&self, lib: CellLibrary) -> f64 {
+        self.cells.iter().map(|&(k, n)| lib.ge(k) * n as f64).sum()
+    }
+
+    /// Stage propagation delay in picoseconds.
+    pub fn delay_ps(&self, lib: CellLibrary) -> f64 {
+        self.path.iter().map(|&k| lib.delay_ps(k)).sum()
+    }
+}
+
+/// The OCU netlist: stages, area and timing queries.
+#[derive(Debug, Clone)]
+pub struct OcuNetlist {
+    width: DatapathWidth,
+    lib: CellLibrary,
+    stages: Vec<Stage>,
+}
+
+fn reduction_tree(inputs: usize) -> (usize, usize) {
+    // 3-input reduction gates: returns (gate count, depth).
+    let mut remaining = inputs;
+    let mut gates = 0;
+    let mut depth = 0;
+    while remaining > 1 {
+        let level = remaining.div_ceil(3);
+        gates += level;
+        remaining = level;
+        depth += 1;
+    }
+    (gates, depth)
+}
+
+impl OcuNetlist {
+    /// Builds the netlist for the given datapath width.
+    pub fn new(width: DatapathWidth) -> OcuNetlist {
+        let bits = width.bits();
+        // Address bits whose mask membership depends on the extent value:
+        // the thermometer decoder spans min-align (bit 8) … max buffer
+        // (bit 37). The 32-bit unit only sees bits 32+ of the address.
+        let thermometer_bits = match width {
+            DatapathWidth::W32 => 6,  // address bits 32–37
+            DatapathWidth::W64 => 30, // address bits 8–37
+        };
+        let (tree_gates, tree_depth) = reduction_tree(bits);
+
+        let stages = vec![
+            Stage {
+                name: "mask generator (subtract + shift)",
+                cells: vec![
+                    (CellKind::Xor2, 5),  // 5-bit extent subtractor sum
+                    (CellKind::And2, 4),  // carry chain (carry-select trimmed)
+                    (CellKind::Nor2, thermometer_bits),
+                ],
+                path: vec![
+                    CellKind::Xor2,
+                    CellKind::And2,
+                    CellKind::And2,
+                    CellKind::And2,
+                    CellKind::Nor2,
+                ],
+            },
+            Stage {
+                name: "xor difference",
+                cells: vec![(CellKind::Xor2, bits)],
+                path: vec![CellKind::Xor2],
+            },
+            Stage {
+                name: "mask and",
+                cells: vec![(CellKind::And2, bits)],
+                path: vec![CellKind::And2],
+            },
+            Stage {
+                name: "zero comparator",
+                cells: vec![(CellKind::Nor3, tree_gates)],
+                path: vec![CellKind::Nor3; tree_depth],
+            },
+            Stage {
+                name: "extent clear",
+                cells: vec![(CellKind::And2, 5)],
+                // Off the fault-detect critical path: the clear gates sit on
+                // the writeback mux of the following pipeline stage.
+                path: vec![],
+            },
+        ];
+        OcuNetlist { width, lib: CellLibrary, stages }
+    }
+
+    /// The configured datapath width.
+    pub fn width(&self) -> DatapathWidth {
+        self.width
+    }
+
+    /// The netlist stages.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Total combinational area per thread, in gate equivalents
+    /// (Table VI: ≈153 GE/T for the 32-bit unit).
+    pub fn area_ge(&self) -> f64 {
+        self.stages.iter().map(|s| s.ge(self.lib)).sum()
+    }
+
+    /// Critical path in picoseconds: the mask generator and the XOR stage
+    /// evaluate in parallel (both start when operands arrive); the AND stage
+    /// and the zero comparator follow serially (§XI-C: 0.63 ns).
+    pub fn critical_path_ps(&self) -> f64 {
+        let by_name = |name: &str| {
+            self.stages
+                .iter()
+                .find(|s| s.name.starts_with(name))
+                .map(|s| s.delay_ps(self.lib))
+                .unwrap_or(0.0)
+        };
+        let front = by_name("mask generator").max(by_name("xor difference"));
+        front + by_name("mask and") + by_name("zero comparator")
+    }
+
+    /// Maximum standalone operating frequency in GHz (paper: 1.587 GHz).
+    pub fn fmax_ghz(&self) -> f64 {
+        1000.0 / self.critical_path_ps()
+    }
+
+    /// Number of register slices needed to run at `clock_ghz`
+    /// (paper §XI-C: two slices at 3 GHz-class clocks).
+    pub fn register_slices(&self, clock_ghz: f64) -> u32 {
+        let cycles = (self.critical_path_ps() * clock_ghz / 1000.0).ceil() as u32;
+        cycles.max(1)
+    }
+
+    /// Total check latency in cycles at `clock_ghz`: the pipelined depth
+    /// plus the writeback cycle (paper: three-cycle delay at 3 GHz).
+    pub fn latency_cycles(&self, clock_ghz: f64) -> u32 {
+        self.register_slices(clock_ghz) + 1
+    }
+
+    /// Area of the pipeline registers added by slicing (not counted in the
+    /// per-thread combinational GE figure, which matches the paper's
+    /// unpipelined synthesis).
+    pub fn slice_area_ge(&self, clock_ghz: f64) -> f64 {
+        let slices = self.register_slices(clock_ghz).saturating_sub(1);
+        // Each slice registers the masked-difference vector plus the extent.
+        let bits_per_slice = self.width.bits() + 5;
+        slices as f64 * bits_per_slice as f64 * self.lib.ge(CellKind::Dff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn w32_area_matches_table6_within_tolerance() {
+        let n = OcuNetlist::new(DatapathWidth::W32);
+        let ge = n.area_ge();
+        assert!(
+            (140.0..=165.0).contains(&ge),
+            "expected ≈153 GE per thread, got {ge:.1}"
+        );
+    }
+
+    #[test]
+    fn w64_is_roughly_twice_the_area() {
+        let w32 = OcuNetlist::new(DatapathWidth::W32).area_ge();
+        let w64 = OcuNetlist::new(DatapathWidth::W64).area_ge();
+        assert!(w64 > 1.6 * w32 && w64 < 2.6 * w32, "w32={w32:.1} w64={w64:.1}");
+    }
+
+    #[test]
+    fn critical_path_matches_sec11c_within_tolerance() {
+        let n = OcuNetlist::new(DatapathWidth::W32);
+        let ps = n.critical_path_ps();
+        assert!(
+            (560.0..=700.0).contains(&ps),
+            "expected ≈630 ps critical path, got {ps:.0}"
+        );
+        let fmax = n.fmax_ghz();
+        assert!((1.4..=1.8).contains(&fmax), "expected ≈1.587 GHz, got {fmax:.3}");
+    }
+
+    #[test]
+    fn three_cycle_latency_at_3ghz() {
+        let n = OcuNetlist::new(DatapathWidth::W32);
+        assert_eq!(n.register_slices(3.0), 2, "two register slices");
+        assert_eq!(n.latency_cycles(3.0), 3, "three-cycle delay");
+    }
+
+    #[test]
+    fn slower_clocks_need_no_slicing() {
+        let n = OcuNetlist::new(DatapathWidth::W32);
+        assert_eq!(n.register_slices(1.0), 1);
+        assert_eq!(n.latency_cycles(1.0), 2);
+        assert_eq!(n.slice_area_ge(1.0), 0.0);
+    }
+
+    #[test]
+    fn reduction_tree_shapes() {
+        assert_eq!(reduction_tree(32), (11 + 4 + 2 + 1, 4));
+        assert_eq!(reduction_tree(64), (22 + 8 + 3 + 1, 4));
+        assert_eq!(reduction_tree(1), (0, 0));
+    }
+
+    #[test]
+    fn no_sram_in_the_netlist() {
+        // Table VI: LMI needs zero SRAM — the netlist is pure combinational
+        // logic plus optional pipeline flops.
+        let n = OcuNetlist::new(DatapathWidth::W32);
+        for stage in n.stages() {
+            for (kind, _) in &stage.cells {
+                assert_ne!(*kind, CellKind::Dff, "{}", stage.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The pointer life cycle (paper Table I), as a typed state machine.
+//!
+//! Table I organizes memory-safety mechanisms by which life-cycle stage
+//! they act on: *generation* (all mechanisms), *update* (pointer aligning,
+//! pointer tracking), *dereference* (pointer/memory tagging, tripwires),
+//! and *destruction* (canaries). LMI is unusual in acting at **every**
+//! stage — this module makes that claim executable: a [`TrackedPtr`] can
+//! only be produced by an aligned allocation, every update routes through
+//! the OCU, every dereference through the EC, and destruction consumes the
+//! value. The type system plays the role of the paper's
+//! correct-by-construction argument.
+
+use crate::ec::ExtentChecker;
+use crate::error::Violation;
+use crate::ocu::{Ocu, OcuOutcome};
+use crate::ptr::{DevicePtr, PtrConfig, PtrError};
+
+/// Which life-cycle stage an event belongs to (Table I's rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Pointer generation (allocation).
+    Generation,
+    /// Pointer update (arithmetic, moves).
+    Update,
+    /// Pointer dereferencing (loads/stores).
+    Dereference,
+    /// Pointer destruction (free / scope exit).
+    Destruction,
+}
+
+/// A pointer whose entire life cycle is mediated by LMI's checks.
+///
+/// ```
+/// use lmi_core::lifecycle::{LifeCycle, Stage};
+///
+/// let mut lc = LifeCycle::default_config();
+/// let p = lc.generate(0x4000, 1000)?;       // Generation: 2^n aligned
+/// let p = lc.update(p, 512).unwrap();       // Update: OCU-checked
+/// assert!(lc.dereference(&p).is_ok());      // Dereference: EC-checked
+/// lc.destroy(p);                            // Destruction: extent dies
+/// assert_eq!(lc.events(Stage::Update), 1);
+/// # Ok::<(), lmi_core::PtrError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackedPtr(DevicePtr);
+
+impl TrackedPtr {
+    /// The underlying pointer (read-only: updates go through
+    /// [`LifeCycle::update`]).
+    pub fn get(&self) -> DevicePtr {
+        self.0
+    }
+}
+
+/// The life-cycle mediator: owns the OCU/EC and counts stage events.
+#[derive(Debug, Clone)]
+pub struct LifeCycle {
+    cfg: PtrConfig,
+    ocu: Ocu,
+    ec: ExtentChecker,
+    counts: [u64; 4],
+}
+
+impl LifeCycle {
+    /// A mediator over the given pointer format.
+    pub fn new(cfg: PtrConfig) -> LifeCycle {
+        LifeCycle { cfg, ocu: Ocu::new(cfg), ec: ExtentChecker::new(cfg), counts: [0; 4] }
+    }
+
+    /// A mediator with the default format (K = 256).
+    pub fn default_config() -> LifeCycle {
+        LifeCycle::new(PtrConfig::default())
+    }
+
+    fn bump(&mut self, stage: Stage) {
+        self.counts[stage as usize] += 1;
+    }
+
+    /// Number of events seen at `stage`.
+    pub fn events(&self, stage: Stage) -> u64 {
+        self.counts[stage as usize]
+    }
+
+    /// **Generation**: mints a tracked pointer from an aligned allocation.
+    /// The only way to obtain a [`TrackedPtr`] — immediate values cannot
+    /// become pointers (§XII-B).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PtrError`] for misaligned or oversized allocations.
+    pub fn generate(&mut self, addr: u64, size: u64) -> Result<TrackedPtr, PtrError> {
+        self.bump(Stage::Generation);
+        DevicePtr::encode(addr, size, &self.cfg).map(TrackedPtr)
+    }
+
+    /// **Update**: pointer arithmetic through the OCU. An escaping update
+    /// returns the poisoned pointer (delayed termination: no error yet).
+    pub fn update(&mut self, p: TrackedPtr, delta: i64) -> Result<TrackedPtr, TrackedPtr> {
+        self.bump(Stage::Update);
+        let (raw, outcome) = self
+            .ocu
+            .check_marked(p.0.raw(), p.0.raw().wrapping_add(delta as u64));
+        let next = TrackedPtr(DevicePtr::from_raw(raw));
+        if outcome == OcuOutcome::Poisoned {
+            Err(next)
+        } else {
+            Ok(next)
+        }
+    }
+
+    /// **Dereference**: the EC's validity check.
+    ///
+    /// # Errors
+    ///
+    /// The violation the EC raises for poisoned/destroyed pointers.
+    pub fn dereference(&mut self, p: &TrackedPtr) -> Result<u64, Violation> {
+        self.bump(Stage::Dereference);
+        self.ec.check_access(p.0.raw())
+    }
+
+    /// **Destruction**: consumes the pointer; its extent dies with it.
+    /// Returns the dead pointer value for inspection (its extent is 0).
+    pub fn destroy(&mut self, p: TrackedPtr) -> DevicePtr {
+        self.bump(Stage::Destruction);
+        p.0.invalidated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_life_cycle_counts_every_stage() {
+        let mut lc = LifeCycle::default_config();
+        let p = lc.generate(0x10_0000, 4096).unwrap();
+        let p = lc.update(p, 100).unwrap();
+        let p = lc.update(p, 100).unwrap();
+        assert!(lc.dereference(&p).is_ok());
+        lc.destroy(p);
+        assert_eq!(lc.events(Stage::Generation), 1);
+        assert_eq!(lc.events(Stage::Update), 2);
+        assert_eq!(lc.events(Stage::Dereference), 1);
+        assert_eq!(lc.events(Stage::Destruction), 1);
+    }
+
+    #[test]
+    fn escaping_update_hands_back_a_poisoned_pointer() {
+        let mut lc = LifeCycle::default_config();
+        let p = lc.generate(0x10_0000, 256).unwrap();
+        let poisoned = lc.update(p, 256).unwrap_err();
+        assert!(lc.dereference(&poisoned).is_err(), "the EC faults the use");
+    }
+
+    #[test]
+    fn destroyed_pointers_cannot_be_dereferenced() {
+        let mut lc = LifeCycle::default_config();
+        let p = lc.generate(0x10_0000, 256).unwrap();
+        let dead = lc.destroy(p);
+        // `destroy` consumed the TrackedPtr; only the dead DevicePtr
+        // remains, and the EC rejects it.
+        assert!(ExtentChecker::new(PtrConfig::default())
+            .check_access(dead.raw())
+            .is_err());
+    }
+
+    #[test]
+    fn generation_enforces_alignment() {
+        let mut lc = LifeCycle::default_config();
+        assert!(lc.generate(0x10_0001, 256).is_err(), "unaligned base rejected");
+    }
+}

@@ -1,0 +1,277 @@
+//! Pointer liveness tracking — the §XII-C extension.
+//!
+//! LMI's base temporal mechanism misses use-after-free through pointer
+//! *copies* (paper Fig. 11). The extension exploits a property of the
+//! aligned pointer format: the **UM bits uniquely identify a live buffer**
+//! (only one allocation can occupy a given 2ⁿ-aligned region at a time), so
+//! a small membership table of live UM values suffices — no per-pointer
+//! shadow tracking as in DangNull/CETS.
+//!
+//! Algorithm 1 additionally allows a *page-invalidation* optimization: large
+//! buffers (`size > pageSize / 2`) are guaranteed by alignment to occupy
+//! dedicated pages, so instead of a table entry the runtime can unmap the
+//! pages on free, letting the MMU catch stale accesses. This bounds the
+//! membership table size.
+
+use std::collections::HashSet;
+
+use crate::error::{TemporalKind, Violation};
+use crate::ptr::{DevicePtr, PtrConfig};
+
+/// Errors from the allocation hooks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HookError {
+    /// `free_hooked` was called on a pointer whose UM is not registered —
+    /// an invalid or double free.
+    NotLive(TemporalKind),
+    /// The pointer carries no valid extent.
+    InvalidExtent,
+}
+
+/// Membership-table-based liveness tracker (paper Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct LivenessTracker {
+    cfg: PtrConfig,
+    /// Page size used by the page-invalidation optimization.
+    page_size: u64,
+    /// Whether `pageInvalidOpt` is enabled.
+    page_invalid_opt: bool,
+    /// Live UM values (keyed by `(extent, um)` — the UM value alone is only
+    /// unique per size class).
+    table: HashSet<(u8, u64)>,
+    /// Pages unmapped by the page-invalidation path.
+    invalidated_pages: HashSet<u64>,
+    /// High-water mark of the membership table (for the ablation study).
+    peak_entries: usize,
+}
+
+impl LivenessTracker {
+    /// A tracker without the page-invalidation optimization: every
+    /// allocation gets a membership-table entry.
+    pub fn new(cfg: PtrConfig) -> LivenessTracker {
+        LivenessTracker {
+            cfg,
+            page_size: 64 * 1024,
+            page_invalid_opt: false,
+            table: HashSet::new(),
+            invalidated_pages: HashSet::new(),
+            peak_entries: 0,
+        }
+    }
+
+    /// A tracker with `pageInvalidOpt` enabled for the given page size
+    /// (Algorithm 1 lines 5 and 11; the paper's example uses 64 KiB pages).
+    pub fn with_page_invalidation(cfg: PtrConfig, page_size: u64) -> LivenessTracker {
+        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        LivenessTracker { page_size, page_invalid_opt: true, ..LivenessTracker::new(cfg) }
+    }
+
+    fn key(&self, ptr: DevicePtr) -> Option<(u8, u64)> {
+        ptr.um_bits(&self.cfg).map(|um| (ptr.extent(), um))
+    }
+
+    /// `MALLOC_HOOKED` (Algorithm 1): registers a freshly allocated pointer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HookError::InvalidExtent`] if the pointer has no extent.
+    pub fn on_malloc(&mut self, ptr: DevicePtr) -> Result<(), HookError> {
+        let key = self.key(ptr).ok_or(HookError::InvalidExtent)?;
+        let size = ptr.size(&self.cfg).expect("keyed pointer has size");
+        if !self.page_invalid_opt || size <= self.page_size / 2 {
+            self.table.insert(key);
+            self.peak_entries = self.peak_entries.max(self.table.len());
+        } else {
+            // Large buffers use dedicated pages; remap them on reuse.
+            let pages: Vec<u64> = self.pages_of(ptr).collect();
+            for page in pages {
+                self.invalidated_pages.remove(&page);
+            }
+        }
+        Ok(())
+    }
+
+    /// `FREE_HOOKED` (Algorithm 1): deregisters the buffer or invalidates
+    /// its pages.
+    ///
+    /// # Errors
+    ///
+    /// * [`HookError::InvalidExtent`] for a pointer without extent;
+    /// * [`HookError::NotLive`] for an invalid/double free.
+    pub fn on_free(&mut self, ptr: DevicePtr) -> Result<(), HookError> {
+        let key = self.key(ptr).ok_or(HookError::InvalidExtent)?;
+        let size = ptr.size(&self.cfg).expect("keyed pointer has size");
+        if !self.page_invalid_opt || size <= self.page_size / 2 {
+            if self.table.remove(&key) {
+                Ok(())
+            } else {
+                Err(HookError::NotLive(TemporalKind::DoubleFree))
+            }
+        } else {
+            let pages: Vec<u64> = self.pages_of(ptr).collect();
+            if pages.iter().all(|p| self.invalidated_pages.contains(p)) {
+                return Err(HookError::NotLive(TemporalKind::DoubleFree));
+            }
+            self.invalidated_pages.extend(pages);
+            Ok(())
+        }
+    }
+
+    /// Checks a dereference: is the buffer identified by the pointer's UM
+    /// bits still live? Catches copied-pointer UAF that the base mechanism
+    /// misses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Violation::Temporal`] for dead buffers and
+    /// [`Violation::InvalidPointer`] for extent-less pointers.
+    pub fn check_live(&self, ptr: DevicePtr) -> Result<(), Violation> {
+        let key = match self.key(ptr) {
+            Some(k) => k,
+            None => return Err(Violation::InvalidPointer { raw: ptr.raw() }),
+        };
+        let size = ptr.size(&self.cfg).expect("keyed pointer has size");
+        let live = if !self.page_invalid_opt || size <= self.page_size / 2 {
+            self.table.contains(&key)
+        } else {
+            self.pages_of(ptr).all(|p| !self.invalidated_pages.contains(&p))
+        };
+        if live {
+            Ok(())
+        } else {
+            Err(Violation::Temporal(TemporalKind::UseAfterFree))
+        }
+    }
+
+    /// Current number of membership-table entries.
+    pub fn table_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// High-water mark of the membership table.
+    pub fn peak_table_len(&self) -> usize {
+        self.peak_entries
+    }
+
+    /// Number of pages currently invalidated.
+    pub fn invalidated_page_count(&self) -> usize {
+        self.invalidated_pages.len()
+    }
+
+    fn pages_of(&self, ptr: DevicePtr) -> impl Iterator<Item = u64> + '_ {
+        let base = ptr.base(&self.cfg).expect("valid pointer");
+        let size = ptr.size(&self.cfg).expect("valid pointer").max(self.page_size);
+        let page = self.page_size;
+        (base / page..(base + size) / page).map(move |i| i * page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PtrConfig {
+        PtrConfig::default()
+    }
+
+    fn mk(addr: u64, size: u64) -> DevicePtr {
+        DevicePtr::encode(addr, size, &cfg()).unwrap()
+    }
+
+    #[test]
+    fn copied_pointer_uaf_is_caught() {
+        let mut t = LivenessTracker::new(cfg());
+        let a = mk(0x1_0000, 1024);
+        t.on_malloc(a).unwrap();
+        let copy = a.wrapping_offset(4); // C = A + 1 from Fig. 11
+        assert!(t.check_live(copy).is_ok());
+        t.on_free(a).unwrap();
+        // The base mechanism misses this; the tracker catches it.
+        assert_eq!(
+            t.check_live(copy),
+            Err(Violation::Temporal(TemporalKind::UseAfterFree))
+        );
+    }
+
+    #[test]
+    fn double_free_is_reported() {
+        let mut t = LivenessTracker::new(cfg());
+        let a = mk(0x1_0000, 256);
+        t.on_malloc(a).unwrap();
+        t.on_free(a).unwrap();
+        assert_eq!(t.on_free(a), Err(HookError::NotLive(TemporalKind::DoubleFree)));
+    }
+
+    #[test]
+    fn realloc_of_same_region_revives_liveness() {
+        let mut t = LivenessTracker::new(cfg());
+        let a = mk(0x1_0000, 256);
+        t.on_malloc(a).unwrap();
+        t.on_free(a).unwrap();
+        t.on_malloc(a).unwrap();
+        assert!(t.check_live(a).is_ok());
+    }
+
+    #[test]
+    fn same_um_different_size_class_are_distinct() {
+        let mut t = LivenessTracker::new(cfg());
+        // 0x1_0000 as a 256 B buffer and as a 512 B buffer share address
+        // bits but have different extents — both can be tracked.
+        let small = mk(0x1_0000, 256);
+        let large = mk(0x1_0000, 512);
+        t.on_malloc(small).unwrap();
+        assert!(t.check_live(large).is_err(), "different size class is not live");
+    }
+
+    #[test]
+    fn page_invalidation_skips_table_for_large_buffers() {
+        let mut t = LivenessTracker::with_page_invalidation(cfg(), 64 * 1024);
+        // 48 KiB rounds to 64 KiB — a full dedicated page (paper §XII-C).
+        let big = mk(0x10_0000, 48 * 1024);
+        t.on_malloc(big).unwrap();
+        assert_eq!(t.table_len(), 0, "large buffer bypasses the table");
+        assert!(t.check_live(big).is_ok());
+        t.on_free(big).unwrap();
+        assert!(t.invalidated_page_count() > 0);
+        assert_eq!(
+            t.check_live(big.wrapping_offset(128)),
+            Err(Violation::Temporal(TemporalKind::UseAfterFree))
+        );
+        // Small buffers still use the table.
+        let small = mk(0x1_0000, 256);
+        t.on_malloc(small).unwrap();
+        assert_eq!(t.table_len(), 1);
+    }
+
+    #[test]
+    fn page_invalidation_remaps_on_reuse() {
+        let mut t = LivenessTracker::with_page_invalidation(cfg(), 64 * 1024);
+        let big = mk(0x10_0000, 64 * 1024);
+        t.on_malloc(big).unwrap();
+        t.on_free(big).unwrap();
+        assert!(t.check_live(big).is_err());
+        t.on_malloc(big).unwrap();
+        assert!(t.check_live(big).is_ok(), "pages remapped on reuse");
+    }
+
+    #[test]
+    fn peak_table_len_tracks_high_water_mark() {
+        let mut t = LivenessTracker::new(cfg());
+        let a = mk(0x1_0000, 256);
+        let b = mk(0x2_0000, 256);
+        t.on_malloc(a).unwrap();
+        t.on_malloc(b).unwrap();
+        t.on_free(a).unwrap();
+        t.on_free(b).unwrap();
+        assert_eq!(t.table_len(), 0);
+        assert_eq!(t.peak_table_len(), 2);
+    }
+
+    #[test]
+    fn invalid_extent_pointers_are_rejected() {
+        let mut t = LivenessTracker::new(cfg());
+        let dead = mk(0x1_0000, 256).invalidated();
+        assert_eq!(t.on_malloc(dead), Err(HookError::InvalidExtent));
+        assert_eq!(t.check_live(dead), Err(Violation::InvalidPointer { raw: dead.raw() }));
+    }
+}

@@ -1,0 +1,193 @@
+//! The register-pair OCU: how the check decomposes on a real 32-bit GPU
+//! datapath.
+//!
+//! Fig. 6 maps the 64-bit pointer onto *two 32-bit physical registers*, and
+//! real SASS performs 64-bit pointer arithmetic as an `IADD` on the low
+//! register followed by a carried `IADD.X` on the high register. The OCU
+//! therefore sees two marked instructions per pointer update and checks
+//! each half against the half of the address mask it owns:
+//!
+//! * **low half**: the low `min(n, 32)` bits are modifiable (`n = log2` of
+//!   the buffer size); any change above them within the low word poisons;
+//! * **high half**: the extent field and the UM bits live here; only the
+//!   low `max(0, n − 32)` bits may change.
+//!
+//! [`PairOcu`] implements exactly that, and the property tests prove it
+//! equivalent to the monolithic 64-bit [`crate::Ocu`] used by the
+//! simulator's fused `IADD64` model.
+
+use crate::ocu::OcuOutcome;
+use crate::ptr::{DevicePtr, PoisonKind, PtrConfig};
+
+/// Result of one half-word check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HalfCheck {
+    /// The (possibly poisoned, for the high half) value to write back.
+    pub value: u32,
+    /// Whether this half detected a violation.
+    pub violated: bool,
+}
+
+/// The per-thread OCU as synthesized for a 32-bit integer datapath.
+#[derive(Debug, Clone, Copy)]
+pub struct PairOcu {
+    cfg: PtrConfig,
+}
+
+impl PairOcu {
+    /// Creates a pair-checking OCU.
+    pub fn new(cfg: PtrConfig) -> PairOcu {
+        PairOcu { cfg }
+    }
+
+    fn size_log2(&self, extent: u8) -> Option<u32> {
+        self.cfg
+            .size_for_extent(extent)
+            .map(|s| s.trailing_zeros())
+    }
+
+    /// Checks the low-word `IADD`: `in_lo` is the selected input's low
+    /// register, `out_lo` the ALU result, `extent` read from the paired
+    /// high register (the operand-collector forwards it alongside).
+    pub fn check_lo(&self, extent: u8, in_lo: u32, out_lo: u32) -> HalfCheck {
+        let n = match self.size_log2(extent) {
+            Some(n) => n,
+            None => return HalfCheck { value: out_lo, violated: false }, // invalid propagates
+        };
+        let modifiable: u32 = if n >= 32 { u32::MAX } else { (1u32 << n) - 1 };
+        let changed = in_lo ^ out_lo;
+        HalfCheck { value: out_lo, violated: changed & !modifiable != 0 }
+    }
+
+    /// Checks the high-word `IADD.X` and applies poisoning (the extent
+    /// lives in this register). `lo_violated` carries the low half's
+    /// verdict so the poison covers both.
+    pub fn check_hi(&self, in_hi: u32, out_hi: u32, lo_violated: bool) -> HalfCheck {
+        let extent = (in_hi >> 27) as u8;
+        let n = match self.size_log2(extent) {
+            Some(n) => n,
+            None => return HalfCheck { value: out_hi, violated: false },
+        };
+        let modifiable: u32 = if n <= 32 { 0 } else { (1u32 << (n - 32)) - 1 };
+        let changed = in_hi ^ out_hi;
+        let violated = lo_violated || changed & !modifiable != 0;
+        if violated {
+            // Clear or debug-stamp the extent field in the written-back
+            // high register — the pair-datapath version of poisoning.
+            let addr_bits = out_hi & 0x07FF_FFFF;
+            let value = match self.cfg.debug_extent(PoisonKind::SpatialViolation) {
+                Some(code) => addr_bits | ((code as u32) << 27),
+                None => addr_bits,
+            };
+            HalfCheck { value, violated: true }
+        } else {
+            HalfCheck { value: out_hi, violated: false }
+        }
+    }
+
+    /// Convenience: checks a whole pointer update expressed as the two-
+    /// instruction SASS sequence (`IADD lo` + `IADD.X hi`), returning the
+    /// written-back pointer and the fused outcome.
+    pub fn check_update(&self, input: u64, delta: i64) -> (u64, OcuOutcome) {
+        let in_ptr = DevicePtr::from_raw(input);
+        let (in_lo, in_hi) = in_ptr.split();
+        if !self.cfg.extent_is_size(in_ptr.extent()) {
+            let result = input.wrapping_add(delta as u64);
+            return (result, OcuOutcome::PropagateInvalid);
+        }
+        // The ALU pair: low add produces the carry consumed by the high add.
+        let (d_lo, d_hi) = (delta as u64 as u32, ((delta as u64) >> 32) as u32);
+        let (out_lo, carry) = in_lo.overflowing_add(d_lo);
+        let out_hi = in_hi.wrapping_add(d_hi).wrapping_add(carry as u32);
+
+        let lo = self.check_lo(in_ptr.extent(), in_lo, out_lo);
+        let hi = self.check_hi(in_hi, out_hi, lo.violated);
+        let raw = DevicePtr::from_parts(lo.value, hi.value).raw();
+        if hi.violated {
+            (raw, OcuOutcome::Poisoned)
+        } else {
+            (raw, OcuOutcome::Pass)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ocu::Ocu;
+
+    fn cfg() -> PtrConfig {
+        PtrConfig::default()
+    }
+
+    fn ptr(addr: u64, size: u64) -> u64 {
+        DevicePtr::encode(addr, size, &cfg()).unwrap().raw()
+    }
+
+    #[test]
+    fn in_bounds_updates_pass_both_halves() {
+        let ocu = PairOcu::new(cfg());
+        let p = ptr(0x4_0000, 1024);
+        for delta in [0i64, 4, 1020, -0] {
+            let (out, outcome) = ocu.check_update(p, delta);
+            assert_eq!(outcome, OcuOutcome::Pass, "delta {delta}");
+            assert_eq!(out, p.wrapping_add(delta as u64));
+        }
+    }
+
+    #[test]
+    fn low_word_escape_is_caught_by_the_low_check() {
+        let ocu = PairOcu::new(cfg());
+        let p = ptr(0x4_0000, 1024);
+        let (out, outcome) = ocu.check_update(p, 1024);
+        assert_eq!(outcome, OcuOutcome::Poisoned);
+        assert_eq!(DevicePtr::from_raw(out).extent(), 0);
+    }
+
+    #[test]
+    fn carry_into_the_high_word_is_caught() {
+        // A buffer close to a 4 GiB boundary: the low add wraps, the carry
+        // flips a high-word UM bit — only the high check can see it.
+        let base = (1u64 << 32) - 4096; // 4096-aligned below the boundary
+        let p = ptr(base, 4096);
+        let ocu = PairOcu::new(cfg());
+        let (_, outcome) = ocu.check_update(p, 4096);
+        assert_eq!(outcome, OcuOutcome::Poisoned);
+    }
+
+    #[test]
+    fn buffers_larger_than_4gib_modify_high_bits_legally() {
+        let cfg = cfg();
+        let ocu = PairOcu::new(cfg);
+        // An 8 GiB buffer: bit 32 of the address is modifiable.
+        let size = 8u64 << 30;
+        let p = DevicePtr::encode(size, size, &cfg).unwrap().raw(); // base = 8 GiB
+        let (_, outcome) = ocu.check_update(p, 1i64 << 32);
+        assert_eq!(outcome, OcuOutcome::Pass, "in-bounds high-word change");
+        let (_, outcome) = ocu.check_update(p, size as i64);
+        assert_eq!(outcome, OcuOutcome::Poisoned, "escape still caught");
+    }
+
+    #[test]
+    fn invalid_pointers_propagate() {
+        let ocu = PairOcu::new(cfg());
+        let dead = DevicePtr::encode(0x4_0000, 256, &cfg()).unwrap().invalidated();
+        let (_, outcome) = ocu.check_update(dead.raw(), 8);
+        assert_eq!(outcome, OcuOutcome::PropagateInvalid);
+    }
+
+    #[test]
+    fn pair_ocu_matches_the_fused_ocu_on_a_sweep() {
+        let cfg = cfg();
+        let fused = Ocu::new(cfg);
+        let pair = PairOcu::new(cfg);
+        let p = ptr(0x10_0000, 4096);
+        for delta in (-10_000i64..10_000).step_by(37) {
+            let (fused_out, fused_outcome) =
+                fused.check_marked(p, p.wrapping_add(delta as u64));
+            let (pair_out, pair_outcome) = pair.check_update(p, delta);
+            assert_eq!(pair_outcome, fused_outcome, "delta {delta}");
+            assert_eq!(pair_out, fused_out, "delta {delta}");
+        }
+    }
+}

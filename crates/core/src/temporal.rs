@@ -1,0 +1,78 @@
+//! Temporal memory safety by extent nullification (paper §VIII).
+//!
+//! LMI enforces temporal safety by invalidating pointers when their buffers
+//! die: the compiler pass inserts an extent-clearing instruction immediately
+//! after every `free()` call and just before every return that ends a stack
+//! frame holding buffers. The EC then faults any later dereference.
+//!
+//! The mechanism covers the pointer **passed to `free`** (and everything
+//! later derived *from* it), but not copies made *before* the free — paper
+//! Fig. 11's pointer `C`. The [`crate::liveness`] module implements the
+//! §XII-C extension that closes this hole.
+
+use crate::ptr::DevicePtr;
+
+/// Clears the extent field of a raw pointer value — the operation the LMI
+/// compiler pass emits after `free()` and before scope exit.
+///
+/// ```
+/// use lmi_core::{invalidate_extent, DevicePtr, PtrConfig};
+/// let cfg = PtrConfig::default();
+/// let p = DevicePtr::encode(0x4000, 256, &cfg)?;
+/// let dead = invalidate_extent(p.raw());
+/// assert_eq!(DevicePtr::from_raw(dead).extent(), 0);
+/// assert_eq!(DevicePtr::from_raw(dead).addr(), 0x4000);
+/// # Ok::<(), lmi_core::PtrError>(())
+/// ```
+pub fn invalidate_extent(raw: u64) -> u64 {
+    DevicePtr::from_raw(raw).invalidated().raw()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ec::ExtentChecker;
+    use crate::ocu::Ocu;
+    use crate::ptr::PtrConfig;
+
+    /// Re-enacts paper Fig. 11 line by line.
+    #[test]
+    fn fig11_temporal_safety_semantics() {
+        let cfg = PtrConfig::default();
+        let ocu = Ocu::new(cfg);
+        let ec = ExtentChecker::new(cfg);
+
+        // int* A = malloc(sizeof(int) * 4);
+        let a = DevicePtr::encode(0x9000, 16, &cfg).unwrap().raw();
+
+        // B = A[0];  -- safe: A has a valid extent.
+        assert!(ec.check_access(a).is_ok());
+
+        // C = A + 1;  -- a copy derived before the free.
+        let (c, outcome) = ocu.check_marked(a, a + 4);
+        assert!(outcome.passed());
+
+        // free(A);  -- the compiler nullifies A's extent.
+        let a = invalidate_extent(a);
+
+        // D = A[0];  -- error: A is invalid.
+        assert!(ec.check_access(a).is_err());
+
+        // E = A + 1;  -- arithmetic propagates the invalid extent …
+        let (e, _) = ocu.check_marked(a, a + 4);
+        // F = E[0];  -- … so the derived pointer faults too.
+        assert!(ec.check_access(e).is_err());
+
+        // G = C[0];  -- no error but UNSAFE: C was copied before the free
+        // and is not invalidated (the documented limitation).
+        assert!(ec.check_access(c).is_ok());
+    }
+
+    #[test]
+    fn double_invalidate_is_idempotent() {
+        let cfg = PtrConfig::default();
+        let p = DevicePtr::encode(0x9000, 256, &cfg).unwrap().raw();
+        let once = invalidate_extent(p);
+        assert_eq!(invalidate_extent(once), once);
+    }
+}

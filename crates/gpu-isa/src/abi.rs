@@ -1,0 +1,43 @@
+//! The kernel ABI: constant-bank layout shared by the compiler backend and
+//! the simulator's kernel launcher.
+//!
+//! Like CUDA, kernel launch state is passed through constant bank 0: the
+//! stack top (paper Fig. 7 reads it from `c[0x0][0x28]`), the block's
+//! shared-memory window base, and the kernel parameters.
+
+/// Constant bank holding launch state.
+pub const LAUNCH_BANK: u8 = 0;
+
+/// Offset of the per-thread stack top (8 bytes) — `c[0x0][0x28]`, as in
+/// paper Fig. 7. The value is thread-dependent: reading it models the
+/// per-thread local-memory translation of real GPUs.
+pub const STACK_TOP_OFFSET: u16 = 0x28;
+
+/// Offset of the per-block shared-memory window base (8 bytes).
+pub const SHARED_BASE_OFFSET: u16 = 0x30;
+
+/// Offset of the first kernel parameter; each parameter takes one 8-byte
+/// slot (CUDA places parameters at `c[0x0][0x160]` on recent architectures).
+pub const PARAM_BASE_OFFSET: u16 = 0x160;
+
+/// Constant-bank offset of parameter `index`.
+pub fn param_offset(index: usize) -> u16 {
+    PARAM_BASE_OFFSET + (index as u16) * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_slots_are_8_bytes_apart() {
+        assert_eq!(param_offset(0), 0x160);
+        assert_eq!(param_offset(3), 0x160 + 24);
+    }
+
+    #[test]
+    fn launch_fields_do_not_overlap_params() {
+        const { assert!(STACK_TOP_OFFSET + 8 <= SHARED_BASE_OFFSET) };
+        const { assert!(SHARED_BASE_OFFSET + 8 <= PARAM_BASE_OFFSET) };
+    }
+}

@@ -1,0 +1,49 @@
+//! # lmi-isa — a SASS-like GPU instruction set for the LMI reproduction
+//!
+//! This crate defines the instruction set executed by the `lmi-sim` cycle
+//! simulator and produced by the `lmi-compiler` backend. It mirrors the
+//! properties of NVIDIA's SASS that the *Let-Me-In* (LMI, HPCA 2025) paper
+//! relies on:
+//!
+//! * a **128-bit instruction microcode** format with a reserved field between
+//!   the control information and the instruction code (13 bits on compute
+//!   capability 7.5–9.0, 14 bits on 7.0–7.2), two bits of which LMI repurposes
+//!   as the **activation (A)** and **operand-selection (S)** hint bits
+//!   (paper Fig. 9) — see [`microcode`];
+//! * distinct load/store opcodes per memory region (`LDG`/`STG` for global,
+//!   `LDS`/`STS` for shared, `LDL`/`STL` for local), which the paper's Fig. 1
+//!   uses to classify memory traffic — see [`op::Opcode`];
+//! * 32-bit architectural registers, so a 64-bit pointer occupies a register
+//!   *pair* whose upper half carries the extent bits (paper Fig. 6).
+//!
+//! ## Example
+//!
+//! ```
+//! use lmi_isa::{Instruction, Opcode, Operand, Reg, HintBits, Microcode, ComputeCapability};
+//!
+//! // A 64-bit pointer increment that the LMI compiler marked for checking:
+//! // the OCU must verify operand 0 (the pointer) against the ALU result.
+//! let add = Instruction::iadd64(Reg(4), Reg(4), Operand::Imm(16))
+//!     .with_hints(HintBits::check_operand(0));
+//! let word = Microcode::encode(&add, ComputeCapability::Cc80)?;
+//! assert!(word.activate_bit());
+//! let back = word.decode(ComputeCapability::Cc80)?;
+//! assert_eq!(back, add);
+//! # Ok::<(), lmi_isa::CodecError>(())
+//! ```
+
+pub mod abi;
+pub mod asm;
+pub mod instr;
+pub mod microcode;
+pub mod op;
+pub mod program;
+pub mod reg;
+pub mod space;
+
+pub use instr::{HintBits, Instruction, MemRef, Operand, Predicate};
+pub use microcode::{CodecError, ComputeCapability, Microcode};
+pub use op::{Opcode, OpcodeClass};
+pub use program::{Program, ProgramBuilder};
+pub use reg::{PredReg, Reg};
+pub use space::MemSpace;

@@ -1,0 +1,355 @@
+//! Opcodes and opcode classification.
+
+use std::fmt;
+
+use crate::space::MemSpace;
+
+/// Instruction opcodes, modeled after the Volta/Ampere SASS subset that the
+/// LMI paper's mechanisms interact with.
+///
+/// The integer opcodes are the ones a compiler uses for pointer arithmetic
+/// (`IADD3`, `IMAD`, `LEA`, `MOV`, shifts and logic ops); LMI's OCU attaches
+/// only to these (paper Fig. 10: "Bound-checking units are only required for
+/// integer ALUs"). Floating-point opcodes exist so workloads exercise the
+/// FPU pipeline, which carries no OCU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Opcode {
+    // ---- integer ALU (32-bit) ----
+    /// `d = a + b + c` (three-input integer add).
+    Iadd3,
+    /// `d = a * b + c` (integer multiply-add).
+    Imad,
+    /// `d = a` (32-bit move).
+    Mov,
+    /// `d = min/max(a, b)`; operand `c` selects min (0) or max (1).
+    Imnmx,
+    /// `d = a << b`.
+    Shl,
+    /// `d = a >> b` (logical).
+    Shr,
+    /// `d = a & b`.
+    And,
+    /// `d = a | b`.
+    Or,
+    /// `d = a ^ b`.
+    Xor,
+    /// Generic three-input logic op (models SASS `LOP3`); executes `a ^ b ^ c`.
+    Lop3,
+    /// Population count: `d = popcount(a)`.
+    Popc,
+    // ---- integer ALU (64-bit register pairs) ----
+    /// `d:d+1 = a:a+1 + sext(b)` — 64-bit pointer add on a register pair.
+    Iadd64,
+    /// `d:d+1 = a:a+1` — 64-bit move between register pairs.
+    Mov64,
+    /// `d:d+1 = a:a+1 + (sext(b) << c)` — load effective address.
+    Lea64,
+    // ---- predicate ----
+    /// Set predicate: `p = cmp(a, b)` with the comparison in operand `c`
+    /// (see [`crate::instr::CmpOp`] encoding).
+    Isetp,
+    // ---- floating point ----
+    /// `d = a + b` (f32).
+    Fadd,
+    /// `d = a * b` (f32).
+    Fmul,
+    /// `d = a * b + c` (f32 fused multiply-add).
+    Ffma,
+    /// Multi-function unit op (rcp/sqrt/exp approximation); executes `1/a`.
+    Mufu,
+    // ---- memory ----
+    /// Load from global memory.
+    Ldg,
+    /// Store to global memory.
+    Stg,
+    /// Load from shared memory.
+    Lds,
+    /// Store to shared memory.
+    Sts,
+    /// Load from local (stack) memory.
+    Ldl,
+    /// Store to local (stack) memory.
+    Stl,
+    /// Load from constant memory (kernel parameters, stack pointer base).
+    Ldc,
+    // ---- runtime intrinsics ----
+    /// Device-heap allocation: `dst:dst+1 = malloc(a)` — models the call
+    /// into CUDA's device runtime allocator (paper Fig. 3/5).
+    Malloc,
+    /// Device-heap free: `free(a:a+1)`.
+    Free,
+    // ---- control ----
+    /// Relative branch (target = imm operand), optionally predicated.
+    Bra,
+    /// Thread-block-wide barrier.
+    Bar,
+    /// Read a special register (operand `a` is a [`SpecialReg`] selector).
+    S2r,
+    /// Terminate the thread.
+    Exit,
+    /// No operation.
+    Nop,
+}
+
+/// Coarse functional-unit classification of an opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpcodeClass {
+    /// Integer ALU — the only unit carrying an OCU.
+    IntAlu,
+    /// Floating-point unit.
+    Fpu,
+    /// Load/store unit — carries the Extent Checker (EC).
+    Mem,
+    /// Branch/barrier/special.
+    Control,
+}
+
+impl Opcode {
+    /// All opcodes, in microcode-encoding order.
+    pub const ALL: [Opcode; 31] = [
+        Opcode::Iadd3,
+        Opcode::Imad,
+        Opcode::Mov,
+        Opcode::Imnmx,
+        Opcode::Shl,
+        Opcode::Shr,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Lop3,
+        Opcode::Popc,
+        Opcode::Iadd64,
+        Opcode::Mov64,
+        Opcode::Lea64,
+        Opcode::Isetp,
+        Opcode::Fadd,
+        Opcode::Fmul,
+        Opcode::Ffma,
+        Opcode::Mufu,
+        Opcode::Ldg,
+        Opcode::Stg,
+        Opcode::Lds,
+        Opcode::Sts,
+        Opcode::Ldl,
+        Opcode::Stl,
+        Opcode::Ldc,
+        Opcode::Malloc,
+        Opcode::Free,
+        Opcode::Bra,
+        Opcode::Bar,
+        Opcode::S2r,
+    ];
+
+    /// The functional unit that executes this opcode.
+    pub fn class(self) -> OpcodeClass {
+        use Opcode::*;
+        match self {
+            Iadd3 | Imad | Mov | Imnmx | Shl | Shr | And | Or | Xor | Lop3 | Popc | Iadd64
+            | Mov64 | Lea64 | Isetp => OpcodeClass::IntAlu,
+            Fadd | Fmul | Ffma | Mufu => OpcodeClass::Fpu,
+            Ldg | Stg | Lds | Sts | Ldl | Stl | Ldc | Malloc | Free => OpcodeClass::Mem,
+            Bra | Bar | S2r | Exit | Nop => OpcodeClass::Control,
+        }
+    }
+
+    /// Returns `true` for integer-ALU opcodes that can legally carry the LMI
+    /// activation hint bit (the OCU only exists next to integer ALUs).
+    pub fn can_carry_hints(self) -> bool {
+        self.class() == OpcodeClass::IntAlu
+    }
+
+    /// Returns `true` for loads (memory reads).
+    pub fn is_load(self) -> bool {
+        matches!(self, Opcode::Ldg | Opcode::Lds | Opcode::Ldl | Opcode::Ldc)
+    }
+
+    /// Returns `true` for stores (memory writes).
+    pub fn is_store(self) -> bool {
+        matches!(self, Opcode::Stg | Opcode::Sts | Opcode::Stl)
+    }
+
+    /// Returns `true` for any memory access instruction.
+    pub fn is_mem(self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Returns `true` for 64-bit register-pair integer ops.
+    pub fn is_wide(self) -> bool {
+        matches!(self, Opcode::Iadd64 | Opcode::Mov64 | Opcode::Lea64)
+    }
+
+    /// The memory space implied by a load/store opcode, if any.
+    pub fn mem_space(self) -> Option<MemSpace> {
+        match self {
+            Opcode::Ldg | Opcode::Stg => Some(MemSpace::Global),
+            Opcode::Lds | Opcode::Sts => Some(MemSpace::Shared),
+            Opcode::Ldl | Opcode::Stl => Some(MemSpace::Local),
+            Opcode::Ldc => Some(MemSpace::Const),
+            _ => None,
+        }
+    }
+
+    /// SASS-style mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Iadd3 => "IADD3",
+            Imad => "IMAD",
+            Mov => "MOV",
+            Imnmx => "IMNMX",
+            Shl => "SHL",
+            Shr => "SHR",
+            And => "AND",
+            Or => "OR",
+            Xor => "XOR",
+            Lop3 => "LOP3",
+            Popc => "POPC",
+            Iadd64 => "IADD64",
+            Mov64 => "MOV64",
+            Lea64 => "LEA64",
+            Isetp => "ISETP",
+            Fadd => "FADD",
+            Fmul => "FMUL",
+            Ffma => "FFMA",
+            Mufu => "MUFU",
+            Ldg => "LDG",
+            Stg => "STG",
+            Lds => "LDS",
+            Sts => "STS",
+            Ldl => "LDL",
+            Stl => "STL",
+            Ldc => "LDC",
+            Malloc => "MALLOC",
+            Free => "FREE",
+            Bra => "BRA",
+            Bar => "BAR",
+            S2r => "S2R",
+            Exit => "EXIT",
+            Nop => "NOP",
+        }
+    }
+
+    pub(crate) fn to_bits(self) -> u8 {
+        match self {
+            Opcode::Exit => 40,
+            Opcode::Nop => 41,
+            other => Opcode::ALL
+                .iter()
+                .position(|&op| op == other)
+                .expect("opcode present in ALL") as u8,
+        }
+    }
+
+    pub(crate) fn from_bits(bits: u8) -> Option<Opcode> {
+        match bits {
+            40 => Some(Opcode::Exit),
+            41 => Some(Opcode::Nop),
+            n => Opcode::ALL.get(n as usize).copied(),
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Special registers readable with [`Opcode::S2r`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecialReg {
+    /// Thread index within the block (x dimension).
+    TidX,
+    /// Block index within the grid (x dimension).
+    CtaIdX,
+    /// Threads per block (x dimension).
+    NtidX,
+    /// Lane index within the warp.
+    LaneId,
+    /// Warp index within the SM.
+    WarpId,
+}
+
+impl SpecialReg {
+    /// Selector value used as the immediate operand of `S2R`.
+    pub fn selector(self) -> i64 {
+        match self {
+            SpecialReg::TidX => 0,
+            SpecialReg::CtaIdX => 1,
+            SpecialReg::NtidX => 2,
+            SpecialReg::LaneId => 3,
+            SpecialReg::WarpId => 4,
+        }
+    }
+
+    /// Inverse of [`SpecialReg::selector`].
+    pub fn from_selector(sel: i64) -> Option<SpecialReg> {
+        match sel {
+            0 => Some(SpecialReg::TidX),
+            1 => Some(SpecialReg::CtaIdX),
+            2 => Some(SpecialReg::NtidX),
+            3 => Some(SpecialReg::LaneId),
+            4 => Some(SpecialReg::WarpId),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_bits_round_trip() {
+        for op in Opcode::ALL {
+            assert_eq!(Opcode::from_bits(op.to_bits()), Some(op), "{op}");
+        }
+        assert_eq!(Opcode::from_bits(Opcode::Exit.to_bits()), Some(Opcode::Exit));
+        assert_eq!(Opcode::from_bits(Opcode::Nop.to_bits()), Some(Opcode::Nop));
+        assert_eq!(Opcode::from_bits(99), None);
+    }
+
+    #[test]
+    fn opcode_bits_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in Opcode::ALL.iter().chain([Opcode::Exit, Opcode::Nop].iter()) {
+            assert!(seen.insert(op.to_bits()), "duplicate encoding for {op}");
+        }
+    }
+
+    #[test]
+    fn only_int_alu_carries_hints() {
+        assert!(Opcode::Iadd3.can_carry_hints());
+        assert!(Opcode::Iadd64.can_carry_hints());
+        assert!(Opcode::Mov64.can_carry_hints());
+        assert!(!Opcode::Fadd.can_carry_hints());
+        assert!(!Opcode::Ldg.can_carry_hints());
+        assert!(!Opcode::Bra.can_carry_hints());
+    }
+
+    #[test]
+    fn mem_space_mapping_matches_fig1_classification() {
+        assert_eq!(Opcode::Ldg.mem_space(), Some(MemSpace::Global));
+        assert_eq!(Opcode::Stg.mem_space(), Some(MemSpace::Global));
+        assert_eq!(Opcode::Lds.mem_space(), Some(MemSpace::Shared));
+        assert_eq!(Opcode::Sts.mem_space(), Some(MemSpace::Shared));
+        assert_eq!(Opcode::Ldl.mem_space(), Some(MemSpace::Local));
+        assert_eq!(Opcode::Stl.mem_space(), Some(MemSpace::Local));
+        assert_eq!(Opcode::Iadd3.mem_space(), None);
+    }
+
+    #[test]
+    fn special_reg_selectors_round_trip() {
+        for sr in [
+            SpecialReg::TidX,
+            SpecialReg::CtaIdX,
+            SpecialReg::NtidX,
+            SpecialReg::LaneId,
+            SpecialReg::WarpId,
+        ] {
+            assert_eq!(SpecialReg::from_selector(sr.selector()), Some(sr));
+        }
+        assert_eq!(SpecialReg::from_selector(42), None);
+    }
+}

@@ -1,0 +1,251 @@
+//! Kernel programs: instruction sequences plus launch metadata.
+
+use std::fmt;
+
+use crate::instr::Instruction;
+use crate::microcode::{CodecError, ComputeCapability, Microcode};
+
+/// A compiled kernel: a flat instruction sequence executed by every thread.
+///
+/// Branch targets are absolute instruction indices (resolved by
+/// [`ProgramBuilder`] from labels). A program also records how many 32-bit
+/// registers and how much per-block shared / per-thread local memory it
+/// needs, which the simulator uses for occupancy and stack sizing.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Kernel name (for reports).
+    pub name: String,
+    /// The instruction stream.
+    pub instructions: Vec<Instruction>,
+    /// Number of 32-bit registers used per thread.
+    pub regs_per_thread: u8,
+    /// Static shared memory bytes per block.
+    pub shared_bytes: u32,
+    /// Local (stack) bytes per thread.
+    pub local_bytes: u32,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new(name: impl Into<String>) -> Program {
+        Program { name: name.into(), ..Program::default() }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Returns `true` if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Assembles the program to 128-bit microcode words.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CodecError`] encountered.
+    pub fn assemble(&self, cc: ComputeCapability) -> Result<Vec<Microcode>, CodecError> {
+        self.instructions.iter().map(|i| Microcode::encode(i, cc)).collect()
+    }
+
+    /// Number of instructions with the LMI activation hint set.
+    pub fn hinted_count(&self) -> usize {
+        self.instructions.iter().filter(|i| i.hints.activate).count()
+    }
+
+    /// Number of load/store instructions.
+    pub fn mem_count(&self) -> usize {
+        self.instructions.iter().filter(|i| i.opcode.is_mem()).count()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "// kernel {}", self.name)?;
+        for (pc, ins) in self.instructions.iter().enumerate() {
+            writeln!(f, "/*{pc:04}*/  {ins} ;")?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder with label-based branching.
+///
+/// ```
+/// use lmi_isa::{ProgramBuilder, Instruction, Reg};
+/// use lmi_isa::instr::CmpOp;
+/// use lmi_isa::reg::PredReg;
+///
+/// let mut b = ProgramBuilder::new("loop4");
+/// b.push(Instruction::mov(Reg(0), 0));
+/// let top = b.label();
+/// b.push(Instruction::iadd3(Reg(0), Reg(0), 1));
+/// b.push(Instruction::isetp(PredReg(0), Reg(0), CmpOp::Lt, 4));
+/// b.branch_if(top, PredReg(0), false);
+/// b.push(Instruction::exit());
+/// let program = b.build();
+/// assert_eq!(program.len(), 5);
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    program: Program,
+    max_reg: u8,
+}
+
+/// A branch target returned by [`ProgramBuilder::label`] or reserved by
+/// [`ProgramBuilder::forward_branch_if`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+impl ProgramBuilder {
+    /// Starts a new program.
+    pub fn new(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder { program: Program::new(name), max_reg: 0 }
+    }
+
+    /// Appends an instruction, tracking register usage.
+    pub fn push(&mut self, ins: Instruction) -> &mut Self {
+        for r in ins.dest_regs().into_iter().chain(ins.source_regs()) {
+            if !r.is_zero_reg() {
+                self.max_reg = self.max_reg.max(r.0);
+            }
+        }
+        self.program.instructions.push(ins);
+        self
+    }
+
+    /// A label at the current position (for backward branches).
+    pub fn label(&self) -> Label {
+        Label(self.program.instructions.len())
+    }
+
+    /// Emits a predicated backward/forward branch to `label`.
+    pub fn branch_if(&mut self, label: Label, pred: crate::PredReg, negated: bool) -> &mut Self {
+        let ins = Instruction::bra(label.0 as i32).with_pred(crate::Predicate {
+            reg: pred,
+            negated,
+        });
+        self.push(ins)
+    }
+
+    /// Emits an unconditional branch to `label`.
+    pub fn branch(&mut self, label: Label) -> &mut Self {
+        self.push(Instruction::bra(label.0 as i32))
+    }
+
+    /// Reserves a forward branch slot; patch it later with
+    /// [`ProgramBuilder::bind`].
+    pub fn forward_branch_if(&mut self, pred: crate::PredReg, negated: bool) -> Label {
+        let at = self.program.instructions.len();
+        self.branch_if(Label(0), pred, negated);
+        Label(at)
+    }
+
+    /// Binds a pending forward branch (created by
+    /// [`ProgramBuilder::forward_branch_if`]) to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branch_at` does not point at a branch instruction.
+    pub fn bind(&mut self, branch_at: Label) {
+        let here = self.program.instructions.len() as i32;
+        let ins = &mut self.program.instructions[branch_at.0];
+        assert_eq!(ins.opcode, crate::Opcode::Bra, "bind target must be a branch");
+        ins.srcs[0] = crate::Operand::Imm(here);
+    }
+
+    /// Sets static shared memory usage.
+    pub fn shared_bytes(&mut self, bytes: u32) -> &mut Self {
+        self.program.shared_bytes = bytes;
+        self
+    }
+
+    /// Sets per-thread local (stack) usage.
+    pub fn local_bytes(&mut self, bytes: u32) -> &mut Self {
+        self.program.local_bytes = bytes;
+        self
+    }
+
+    /// Finalizes the program.
+    pub fn build(mut self) -> Program {
+        self.program.regs_per_thread = self.max_reg.saturating_add(1);
+        self.program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::CmpOp;
+    use crate::reg::{PredReg, Reg};
+    use crate::MemRef;
+
+    #[test]
+    fn builder_tracks_register_usage() {
+        let mut b = ProgramBuilder::new("t");
+        b.push(Instruction::mov(Reg(9), 1));
+        b.push(Instruction::exit());
+        let p = b.build();
+        assert_eq!(p.regs_per_thread, 10);
+    }
+
+    #[test]
+    fn wide_dest_counts_pair_high() {
+        let mut b = ProgramBuilder::new("t");
+        b.push(Instruction::iadd64(Reg(10), Reg(4), 8));
+        let p = b.build();
+        assert_eq!(p.regs_per_thread, 12, "R11 is written as pair high");
+    }
+
+    #[test]
+    fn forward_branch_binds_to_join_point() {
+        let mut b = ProgramBuilder::new("t");
+        b.push(Instruction::isetp(PredReg(0), Reg(0), CmpOp::Eq, 0));
+        let skip = b.forward_branch_if(PredReg(0), false);
+        b.push(Instruction::mov(Reg(1), 1));
+        b.bind(skip);
+        b.push(Instruction::exit());
+        let p = b.build();
+        assert_eq!(p.instructions[1].srcs[0], crate::Operand::Imm(3));
+    }
+
+    #[test]
+    fn counters_count_hints_and_mem() {
+        let mut b = ProgramBuilder::new("t");
+        b.push(
+            Instruction::iadd64(Reg(4), Reg(4), 4)
+                .with_hints(crate::HintBits::check_operand(0)),
+        );
+        b.push(Instruction::ldg(Reg(8), MemRef::new(Reg(4), 0, 4)));
+        b.push(Instruction::exit());
+        let p = b.build();
+        assert_eq!(p.hinted_count(), 1);
+        assert_eq!(p.mem_count(), 1);
+    }
+
+    #[test]
+    fn assemble_round_trips_all_instructions() {
+        let mut b = ProgramBuilder::new("t");
+        b.push(Instruction::mov(Reg(0), 7));
+        b.push(Instruction::iadd64(Reg(2), Reg(2), 8).with_hints(crate::HintBits::check_operand(0)));
+        b.push(Instruction::exit());
+        let p = b.build();
+        let words = p.assemble(crate::ComputeCapability::Cc80).unwrap();
+        assert_eq!(words.len(), 3);
+        for (w, i) in words.iter().zip(&p.instructions) {
+            assert_eq!(&w.decode(crate::ComputeCapability::Cc80).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn display_contains_kernel_name_and_pcs() {
+        let mut b = ProgramBuilder::new("dummy");
+        b.push(Instruction::exit());
+        let text = b.build().to_string();
+        assert!(text.contains("kernel dummy"));
+        assert!(text.contains("/*0000*/"));
+        assert!(text.contains("EXIT"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Architectural register names.
+//!
+//! Like SASS, the ISA exposes 32-bit general-purpose registers `R0..R126` plus
+//! the hardwired zero register `RZ`. A 64-bit value (such as a pointer with
+//! its in-pointer extent metadata, paper Fig. 6) occupies the *pair*
+//! `(Rn, Rn+1)`: `Rn` holds the low word and `Rn+1` the high word that
+//! contains the extent bits.
+
+use std::fmt;
+
+/// Maximum usable general-purpose register index (`R126`).
+pub const MAX_GPR: u8 = 126;
+
+/// Index of the hardwired zero register `RZ`.
+pub const RZ_INDEX: u8 = 127;
+
+/// A 32-bit general-purpose register.
+///
+/// `Reg(127)` is the hardwired zero register [`Reg::RZ`]; writes to it are
+/// discarded and reads return zero.
+///
+/// ```
+/// use lmi_isa::Reg;
+/// assert!(Reg::RZ.is_zero_reg());
+/// assert_eq!(Reg(4).pair_high(), Reg(5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The hardwired zero register.
+    pub const RZ: Reg = Reg(RZ_INDEX);
+
+    /// Returns `true` if this is the hardwired zero register.
+    pub fn is_zero_reg(self) -> bool {
+        self.0 == RZ_INDEX
+    }
+
+    /// The high half of the 64-bit register pair anchored at `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is `RZ` or the last usable register (no pair exists).
+    pub fn pair_high(self) -> Reg {
+        assert!(
+            self.0 < MAX_GPR,
+            "register {self} has no pair high register"
+        );
+        Reg(self.0 + 1)
+    }
+
+    /// Returns `true` if the register index is valid as the base of a 64-bit
+    /// pair.
+    pub fn is_valid_pair_base(self) -> bool {
+        self.0 < MAX_GPR
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero_reg() {
+            write!(f, "RZ")
+        } else {
+            write!(f, "R{}", self.0)
+        }
+    }
+}
+
+/// A 1-bit predicate register (`P0..P6`); `PT` (index 7) is hardwired true.
+///
+/// ```
+/// use lmi_isa::PredReg;
+/// assert!(PredReg::PT.is_true_reg());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PredReg(pub u8);
+
+impl PredReg {
+    /// The hardwired always-true predicate register.
+    pub const PT: PredReg = PredReg(7);
+
+    /// Returns `true` if this is the hardwired true predicate.
+    pub fn is_true_reg(self) -> bool {
+        self.0 == 7
+    }
+}
+
+impl fmt::Display for PredReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_true_reg() {
+            write!(f, "PT")
+        } else {
+            write!(f, "P{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rz_is_zero_reg() {
+        assert!(Reg::RZ.is_zero_reg());
+        assert!(!Reg(0).is_zero_reg());
+    }
+
+    #[test]
+    fn pair_high_is_next_register() {
+        assert_eq!(Reg(10).pair_high(), Reg(11));
+        assert_eq!(Reg(0).pair_high(), Reg(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "no pair")]
+    fn rz_has_no_pair() {
+        let _ = Reg::RZ.pair_high();
+    }
+
+    #[test]
+    fn pair_base_validity() {
+        assert!(Reg(0).is_valid_pair_base());
+        assert!(Reg(125).is_valid_pair_base());
+        assert!(!Reg(126).is_valid_pair_base());
+        assert!(!Reg::RZ.is_valid_pair_base());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg(3).to_string(), "R3");
+        assert_eq!(Reg::RZ.to_string(), "RZ");
+        assert_eq!(PredReg(0).to_string(), "P0");
+        assert_eq!(PredReg::PT.to_string(), "PT");
+    }
+}

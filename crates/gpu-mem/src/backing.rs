@@ -1,0 +1,125 @@
+//! Sparse functional byte store.
+//!
+//! The timing model ([`crate::hierarchy`]) decides *when* data arrives; this
+//! store decides *what* the data is. It is sparse (4 KiB pages allocated on
+//! first touch) so per-thread local windows and large arenas cost nothing
+//! until used.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// A sparse byte-addressable memory.
+#[derive(Debug, Clone, Default)]
+pub struct SparseMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseMemory {
+    /// An empty memory (all bytes read as zero).
+    pub fn new() -> SparseMemory {
+        SparseMemory::default()
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0; PAGE_SIZE]))
+    }
+
+    /// Reads one byte (untouched memory reads as zero).
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        self.page_mut(addr)[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads `width` bytes (≤ 8) little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 8`.
+    pub fn read(&self, addr: u64, width: u8) -> u64 {
+        assert!(width <= 8, "width {width} exceeds 8 bytes");
+        let mut v = 0u64;
+        for i in 0..width as u64 {
+            v |= (self.read_u8(addr + i) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `width` bytes (≤ 8) of `value` little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 8`.
+    pub fn write(&mut self, addr: u64, value: u64, width: u8) {
+        assert!(width <= 8, "width {width} exceeds 8 bytes");
+        for i in 0..width as u64 {
+            self.write_u8(addr + i, (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Fills `[addr, addr + len)` with `byte`.
+    pub fn fill(&mut self, addr: u64, len: u64, byte: u8) {
+        for i in 0..len {
+            self.write_u8(addr + i, byte);
+        }
+    }
+
+    /// Number of 4 KiB pages materialized so far.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let m = SparseMemory::new();
+        assert_eq!(m.read(0xDEAD_BEEF, 8), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn read_back_what_was_written() {
+        let mut m = SparseMemory::new();
+        m.write(0x1000, 0x1122_3344_5566_7788, 8);
+        assert_eq!(m.read(0x1000, 8), 0x1122_3344_5566_7788);
+        assert_eq!(m.read(0x1000, 4), 0x5566_7788);
+        assert_eq!(m.read(0x1004, 4), 0x1122_3344);
+    }
+
+    #[test]
+    fn writes_spanning_pages_work() {
+        let mut m = SparseMemory::new();
+        let addr = (1 << 12) - 4; // last 4 bytes of page 0
+        m.write(addr, 0xAABB_CCDD_EEFF_0011, 8);
+        assert_eq!(m.read(addr, 8), 0xAABB_CCDD_EEFF_0011);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn narrow_write_does_not_clobber_neighbors() {
+        let mut m = SparseMemory::new();
+        m.write(0x2000, u64::MAX, 8);
+        m.write(0x2002, 0, 2);
+        assert_eq!(m.read(0x2000, 8), 0xFFFF_FFFF_0000_FFFF);
+    }
+
+    #[test]
+    fn fill_sets_a_range() {
+        let mut m = SparseMemory::new();
+        m.fill(0x3000, 16, 0xCC);
+        assert_eq!(m.read(0x3000, 8), 0xCCCC_CCCC_CCCC_CCCC);
+        assert_eq!(m.read_u8(0x3010), 0);
+    }
+}

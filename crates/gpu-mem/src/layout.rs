@@ -1,0 +1,80 @@
+//! Virtual-address-space layout.
+//!
+//! GPU memory allocation provides virtually contiguous buffers per region
+//! (paper §V-B); this module fixes where each region lives in the 57-bit
+//! virtual address space so allocators and the simulator agree. Although
+//! threads share the same *local* virtual addresses on real hardware (with
+//! translation providing isolation, §II-A), the functional store here backs
+//! each thread's window at a distinct offset — the model of that
+//! translation.
+
+/// Base of the `cudaMalloc` global arena.
+pub const GLOBAL_BASE: u64 = 0x0100_0000_0000;
+
+/// Base of the device-heap (`malloc`-in-kernel) arena.
+pub const HEAP_BASE: u64 = 0x0200_0000_0000;
+
+/// Base of the per-thread local/stack windows.
+pub const LOCAL_BASE: u64 = 0x0300_0000_0000;
+
+/// Base of the per-block shared-memory windows.
+pub const SHARED_BASE: u64 = 0x0000_0100_0000;
+
+/// Default per-thread local window (stack) size in bytes.
+pub const DEFAULT_STACK_BYTES: u64 = 64 * 1024;
+
+/// Default per-block shared-memory window size in bytes.
+pub const SHARED_WINDOW_BYTES: u64 = 256 * 1024;
+
+/// Physical backing address of thread `global_tid`'s local window.
+pub fn local_window_base(global_tid: u64, stack_bytes: u64) -> u64 {
+    LOCAL_BASE + global_tid * stack_bytes
+}
+
+/// Physical backing address of block `block_id`'s shared window.
+pub fn shared_window_base(block_id: u64) -> u64 {
+    SHARED_BASE + block_id * SHARED_WINDOW_BYTES
+}
+
+/// Classifies an address into its arena, if it falls into one.
+pub fn region_of(addr: u64) -> Option<&'static str> {
+    if (GLOBAL_BASE..HEAP_BASE).contains(&addr) {
+        Some("global")
+    } else if (HEAP_BASE..LOCAL_BASE).contains(&addr) {
+        Some("heap")
+    } else if addr >= LOCAL_BASE {
+        Some("local")
+    } else if addr >= SHARED_BASE {
+        Some("shared")
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arenas_do_not_overlap() {
+        const { assert!(GLOBAL_BASE < HEAP_BASE) };
+        const { assert!(HEAP_BASE < LOCAL_BASE) };
+        const { assert!(SHARED_BASE < GLOBAL_BASE) };
+    }
+
+    #[test]
+    fn local_windows_are_disjoint() {
+        let a = local_window_base(0, DEFAULT_STACK_BYTES);
+        let b = local_window_base(1, DEFAULT_STACK_BYTES);
+        assert_eq!(b - a, DEFAULT_STACK_BYTES);
+    }
+
+    #[test]
+    fn region_classification() {
+        assert_eq!(region_of(GLOBAL_BASE + 10), Some("global"));
+        assert_eq!(region_of(HEAP_BASE), Some("heap"));
+        assert_eq!(region_of(local_window_base(5, DEFAULT_STACK_BYTES)), Some("local"));
+        assert_eq!(region_of(shared_window_base(2)), Some("shared"));
+        assert_eq!(region_of(0x10), None);
+    }
+}

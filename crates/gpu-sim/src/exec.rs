@@ -1,0 +1,105 @@
+//! Pure functional ALU semantics, shared by the SM issue logic and unit
+//! tests.
+
+use lmi_isa::Opcode;
+
+/// Computes a 32-bit integer-ALU result.
+///
+/// # Panics
+///
+/// Panics on opcodes that are not 32-bit integer operations.
+pub fn alu32(op: Opcode, a: u32, b: u32, c: u32) -> u32 {
+    match op {
+        Opcode::Iadd3 => a.wrapping_add(b).wrapping_add(c),
+        Opcode::Imad => a.wrapping_mul(b).wrapping_add(c),
+        Opcode::Mov => a,
+        Opcode::Imnmx => {
+            if c == 0 {
+                (a as i32).min(b as i32) as u32
+            } else {
+                (a as i32).max(b as i32) as u32
+            }
+        }
+        Opcode::Shl => a.wrapping_shl(b & 31),
+        Opcode::Shr => a.wrapping_shr(b & 31),
+        Opcode::And => a & b,
+        Opcode::Or => a | b,
+        Opcode::Xor => a ^ b,
+        Opcode::Lop3 => a ^ b ^ c,
+        Opcode::Popc => a.count_ones(),
+        other => panic!("{other} is not a 32-bit integer op"),
+    }
+}
+
+/// Computes a 64-bit (register-pair) integer result.
+///
+/// * `IADD64`: `a + b`;
+/// * `MOV64`: `a`;
+/// * `LEA64`: `a + (sext(b as i32) << c)`.
+///
+/// # Panics
+///
+/// Panics on non-wide opcodes.
+pub fn alu64(op: Opcode, a: u64, b: u64, c: u64) -> u64 {
+    match op {
+        Opcode::Iadd64 => a.wrapping_add(b),
+        Opcode::Mov64 => a,
+        Opcode::Lea64 => a.wrapping_add(((b as u32 as i32) as i64 as u64).wrapping_shl(c as u32)),
+        other => panic!("{other} is not a wide integer op"),
+    }
+}
+
+/// Computes an FPU result on f32 bit patterns.
+///
+/// # Panics
+///
+/// Panics on non-FPU opcodes.
+pub fn fpu(op: Opcode, a: u32, b: u32, c: u32) -> u32 {
+    let (fa, fb, fc) = (f32::from_bits(a), f32::from_bits(b), f32::from_bits(c));
+    let r = match op {
+        Opcode::Fadd => fa + fb,
+        Opcode::Fmul => fa * fb,
+        Opcode::Ffma => fa.mul_add(fb, fc),
+        Opcode::Mufu => 1.0 / fa,
+        other => panic!("{other} is not an FPU op"),
+    };
+    r.to_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_semantics() {
+        assert_eq!(alu32(Opcode::Iadd3, 1, 2, 3), 6);
+        assert_eq!(alu32(Opcode::Imad, 3, 4, 5), 17);
+        assert_eq!(alu32(Opcode::Iadd3, u32::MAX, 1, 0), 0, "wrapping");
+        assert_eq!(alu32(Opcode::Imnmx, 5, 3, 0), 3);
+        assert_eq!(alu32(Opcode::Imnmx, 5, 3, 1), 5);
+        assert_eq!(alu32(Opcode::Imnmx, (-5i32) as u32, 3, 0), (-5i32) as u32);
+        assert_eq!(alu32(Opcode::Shl, 1, 4, 0), 16);
+        assert_eq!(alu32(Opcode::Shr, 0x80000000, 31, 0), 1);
+        assert_eq!(alu32(Opcode::And, 0b1100, 0b1010, 0), 0b1000);
+        assert_eq!(alu32(Opcode::Popc, 0xFF, 0, 0), 8);
+    }
+
+    #[test]
+    fn wide_semantics() {
+        assert_eq!(alu64(Opcode::Iadd64, 0x1_0000_0000, 0xFFFF_FFFF, 0), 0x1_FFFF_FFFF);
+        assert_eq!(alu64(Opcode::Mov64, 42, 0, 0), 42);
+        assert_eq!(alu64(Opcode::Lea64, 0x1000, 4, 3), 0x1000 + 32);
+        // Negative LEA index sign-extends.
+        assert_eq!(alu64(Opcode::Lea64, 0x1000, (-1i32) as u32 as u64, 2), 0x1000 - 4);
+    }
+
+    #[test]
+    fn fpu_semantics() {
+        let two = 2.0f32.to_bits();
+        let three = 3.0f32.to_bits();
+        assert_eq!(f32::from_bits(fpu(Opcode::Fadd, two, three, 0)), 5.0);
+        assert_eq!(f32::from_bits(fpu(Opcode::Fmul, two, three, 0)), 6.0);
+        assert_eq!(f32::from_bits(fpu(Opcode::Ffma, two, three, two)), 8.0);
+        assert_eq!(f32::from_bits(fpu(Opcode::Mufu, two, 0, 0)), 0.5);
+    }
+}

@@ -1,0 +1,333 @@
+//! The full GPU: SMs, the shared memory hierarchy, the device heap, and the
+//! run loop.
+
+use std::sync::Arc;
+
+use lmi_alloc::{AlignmentPolicy, DeviceHeap};
+use lmi_core::PtrConfig;
+use lmi_mem::{layout, MemoryHierarchy, SparseMemory};
+
+use crate::config::GpuConfig;
+use crate::launch::Launch;
+use crate::mechanism::Mechanism;
+use crate::sm::{LaunchCtx, Sm, StepResources};
+use crate::stats::SimStats;
+
+/// A simulated GPU.
+///
+/// The functional byte store ([`Gpu::memory`]) and the device heap persist
+/// across launches, so a host program can allocate, launch, inspect, and
+/// launch again — the pattern the security suite and the examples use.
+pub struct Gpu {
+    cfg: GpuConfig,
+    hierarchy: MemoryHierarchy,
+    /// Functional backing store for all address spaces.
+    pub memory: SparseMemory,
+    heap: DeviceHeap,
+}
+
+impl Gpu {
+    /// Creates a GPU whose device heap uses LMI's power-of-two policy.
+    pub fn new(cfg: GpuConfig) -> Gpu {
+        Gpu::with_heap_policy(cfg, AlignmentPolicy::PowerOfTwo)
+    }
+
+    /// Creates a GPU with an explicit device-heap policy (the unprotected
+    /// baseline uses [`AlignmentPolicy::CudaDefault`]).
+    pub fn with_heap_policy(cfg: GpuConfig, policy: AlignmentPolicy) -> Gpu {
+        Gpu {
+            cfg,
+            hierarchy: MemoryHierarchy::new(cfg.hierarchy),
+            memory: SparseMemory::new(),
+            heap: DeviceHeap::new(
+                PtrConfig::default(),
+                policy,
+                layout::HEAP_BASE,
+                64,
+                16 * 1024 * 1024,
+            ),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// The device heap (for inspection by tests and the security suite).
+    pub fn heap(&self) -> &DeviceHeap {
+        &self.heap
+    }
+
+    /// Total DRAM transactions issued so far.
+    pub fn dram_transactions(&self) -> u64 {
+        self.hierarchy.dram_transactions()
+    }
+
+    /// L1 statistics for one SM.
+    pub fn l1_stats(&self, sm: usize) -> lmi_mem::CacheStats {
+        self.hierarchy.l1_stats(sm)
+    }
+
+    /// Shared L2 statistics.
+    pub fn l2_stats(&self) -> lmi_mem::CacheStats {
+        self.hierarchy.l2_stats()
+    }
+
+    /// Runs one kernel to completion under `mechanism`; returns statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the launch would exceed the per-SM warp capacity.
+    pub fn run(&mut self, launch: &Launch, mechanism: &mut dyn Mechanism) -> SimStats {
+        let program = Arc::new(launch.program.clone());
+        let ctx = Arc::new(LaunchCtx {
+            params: launch.params.clone(),
+            stack_bytes: self.cfg.stack_bytes,
+            threads_per_block: launch.threads_per_block,
+        });
+        let regs = program.regs_per_thread.max(8) as usize;
+
+        let mut sms: Vec<Sm> = (0..self.cfg.num_sms)
+            .map(|id| Sm::new(id, Arc::clone(&program), Arc::clone(&ctx)))
+            .collect();
+        for block in 0..launch.grid_blocks {
+            sms[block % self.cfg.num_sms].add_block(block, launch, regs);
+        }
+        for sm in &sms {
+            assert!(
+                sm.warps.len() <= self.cfg.max_warps_per_sm,
+                "launch exceeds per-SM warp capacity ({} > {})",
+                sm.warps.len(),
+                self.cfg.max_warps_per_sm
+            );
+        }
+
+        let mut stats = SimStats::default();
+        let mut cycle: u64 = 0;
+        loop {
+            let mut issued_any = false;
+            let mut next_ready = u64::MAX;
+            for sm in &mut sms {
+                let mut res = StepResources {
+                    hierarchy: &mut self.hierarchy,
+                    memory: &mut self.memory,
+                    heap: &self.heap,
+                    mechanism,
+                    stats: &mut stats,
+                    cfg: &self.cfg,
+                };
+                let outcome = sm.step(cycle, &mut res);
+                issued_any |= outcome.issued_any;
+                next_ready = next_ready.min(outcome.next_ready);
+            }
+            if sms.iter().all(|sm| sm.all_done()) {
+                break;
+            }
+            cycle = if issued_any || next_ready == u64::MAX {
+                cycle + 1
+            } else {
+                // Fast-forward over scoreboard stalls.
+                next_ready.max(cycle + 1)
+            };
+            debug_assert!(cycle < 1_000_000_000, "runaway simulation");
+        }
+        stats.cycles = cycle.max(1);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::{LmiMechanism, NullMechanism};
+    use lmi_core::PtrConfig;
+    use lmi_isa::instr::CmpOp;
+    use lmi_isa::reg::PredReg;
+    use lmi_isa::{abi, HintBits, Instruction, MemRef, MemSpace, ProgramBuilder, Reg};
+
+    #[test]
+    fn empty_kernel_terminates() {
+        let mut b = ProgramBuilder::new("empty");
+        b.push(Instruction::exit());
+        let launch = Launch::new(b.build()).grid(4).block(128);
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let stats = gpu.run(&launch, &mut NullMechanism);
+        assert!(stats.cycles >= 1);
+        assert_eq!(stats.issued, 16, "16 warps issue one EXIT each");
+    }
+
+    #[test]
+    fn threads_write_their_tids_to_global_memory() {
+        let base = layout::GLOBAL_BASE;
+        let mut b = ProgramBuilder::new("wtid");
+        b.push(Instruction::s2r(Reg(0), lmi_isa::op::SpecialReg::TidX));
+        b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
+        b.push(Instruction::lea64(Reg(6), Reg(4), Reg(0), 2));
+        b.push(Instruction::stg(MemRef::new(Reg(6), 0, 4), Reg(0)));
+        b.push(Instruction::exit());
+        let launch = Launch::new(b.build()).grid(1).block(64).param(base);
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let stats = gpu.run(&launch, &mut NullMechanism);
+        for tid in 0..64u64 {
+            assert_eq!(gpu.memory.read(base + tid * 4, 4), tid, "thread {tid}");
+        }
+        assert_eq!(stats.mem_count(MemSpace::Global), 2, "two warp-level STGs");
+        assert!(stats.transactions >= 2);
+    }
+
+    #[test]
+    fn loop_executes_the_right_number_of_iterations() {
+        // R2 = 0; do { R2++ } while (R2 < 10); store R2.
+        let base = layout::GLOBAL_BASE + 0x1000;
+        let mut b = ProgramBuilder::new("loop");
+        b.push(Instruction::mov(Reg(2), 0));
+        let top = b.label();
+        b.push(Instruction::iadd3(Reg(2), Reg(2), 1));
+        b.push(Instruction::isetp(PredReg(0), Reg(2), CmpOp::Lt, 10));
+        b.branch_if(top, PredReg(0), false);
+        b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
+        b.push(Instruction::stg(MemRef::new(Reg(4), 0, 4), Reg(2)));
+        b.push(Instruction::exit());
+        let launch = Launch::new(b.build()).grid(1).block(32).param(base);
+        let mut gpu = Gpu::new(GpuConfig::small());
+        gpu.run(&launch, &mut NullMechanism);
+        assert_eq!(gpu.memory.read(base, 4), 10);
+    }
+
+    #[test]
+    fn divergent_branch_executes_both_paths() {
+        // if (tid < 16) out[tid] = 1; else out[tid] = 2;
+        let base = layout::GLOBAL_BASE + 0x2000;
+        let mut b = ProgramBuilder::new("div");
+        b.push(Instruction::s2r(Reg(0), lmi_isa::op::SpecialReg::TidX));
+        b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
+        b.push(Instruction::lea64(Reg(6), Reg(4), Reg(0), 2));
+        b.push(Instruction::isetp(PredReg(0), Reg(0), CmpOp::Lt, 16));
+        let taken = b.forward_branch_if(PredReg(0), false);
+        // else path
+        b.push(Instruction::mov(Reg(8), 2));
+        b.push(Instruction::stg(MemRef::new(Reg(6), 0, 4), Reg(8)));
+        b.push(Instruction::exit());
+        b.bind(taken);
+        b.push(Instruction::mov(Reg(8), 1));
+        b.push(Instruction::stg(MemRef::new(Reg(6), 0, 4), Reg(8)));
+        b.push(Instruction::exit());
+        let launch = Launch::new(b.build()).grid(1).block(32).param(base);
+        let mut gpu = Gpu::new(GpuConfig::small());
+        gpu.run(&launch, &mut NullMechanism);
+        for tid in 0..32u64 {
+            let expect = if tid < 16 { 1 } else { 2 };
+            assert_eq!(gpu.memory.read(base + tid * 4, 4), expect, "thread {tid}");
+        }
+    }
+
+    #[test]
+    fn kernel_malloc_returns_distinct_valid_pointers() {
+        let base = layout::GLOBAL_BASE + 0x3000;
+        let mut b = ProgramBuilder::new("km");
+        b.push(Instruction::s2r(Reg(0), lmi_isa::op::SpecialReg::TidX));
+        b.push(Instruction::mov(Reg(1), 64));
+        b.push(Instruction::malloc(Reg(4), Reg(1)));
+        // store a marker through the fresh pointer
+        b.push(Instruction::stg(MemRef::new(Reg(4), 0, 4), Reg(0)));
+        b.push(Instruction::exit());
+        let launch = Launch::new(b.build()).grid(1).block(32).param(base);
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let mut mech = LmiMechanism::default_config();
+        let stats = gpu.run(&launch, &mut mech);
+        assert_eq!(stats.mallocs, 32);
+        assert_eq!(gpu.heap().stats().live, 32);
+        assert!(!stats.violated(), "heap pointers carry valid extents");
+    }
+
+    #[test]
+    fn ocu_poisons_and_ec_faults_an_escaping_pointer() {
+        // p = param0 (256 B buffer); p += 256 (marked); *p = 1 -> fault.
+        let cfg = PtrConfig::default();
+        let buf = lmi_core::DevicePtr::encode(layout::GLOBAL_BASE + 0x10000, 256, &cfg)
+            .unwrap()
+            .raw();
+        let mut b = ProgramBuilder::new("oob");
+        b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
+        b.push(
+            Instruction::iadd64(Reg(4), Reg(4), 256).with_hints(HintBits::check_operand(0)),
+        );
+        b.push(Instruction::mov(Reg(0), 1));
+        b.push(Instruction::stg(MemRef::new(Reg(4), 0, 4), Reg(0)));
+        b.push(Instruction::exit());
+        let launch = Launch::new(b.build()).grid(1).block(1).param(buf);
+        let mut gpu = Gpu::new(GpuConfig::security());
+        let mut mech = LmiMechanism::default_config();
+        let stats = gpu.run(&launch, &mut mech);
+        assert!(stats.violated());
+        assert_eq!(mech.poisoned_count, 1);
+        // The OOB store must not have landed.
+        assert_eq!(gpu.memory.read(layout::GLOBAL_BASE + 0x10000 + 256, 4), 0);
+    }
+
+    #[test]
+    fn delayed_termination_no_fault_without_dereference() {
+        // p += huge (marked) but never dereferenced: no violation (Fig. 14).
+        let cfg = PtrConfig::default();
+        let buf = lmi_core::DevicePtr::encode(layout::GLOBAL_BASE + 0x20000, 256, &cfg)
+            .unwrap()
+            .raw();
+        let mut b = ProgramBuilder::new("fp");
+        b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
+        b.push(
+            Instruction::iadd64(Reg(4), Reg(4), 4096).with_hints(HintBits::check_operand(0)),
+        );
+        b.push(Instruction::exit());
+        let launch = Launch::new(b.build()).grid(1).block(1).param(buf);
+        let mut gpu = Gpu::new(GpuConfig::security());
+        let mut mech = LmiMechanism::default_config();
+        let stats = gpu.run(&launch, &mut mech);
+        assert!(!stats.violated(), "delayed termination: no access, no fault");
+        assert_eq!(mech.poisoned_count, 1, "the pointer was still poisoned");
+    }
+
+    #[test]
+    fn barrier_synchronizes_a_block() {
+        let mut b = ProgramBuilder::new("bar");
+        b.push(Instruction::bar());
+        b.push(Instruction::exit());
+        let launch = Launch::new(b.build()).grid(2).block(128);
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let stats = gpu.run(&launch, &mut NullMechanism);
+        assert!(stats.cycles > 0, "barriers release and the kernel finishes");
+    }
+
+    #[test]
+    fn lmi_overhead_on_pointer_light_kernel_is_negligible() {
+        // A compute-heavy kernel with one marked pointer op per loop.
+        fn build() -> lmi_isa::Program {
+            let mut b = ProgramBuilder::new("compute");
+            b.push(Instruction::mov(Reg(2), 0));
+            b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
+            let top = b.label();
+            for _ in 0..8 {
+                b.push(Instruction::ffma(Reg(8), Reg(8), Reg(9), Reg(10)));
+            }
+            b.push(
+                Instruction::iadd64(Reg(4), Reg(4), 4).with_hints(HintBits::check_operand(0)),
+            );
+            b.push(Instruction::iadd3(Reg(2), Reg(2), 1));
+            b.push(Instruction::isetp(PredReg(0), Reg(2), CmpOp::Lt, 32));
+            b.branch_if(top, PredReg(0), false);
+            b.push(Instruction::exit());
+            b.build()
+        }
+        let cfg = PtrConfig::default();
+        let buf = lmi_core::DevicePtr::encode(layout::GLOBAL_BASE + 0x30000, 4096, &cfg)
+            .unwrap()
+            .raw();
+        let launch = Launch::new(build()).grid(8).block(128).param(buf);
+        let mut base_gpu = Gpu::new(GpuConfig::small());
+        let base = base_gpu.run(&launch, &mut NullMechanism);
+        let mut lmi_gpu = Gpu::new(GpuConfig::small());
+        let lmi = lmi_gpu.run(&launch, &mut LmiMechanism::default_config());
+        let overhead = lmi.cycles as f64 / base.cycles as f64 - 1.0;
+        assert!(overhead < 0.05, "LMI overhead should be small, got {overhead}");
+    }
+}

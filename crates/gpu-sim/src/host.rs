@@ -1,0 +1,217 @@
+//! A CUDA-runtime-shaped host API.
+//!
+//! [`HostContext`] bundles the pieces a host program juggles — the device
+//! memory allocator, the GPU, and the active protection mechanism — behind
+//! `cudaMalloc`/`cudaFree`/launch-shaped calls, so application code reads
+//! like the CUDA programs the paper protects.
+//!
+//! ```
+//! use lmi_sim::host::HostContext;
+//! use lmi_sim::GpuConfig;
+//! use lmi_isa::{Instruction, ProgramBuilder, Reg, MemRef, abi};
+//!
+//! let mut ctx = HostContext::protected(GpuConfig::small());
+//! let buf = ctx.cuda_malloc(4096)?;
+//!
+//! let mut b = ProgramBuilder::new("fill");
+//! b.push(Instruction::s2r(Reg(0), lmi_isa::op::SpecialReg::TidX));
+//! b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
+//! b.push(Instruction::lea64(Reg(6), Reg(4), Reg(0), 2)
+//!     .with_hints(lmi_isa::HintBits::check_operand(0)));
+//! b.push(Instruction::stg(MemRef::new(Reg(6), 0, 4), Reg(0)));
+//! b.push(Instruction::exit());
+//!
+//! let stats = ctx.launch(&b.build(), 1, 64, &[buf]);
+//! assert!(!stats.violated());
+//! assert_eq!(ctx.read(buf, 5 * 4, 4), 5);
+//! ctx.cuda_free(buf)?;
+//! # Ok::<(), lmi_alloc::AllocError>(())
+//! ```
+
+use lmi_alloc::{AlignmentPolicy, AllocError, GlobalAllocator, RssStats};
+use lmi_core::{DevicePtr, PtrConfig};
+use lmi_isa::Program;
+use lmi_mem::layout;
+
+use crate::config::GpuConfig;
+use crate::launch::Launch;
+use crate::mechanism::{LmiMechanism, Mechanism, NullMechanism};
+use crate::stats::SimStats;
+use crate::Gpu;
+
+/// A host-side context: device allocator + GPU + protection mechanism.
+pub struct HostContext {
+    gpu: Gpu,
+    allocator: GlobalAllocator,
+    lmi: Option<LmiMechanism>,
+}
+
+impl HostContext {
+    /// A context with LMI protection enabled end to end: the allocator
+    /// hands out extent-tagged pointers and every launch runs under the
+    /// OCU/EC.
+    pub fn protected(cfg: GpuConfig) -> HostContext {
+        let ptr_cfg = PtrConfig::default();
+        HostContext {
+            gpu: Gpu::with_heap_policy(cfg, AlignmentPolicy::PowerOfTwo),
+            allocator: GlobalAllocator::new(
+                ptr_cfg,
+                AlignmentPolicy::PowerOfTwo,
+                layout::GLOBAL_BASE,
+                4 << 30,
+            ),
+            lmi: Some(LmiMechanism::new(ptr_cfg)),
+        }
+    }
+
+    /// An unprotected context (the evaluation baseline).
+    pub fn unprotected(cfg: GpuConfig) -> HostContext {
+        HostContext {
+            gpu: Gpu::with_heap_policy(cfg, AlignmentPolicy::CudaDefault),
+            allocator: GlobalAllocator::new(
+                PtrConfig::default(),
+                AlignmentPolicy::CudaDefault,
+                layout::GLOBAL_BASE,
+                4 << 30,
+            ),
+            lmi: None,
+        }
+    }
+
+    /// `cudaMalloc`: allocates device global memory; under protection the
+    /// returned pointer carries its extent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AllocError`] (out of memory, size over the limit).
+    pub fn cuda_malloc(&mut self, size: u64) -> Result<u64, AllocError> {
+        self.allocator.alloc(size)
+    }
+
+    /// `cudaFree`: releases an allocation. Mirrors the paper's §V-B
+    /// semantics — the caller's pointer value is dead afterwards (its
+    /// extent would be nullified by the runtime; use the returned raw
+    /// value if you need the nullified form explicitly).
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::InvalidFree`] / [`AllocError::DoubleFree`].
+    pub fn cuda_free(&mut self, ptr: u64) -> Result<u64, AllocError> {
+        self.allocator.free(ptr)?;
+        Ok(lmi_core::invalidate_extent(ptr))
+    }
+
+    /// Launches `program` over `grid` blocks of `block` threads with the
+    /// given parameters; returns the run's statistics.
+    pub fn launch(&mut self, program: &Program, grid: usize, block: usize, params: &[u64]) -> SimStats {
+        let mut launch = Launch::new(program.clone()).grid(grid).block(block);
+        for &p in params {
+            launch = launch.param(p);
+        }
+        match &mut self.lmi {
+            Some(mech) => self.gpu.run(&launch, mech),
+            None => self.gpu.run(&launch, &mut NullMechanism),
+        }
+    }
+
+    /// Launches under a caller-supplied mechanism (for baselines).
+    pub fn launch_with(
+        &mut self,
+        program: &Program,
+        grid: usize,
+        block: usize,
+        params: &[u64],
+        mechanism: &mut dyn Mechanism,
+    ) -> SimStats {
+        let mut launch = Launch::new(program.clone()).grid(grid).block(block);
+        for &p in params {
+            launch = launch.param(p);
+        }
+        self.gpu.run(&launch, mechanism)
+    }
+
+    /// Reads device memory (like `cudaMemcpy` D→H of one word): `offset`
+    /// is relative to the allocation the pointer identifies.
+    pub fn read(&self, ptr: u64, offset: u64, width: u8) -> u64 {
+        self.gpu.memory.read(DevicePtr::from_raw(ptr).addr() + offset, width)
+    }
+
+    /// Writes device memory (like `cudaMemcpy` H→D of one word).
+    pub fn write(&mut self, ptr: u64, offset: u64, value: u64, width: u8) {
+        self.gpu
+            .memory
+            .write(DevicePtr::from_raw(ptr).addr() + offset, value, width);
+    }
+
+    /// Device-memory RSS statistics (the Fig. 4 metric for this context).
+    pub fn memory_stats(&self) -> RssStats {
+        self.allocator.rss()
+    }
+
+    /// Pointers poisoned by the OCU so far (0 for unprotected contexts).
+    pub fn poisoned_count(&self) -> u64 {
+        self.lmi.map(|m| m.poisoned_count).unwrap_or(0)
+    }
+
+    /// The underlying GPU (memory inspection, heap stats).
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmi_isa::{abi, HintBits, Instruction, MemRef, ProgramBuilder, Reg};
+
+    fn fill_kernel() -> Program {
+        let mut b = ProgramBuilder::new("fill");
+        b.push(Instruction::s2r(Reg(0), lmi_isa::op::SpecialReg::TidX));
+        b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
+        b.push(
+            Instruction::lea64(Reg(6), Reg(4), Reg(0), 2).with_hints(HintBits::check_operand(0)),
+        );
+        b.push(Instruction::stg(MemRef::new(Reg(6), 0, 4), Reg(0)));
+        b.push(Instruction::exit());
+        b.build()
+    }
+
+    #[test]
+    fn malloc_launch_read_free_round_trip() {
+        let mut ctx = HostContext::protected(GpuConfig::small());
+        let buf = ctx.cuda_malloc(1024).unwrap();
+        let stats = ctx.launch(&fill_kernel(), 1, 64, &[buf]);
+        assert!(!stats.violated());
+        for tid in 0..64 {
+            assert_eq!(ctx.read(buf, tid * 4, 4), tid);
+        }
+        ctx.cuda_free(buf).unwrap();
+        assert_eq!(ctx.memory_stats().current, 0);
+    }
+
+    #[test]
+    fn stale_pointer_faults_in_a_later_launch() {
+        let mut ctx = HostContext::protected(GpuConfig::security());
+        let buf = ctx.cuda_malloc(1024).unwrap();
+        let stale = ctx.cuda_free(buf).unwrap();
+        let stats = ctx.launch(&fill_kernel(), 1, 32, &[stale]);
+        assert!(stats.violated(), "UAF across launches is caught");
+    }
+
+    #[test]
+    fn unprotected_context_misses_the_same_bug() {
+        let mut ctx = HostContext::unprotected(GpuConfig::security());
+        let buf = ctx.cuda_malloc(1024).unwrap();
+        ctx.cuda_free(buf).unwrap();
+        let stats = ctx.launch(&fill_kernel(), 1, 32, &[buf]);
+        assert!(!stats.violated(), "the baseline is blind to UAF");
+    }
+
+    #[test]
+    fn double_free_reported_at_the_api() {
+        let mut ctx = HostContext::protected(GpuConfig::small());
+        let buf = ctx.cuda_malloc(256).unwrap();
+        ctx.cuda_free(buf).unwrap();
+        assert!(ctx.cuda_free(buf).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Kernel launch descriptors.
+
+use lmi_isa::Program;
+
+/// A kernel launch: program, geometry, and parameters.
+///
+/// Parameters are raw 64-bit values placed in constant bank 0 at
+/// [`lmi_isa::abi::param_offset`]; pointer parameters carry their extent
+/// bits when produced by an LMI allocator.
+#[derive(Debug, Clone)]
+pub struct Launch {
+    /// The kernel.
+    pub program: Program,
+    /// Number of thread blocks.
+    pub grid_blocks: usize,
+    /// Threads per block (rounded up to full warps internally).
+    pub threads_per_block: usize,
+    /// Kernel parameters (8-byte slots).
+    pub params: Vec<u64>,
+    /// Launch phase: a fixed cycle offset added to every warp's dispatch
+    /// time. Measuring at several phases and averaging marginalizes the
+    /// scheduler-resonance sensitivity inherent to deterministic cycle
+    /// simulators.
+    pub phase: u64,
+}
+
+impl Launch {
+    /// A launch of one block of one warp, with no parameters.
+    pub fn new(program: Program) -> Launch {
+        Launch { program, grid_blocks: 1, threads_per_block: 32, params: Vec::new(), phase: 0 }
+    }
+
+    /// Sets the launch phase (warp-dispatch cycle offset).
+    pub fn phase(mut self, phase: u64) -> Launch {
+        self.phase = phase;
+        self
+    }
+
+    /// Sets the grid size (blocks).
+    pub fn grid(mut self, blocks: usize) -> Launch {
+        self.grid_blocks = blocks;
+        self
+    }
+
+    /// Sets the block size (threads).
+    pub fn block(mut self, threads: usize) -> Launch {
+        self.threads_per_block = threads;
+        self
+    }
+
+    /// Appends a parameter.
+    pub fn param(mut self, value: u64) -> Launch {
+        self.params.push(value);
+        self
+    }
+
+    /// Total threads in the launch.
+    pub fn total_threads(&self) -> usize {
+        self.grid_blocks * self.threads_per_block
+    }
+
+    /// Warps per block.
+    pub fn warps_per_block(&self) -> usize {
+        self.threads_per_block.div_ceil(crate::config::WARP_SIZE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmi_isa::{Instruction, ProgramBuilder};
+
+    #[test]
+    fn builder_style_configuration() {
+        let mut b = ProgramBuilder::new("k");
+        b.push(Instruction::exit());
+        let l = Launch::new(b.build()).grid(4).block(96).param(0xABCD);
+        assert_eq!(l.total_threads(), 384);
+        assert_eq!(l.warps_per_block(), 3);
+        assert_eq!(l.params, vec![0xABCD]);
+    }
+}

@@ -1,0 +1,664 @@
+//! The streaming multiprocessor: warp schedulers, issue, and execution.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lmi_alloc::{AllocError, DeviceHeap};
+use lmi_core::error::TemporalKind;
+use lmi_core::ptr::ADDR_MASK;
+use lmi_core::Violation;
+use lmi_isa::op::SpecialReg;
+use lmi_isa::{abi, Instruction, MemSpace, Opcode, OpcodeClass, Operand, Program, Reg};
+use lmi_mem::{layout, MemoryHierarchy, SparseMemory};
+
+use crate::config::{GpuConfig, WARP_SIZE};
+use crate::exec;
+use crate::launch::Launch;
+use crate::lsu::coalesce;
+use crate::mechanism::{MemAccessCtx, Mechanism};
+use crate::stats::{SimStats, ViolationEvent};
+use crate::warp::{LaneMask, Warp};
+
+/// Per-launch context needed to resolve constant-bank reads.
+#[derive(Debug, Clone)]
+pub(crate) struct LaunchCtx {
+    pub params: Vec<u64>,
+    pub stack_bytes: u64,
+    pub threads_per_block: usize,
+}
+
+impl LaunchCtx {
+    fn const_read(&self, block: usize, gtid: u64, offset: u16, width: u8) -> u64 {
+        let value = match offset {
+            abi::STACK_TOP_OFFSET => {
+                layout::local_window_base(gtid, self.stack_bytes) + self.stack_bytes
+            }
+            abi::SHARED_BASE_OFFSET => layout::shared_window_base(block as u64),
+            o if o >= abi::PARAM_BASE_OFFSET => {
+                let index = ((o - abi::PARAM_BASE_OFFSET) / 8) as usize;
+                self.params.get(index).copied().unwrap_or(0)
+            }
+            _ => 0,
+        };
+        if width <= 4 {
+            value & 0xFFFF_FFFF
+        } else {
+            value
+        }
+    }
+}
+
+/// One streaming multiprocessor.
+pub(crate) struct Sm {
+    pub id: usize,
+    program: Arc<Program>,
+    launch: Arc<LaunchCtx>,
+    pub warps: Vec<Warp>,
+    /// Greedy warp per scheduler (GTO: greedy-then-oldest).
+    greedy: Vec<Option<usize>>,
+    /// warps per block resident on this SM (for barrier release).
+    block_warps: HashMap<usize, usize>,
+}
+
+pub(crate) struct StepResources<'a> {
+    pub hierarchy: &'a mut MemoryHierarchy,
+    pub memory: &'a mut SparseMemory,
+    pub heap: &'a DeviceHeap,
+    pub mechanism: &'a mut dyn Mechanism,
+    pub stats: &'a mut SimStats,
+    pub cfg: &'a GpuConfig,
+}
+
+pub(crate) struct StepOutcome {
+    pub issued_any: bool,
+    /// Earliest future cycle at which a stalled warp could issue.
+    pub next_ready: u64,
+}
+
+impl Sm {
+    pub fn new(id: usize, program: Arc<Program>, ctx: Arc<LaunchCtx>) -> Sm {
+        Sm {
+            id,
+            program,
+            launch: ctx,
+            warps: Vec::new(),
+            greedy: Vec::new(),
+            block_warps: HashMap::new(),
+        }
+    }
+
+    /// Adds the warps of block `block` to this SM.
+    pub fn add_block(&mut self, block: usize, launch: &Launch, regs_per_thread: usize) {
+        let warps = launch.warps_per_block();
+        for w in 0..warps {
+            let threads_before = w * WARP_SIZE;
+            let active = (launch.threads_per_block - threads_before).min(WARP_SIZE);
+            let base_tid = (block * launch.threads_per_block + threads_before) as u64;
+            let id = self.warps.len();
+            let mut warp = Warp::new(id, block, base_tid, regs_per_thread, active);
+            // The launch phase selects a different dispatch-stagger pattern,
+            // decorrelating warp/program/memory phase alignment between runs.
+            warp.start_cycle = ((id as u64 + 1) * (7 + launch.phase * 5)) % 31;
+            self.warps.push(warp);
+        }
+        *self.block_warps.entry(block).or_insert(0) += warps;
+    }
+
+    pub fn all_done(&self) -> bool {
+        self.warps.iter().all(|w| w.done)
+    }
+
+    /// One cycle: each scheduler issues at most one instruction (GTO pick).
+    pub fn step(&mut self, now: u64, res: &mut StepResources<'_>) -> StepOutcome {
+        if self.greedy.len() != res.cfg.schedulers_per_sm {
+            self.greedy = vec![None; res.cfg.schedulers_per_sm];
+        }
+        let mut issued_any = false;
+        let mut next_ready = u64::MAX;
+
+        for sched in 0..res.cfg.schedulers_per_sm {
+            let candidates: Vec<usize> = (sched..self.warps.len())
+                .step_by(res.cfg.schedulers_per_sm)
+                .filter(|&w| !self.warps[w].done && !self.warps[w].at_barrier)
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            // GTO: greedy warp first, then oldest.
+            let mut order = candidates.clone();
+            if let Some(g) = self.greedy[sched] {
+                if let Some(pos) = order.iter().position(|&w| w == g) {
+                    order.remove(pos);
+                    order.insert(0, g);
+                }
+            }
+            let mut picked = None;
+            for &w in &order {
+                match self.ready_at(w, res.cfg.lsu_verdict_overlap) {
+                    r if r <= now => {
+                        picked = Some(w);
+                        break;
+                    }
+                    r => next_ready = next_ready.min(r),
+                }
+            }
+            match picked {
+                Some(w) => {
+                    self.issue(w, now, res);
+                    self.greedy[sched] = Some(w);
+                    issued_any = true;
+                    // The warp can issue again next cycle (in-order).
+                    next_ready = next_ready.min(now + 1);
+                }
+                None => {
+                    res.stats.idle_scheduler_cycles += 1;
+                }
+            }
+        }
+
+        self.release_barriers();
+        StepOutcome { issued_any, next_ready }
+    }
+
+    /// Earliest cycle at which warp `w`'s next instruction can issue.
+    fn ready_at(&self, w: usize, verdict_overlap: u32) -> u64 {
+        let warp = &self.warps[w];
+        let ins = match self.program.instructions.get(warp.pc) {
+            Some(i) => i,
+            None => return u64::MAX, // fell off the program: treated as exit at issue
+        };
+        let mut ready = warp.start_cycle;
+        for r in ins.source_regs() {
+            ready = ready.max(warp.ready_at(r));
+        }
+        if ins.opcode.is_mem() && ins.opcode != Opcode::Ldc {
+            // The LSU's EC consumes the final (possibly poisoned) extent, so
+            // it must wait for the OCU verdict on the address registers.
+            if let Some(mem) = &ins.mem {
+                let mut verdict = warp.verdict_at(mem.addr);
+                if mem.addr.is_valid_pair_base() {
+                    verdict = verdict.max(warp.verdict_at(mem.addr.pair_high()));
+                }
+                ready = ready.max(verdict.saturating_sub(verdict_overlap as u64));
+            }
+        }
+        if let Some(p) = &ins.pred {
+            ready = ready.max(warp.pred_ready_at(p.reg));
+        }
+        if ins.opcode == Opcode::Isetp {
+            // WAW on the destination predicate.
+            ready = ready.max(warp.pred_ready_at(lmi_isa::PredReg(ins.dst.0 & 7)));
+        }
+        ready
+    }
+
+    fn issue(&mut self, w: usize, now: u64, res: &mut StepResources<'_>) {
+        let warp = &mut self.warps[w];
+        let ins = match self.program.instructions.get(warp.pc).cloned() {
+            Some(i) => i,
+            None => {
+                warp.retire_lanes(warp.mask);
+                return;
+            }
+        };
+        warp.last_issue = now;
+        res.stats.issued += 1;
+        match ins.opcode.class() {
+            OpcodeClass::IntAlu => res.stats.int_issued += 1,
+            OpcodeClass::Fpu => res.stats.fpu_issued += 1,
+            _ => {}
+        }
+        if ins.hints.activate {
+            res.stats.marked_issued += 1;
+        }
+
+        // Per-lane guard predicate.
+        let exec_mask: LaneMask = warp
+            .active_lanes()
+            .filter(|&l| match &ins.pred {
+                Some(p) => warp.read_pred(l, p.reg) != p.negated,
+                None => true,
+            })
+            .fold(0, |m, l| m | (1 << l));
+
+        match ins.opcode {
+            Opcode::Exit => {
+                let mask = if exec_mask == 0 { 0 } else { exec_mask };
+                if mask == 0 {
+                    warp.pc += 1;
+                } else {
+                    warp.retire_lanes(mask);
+                }
+            }
+            Opcode::Nop => warp.pc += 1,
+            Opcode::Bar => {
+                warp.at_barrier = true;
+                warp.pc += 1;
+            }
+            Opcode::Bra => {
+                let target = match ins.srcs[0] {
+                    Operand::Imm(t) => t.max(0) as usize,
+                    _ => warp.pc + 1,
+                };
+                let active = warp.mask;
+                if exec_mask == 0 {
+                    warp.pc += 1;
+                } else if exec_mask == active {
+                    warp.pc = target;
+                } else {
+                    // Divergence: suspend the fall-through lanes.
+                    warp.stack.push((active & !exec_mask, warp.pc + 1));
+                    warp.mask = exec_mask;
+                    warp.pc = target;
+                }
+            }
+            Opcode::S2r => {
+                let sel = match ins.srcs[0] {
+                    Operand::Imm(v) => v as i64,
+                    _ => 0,
+                };
+                let special = SpecialReg::from_selector(sel).unwrap_or(SpecialReg::TidX);
+                let tpb = self.launch.threads_per_block as u64;
+                let lanes: Vec<usize> = warp.active_lanes().collect();
+                for l in lanes {
+                    if exec_mask & (1 << l) == 0 {
+                        continue;
+                    }
+                    let gtid = warp.base_tid + l as u64;
+                    let v = match special {
+                        SpecialReg::TidX => gtid % tpb,
+                        SpecialReg::CtaIdX => gtid / tpb,
+                        SpecialReg::NtidX => tpb,
+                        SpecialReg::LaneId => l as u64,
+                        SpecialReg::WarpId => warp.id as u64,
+                    };
+                    warp.write(l, ins.dst, v as u32);
+                }
+                warp.set_ready_at(ins.dst, now + 2);
+                warp.pc += 1;
+            }
+            Opcode::Isetp => {
+                let pred = lmi_isa::PredReg(ins.dst.0 & 7);
+                let cmp = match ins.srcs[2] {
+                    Operand::Imm(v) => lmi_isa::instr::CmpOp::decode(v)
+                        .unwrap_or(lmi_isa::instr::CmpOp::Eq),
+                    _ => lmi_isa::instr::CmpOp::Eq,
+                };
+                let lanes: Vec<usize> = warp.active_lanes().collect();
+                for l in lanes {
+                    if exec_mask & (1 << l) == 0 {
+                        continue;
+                    }
+                    let a = self.fetch32(w, l, &ins.srcs[0]) as i32 as i64;
+                    let b = self.fetch32(w, l, &ins.srcs[1]) as i32 as i64;
+                    let warp = &mut self.warps[w];
+                    warp.write_pred(l, pred, cmp.eval(a, b));
+                }
+                let warp = &mut self.warps[w];
+                warp.set_pred_ready_at(pred, now + 2);
+                warp.pc += 1;
+            }
+            Opcode::Malloc | Opcode::Free => {
+                self.issue_heap_call(w, &ins, exec_mask, now, res);
+            }
+            op if op.class() == OpcodeClass::IntAlu => {
+                self.issue_int(w, &ins, exec_mask, now, res);
+            }
+            op if op.class() == OpcodeClass::Fpu => {
+                let lanes: Vec<usize> = self.warps[w].active_lanes().collect();
+                for l in lanes {
+                    if exec_mask & (1 << l) == 0 {
+                        continue;
+                    }
+                    let a = self.fetch32(w, l, &ins.srcs[0]);
+                    let b = self.fetch32(w, l, &ins.srcs[1]);
+                    let c = self.fetch32(w, l, &ins.srcs[2]);
+                    let v = exec::fpu(ins.opcode, a, b, c);
+                    self.warps[w].write(l, ins.dst, v);
+                }
+                let lat = if ins.opcode == Opcode::Mufu {
+                    res.cfg.fpu_latency * 2
+                } else {
+                    res.cfg.fpu_latency
+                };
+                let warp = &mut self.warps[w];
+                warp.set_ready_at(ins.dst, now + lat as u64);
+                warp.pc += 1;
+            }
+            op if op.is_mem() => {
+                self.issue_mem(w, &ins, exec_mask, now, res);
+            }
+            other => panic!("unhandled opcode {other}"),
+        }
+    }
+
+    fn fetch32(&self, w: usize, lane: usize, src: &Operand) -> u32 {
+        let warp = &self.warps[w];
+        match src {
+            Operand::None => 0,
+            Operand::Reg(r) => warp.read(lane, *r),
+            Operand::Imm(v) => *v as u32,
+            Operand::Const { offset, .. } => {
+                self.launch.const_read(warp.block, warp.base_tid + lane as u64, *offset, 4) as u32
+            }
+        }
+    }
+
+    fn fetch64(&self, w: usize, lane: usize, src: &Operand) -> u64 {
+        let warp = &self.warps[w];
+        match src {
+            Operand::None => 0,
+            Operand::Reg(r) => warp.read64(lane, *r),
+            Operand::Imm(v) => *v as i64 as u64,
+            Operand::Const { offset, .. } => {
+                self.launch.const_read(warp.block, warp.base_tid + lane as u64, *offset, 8)
+            }
+        }
+    }
+
+    fn issue_int(
+        &mut self,
+        w: usize,
+        ins: &Instruction,
+        exec_mask: LaneMask,
+        now: u64,
+        res: &mut StepResources<'_>,
+    ) {
+        let wide = ins.opcode.is_wide();
+        let lanes: Vec<usize> = self.warps[w].active_lanes().collect();
+        let mut extra_delay = 0u32;
+        for l in lanes {
+            if exec_mask & (1 << l) == 0 {
+                continue;
+            }
+            if wide {
+                let a = self.fetch64(w, l, &ins.srcs[0]);
+                let b = self.fetch64(w, l, &ins.srcs[1]);
+                let c = match ins.srcs[2] {
+                    Operand::Imm(v) => v as u64,
+                    ref other => self.fetch64(w, l, other),
+                };
+                let mut v = exec::alu64(ins.opcode, a, b, c);
+                if ins.hints.activate {
+                    let input = if ins.hints.select == 0 { a } else { b };
+                    let check = res.mechanism.on_marked_int(input, v);
+                    v = check.value;
+                    extra_delay = extra_delay.max(res.mechanism.marked_int_delay());
+                }
+                self.warps[w].write64(l, ins.dst, v);
+            } else {
+                let a = self.fetch32(w, l, &ins.srcs[0]);
+                let b = self.fetch32(w, l, &ins.srcs[1]);
+                let c = self.fetch32(w, l, &ins.srcs[2]);
+                let v = exec::alu32(ins.opcode, a, b, c);
+                // 32-bit marked ops (hand-written programs) check the low
+                // word only — the compiler marks wide ops exclusively, so
+                // the OCU path above is the one that matters.
+                self.warps[w].write(l, ins.dst, v);
+            }
+        }
+        let warp = &mut self.warps[w];
+        let done_at = now + res.cfg.int_latency as u64;
+        let verdict_at = done_at + extra_delay as u64;
+        warp.set_ready_at(ins.dst, done_at);
+        warp.set_verdict_at(ins.dst, verdict_at);
+        if wide && ins.dst.is_valid_pair_base() {
+            warp.set_ready_at(ins.dst.pair_high(), done_at);
+            warp.set_verdict_at(ins.dst.pair_high(), verdict_at);
+        }
+        warp.pc += 1;
+    }
+
+    fn issue_heap_call(
+        &mut self,
+        w: usize,
+        ins: &Instruction,
+        exec_mask: LaneMask,
+        now: u64,
+        res: &mut StepResources<'_>,
+    ) {
+        let lanes: Vec<usize> = self.warps[w].active_lanes().collect();
+        let mut violation = None;
+        for l in lanes {
+            if exec_mask & (1 << l) == 0 {
+                continue;
+            }
+            let gtid = self.warps[w].base_tid + l as u64;
+            match ins.opcode {
+                Opcode::Malloc => {
+                    let size = self.fetch32(w, l, &ins.srcs[0]) as u64;
+                    let ptr = res.heap.malloc(gtid as usize, size).unwrap_or(0);
+                    self.warps[w].write64(l, ins.dst, ptr);
+                    res.stats.mallocs += 1;
+                }
+                Opcode::Free => {
+                    let raw = self.fetch64(w, l, &ins.srcs[0]);
+                    res.stats.frees += 1;
+                    if let Err(e) = res.heap.free(raw) {
+                        let kind = match e {
+                            AllocError::DoubleFree(_) => TemporalKind::DoubleFree,
+                            _ => TemporalKind::InvalidFree,
+                        };
+                        violation = Some((l, Violation::Temporal(kind)));
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        let warp = &mut self.warps[w];
+        if ins.opcode == Opcode::Malloc {
+            let done_at = now + res.cfg.heap_call_latency as u64;
+            warp.set_ready_at(ins.dst, done_at);
+            if ins.dst.is_valid_pair_base() {
+                warp.set_ready_at(ins.dst.pair_high(), done_at);
+            }
+        }
+        warp.pc += 1;
+        if let Some((lane, v)) = violation {
+            let event = ViolationEvent {
+                sm: self.id,
+                warp: w,
+                pc: warp.pc - 1,
+                global_tid: warp.base_tid + lane as u64,
+                violation: v,
+            };
+            res.stats.violations.push(event);
+            if res.cfg.halt_on_violation {
+                warp.stack.clear();
+                warp.retire_lanes(warp.mask);
+            }
+        }
+    }
+
+    fn issue_mem(
+        &mut self,
+        w: usize,
+        ins: &Instruction,
+        exec_mask: LaneMask,
+        now: u64,
+        res: &mut StepResources<'_>,
+    ) {
+        let mem = ins.mem.expect("memory instruction carries a MemRef");
+        let space = ins.opcode.mem_space().unwrap_or(MemSpace::Global);
+        res.stats.record_mem(space);
+
+        // Constant loads resolve against the launch context.
+        if ins.opcode == Opcode::Ldc {
+            let lanes: Vec<usize> = self.warps[w].active_lanes().collect();
+            for l in lanes {
+                if exec_mask & (1 << l) == 0 {
+                    continue;
+                }
+                let warp = &self.warps[w];
+                let v = self.launch.const_read(
+                    warp.block,
+                    warp.base_tid + l as u64,
+                    mem.offset as u16,
+                    mem.width,
+                );
+                let warp = &mut self.warps[w];
+                if mem.width == 8 {
+                    warp.write64(l, ins.dst, v);
+                } else {
+                    warp.write(l, ins.dst, v as u32);
+                }
+            }
+            let warp = &mut self.warps[w];
+            let done_at = now + res.cfg.const_latency as u64;
+            warp.set_ready_at(ins.dst, done_at);
+            if mem.width == 8 && ins.dst.is_valid_pair_base() {
+                warp.set_ready_at(ins.dst.pair_high(), done_at);
+            }
+            warp.pc += 1;
+            return;
+        }
+
+        // Per-lane address computation and mechanism check.
+        let lanes: Vec<usize> = self.warps[w].active_lanes().collect();
+        let mut ok_lanes: Vec<(usize, u64)> = Vec::with_capacity(lanes.len());
+        let mut faulted = false;
+        let mut extra_cycles = 0u32;
+        let mut metadata_addrs: Vec<u64> = Vec::new();
+        for l in lanes {
+            if exec_mask & (1 << l) == 0 {
+                continue;
+            }
+            let warp = &self.warps[w];
+            let raw = warp.read64(l, mem.addr).wrapping_add(mem.offset as i64 as u64);
+            let vaddr = raw & ADDR_MASK;
+            let ctx = MemAccessCtx {
+                space,
+                raw,
+                vaddr,
+                width: mem.width,
+                is_store: ins.opcode.is_store(),
+                global_tid: warp.base_tid + l as u64,
+            };
+            let check = res.mechanism.on_mem_access(&ctx);
+            extra_cycles = extra_cycles.max(check.extra_cycles);
+            if let Some(addr) = check.metadata_addr {
+                metadata_addrs.push(addr);
+            }
+            match check.violation {
+                Some(v) => {
+                    faulted = true;
+                    res.stats.violations.push(ViolationEvent {
+                        sm: self.id,
+                        warp: w,
+                        pc: self.warps[w].pc,
+                        global_tid: ctx.global_tid,
+                        violation: v,
+                    });
+                }
+                None => ok_lanes.push((l, vaddr)),
+            }
+        }
+
+        if faulted && res.cfg.halt_on_violation {
+            let warp = &mut self.warps[w];
+            warp.stack.clear();
+            warp.retire_lanes(warp.mask);
+            return;
+        }
+
+        // Timing: mechanism metadata fetches complete FIRST (bounds must be
+        // known before the access may issue — check-before-access), then the
+        // coalesced transactions (or the fixed shared-memory path).
+        metadata_addrs.sort_unstable();
+        metadata_addrs.dedup();
+        let mut access_start = now;
+        for addr in &metadata_addrs {
+            access_start = access_start.max(res.hierarchy.metadata_fetch(*addr, now));
+        }
+        let now = access_start;
+        let mut done_at = now;
+        if space == MemSpace::Shared {
+            done_at = res.hierarchy.access_shared(now);
+            res.stats.transactions += 1;
+        } else {
+            // Local memory is physically interleaved per lane (like real
+            // GPUs), so a warp spilling the same stack offset coalesces to
+            // one transaction; timing addresses reflect that layout.
+            let stack_bytes = res.cfg.stack_bytes;
+            let warp_base = self.warps[w].base_tid;
+            let timing_addr = |lane: usize, vaddr: u64| -> u64 {
+                if space != MemSpace::Local {
+                    return vaddr;
+                }
+                let gtid = warp_base + lane as u64;
+                let window = lmi_mem::layout::local_window_base(gtid, stack_bytes);
+                let offset = vaddr.wrapping_sub(window);
+                if offset >= stack_bytes {
+                    return vaddr; // escaped the window: keep the flat address
+                }
+                lmi_mem::layout::LOCAL_BASE + (warp_base * stack_bytes) + offset * 32
+                    + lane as u64 * 4
+            };
+            let lines = coalesce(
+                ok_lanes.iter().map(|&(l, a)| timing_addr(l, a)),
+                res.cfg.hierarchy.l1.line_bytes,
+            );
+            res.stats.transactions += lines.len() as u64;
+            for line in lines {
+                done_at = done_at.max(res.hierarchy.access_dram_backed(self.id, line, now));
+            }
+        }
+        done_at += extra_cycles as u64;
+
+        // Data movement.
+        if ins.opcode.is_store() {
+            let value_reg = match ins.srcs[0] {
+                Operand::Reg(r) => r,
+                _ => Reg::RZ,
+            };
+            for &(l, vaddr) in &ok_lanes {
+                let v = if mem.width == 8 {
+                    self.warps[w].read64(l, value_reg)
+                } else {
+                    self.warps[w].read(l, value_reg) as u64
+                };
+                res.memory.write(vaddr, v, mem.width);
+            }
+        } else {
+            for &(l, vaddr) in &ok_lanes {
+                let v = res.memory.read(vaddr, mem.width);
+                let warp = &mut self.warps[w];
+                if mem.width == 8 {
+                    warp.write64(l, ins.dst, v);
+                } else {
+                    warp.write(l, ins.dst, v as u32);
+                }
+            }
+            let warp = &mut self.warps[w];
+            warp.set_ready_at(ins.dst, done_at);
+            if mem.width == 8 && ins.dst.is_valid_pair_base() {
+                warp.set_ready_at(ins.dst.pair_high(), done_at);
+            }
+        }
+        self.warps[w].pc += 1;
+    }
+
+    fn release_barriers(&mut self) {
+        let mut waiting: HashMap<usize, usize> = HashMap::new();
+        for warp in &self.warps {
+            if warp.at_barrier {
+                *waiting.entry(warp.block).or_insert(0) += 1;
+            }
+        }
+        for (block, count) in waiting {
+            let resident = self.block_warps.get(&block).copied().unwrap_or(0);
+            let done = self
+                .warps
+                .iter()
+                .filter(|w| w.block == block && w.done)
+                .count();
+            if count + done >= resident {
+                for warp in &mut self.warps {
+                    if warp.block == block {
+                        warp.at_barrier = false;
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Simulation statistics.
+
+use std::collections::BTreeMap;
+
+use lmi_core::Violation;
+use lmi_isa::MemSpace;
+
+/// A recorded memory-safety violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViolationEvent {
+    /// SM where the fault occurred.
+    pub sm: usize,
+    /// Warp id within the SM.
+    pub warp: usize,
+    /// Program counter of the faulting instruction.
+    pub pc: usize,
+    /// Flat global thread id of the faulting lane.
+    pub global_tid: u64,
+    /// The violation.
+    pub violation: Violation,
+}
+
+/// Aggregate statistics of one kernel run.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Total cycles until the last warp retired.
+    pub cycles: u64,
+    /// Warp-level instructions issued.
+    pub issued: u64,
+    /// Integer-ALU instructions issued.
+    pub int_issued: u64,
+    /// FPU instructions issued.
+    pub fpu_issued: u64,
+    /// Hint-marked (OCU-checked) instructions issued.
+    pub marked_issued: u64,
+    /// Warp-level loads/stores per memory space.
+    pub mem_by_space: BTreeMap<&'static str, u64>,
+    /// Coalesced memory transactions issued.
+    pub transactions: u64,
+    /// Device-heap `malloc` calls executed (thread-level).
+    pub mallocs: u64,
+    /// Device-heap `free` calls executed (thread-level).
+    pub frees: u64,
+    /// Cycles a scheduler found no ready warp.
+    pub idle_scheduler_cycles: u64,
+    /// Detected violations.
+    pub violations: Vec<ViolationEvent>,
+}
+
+impl SimStats {
+    pub(crate) fn record_mem(&mut self, space: MemSpace) {
+        let key = match space {
+            MemSpace::Global => "global",
+            MemSpace::Shared => "shared",
+            MemSpace::Local => "local",
+            MemSpace::Const => "const",
+        };
+        *self.mem_by_space.entry(key).or_insert(0) += 1;
+    }
+
+    /// Warp-level loads/stores to `space` (Fig. 1's LDG/STG vs LDS/STS vs
+    /// LDL/STL classification).
+    pub fn mem_count(&self, space: MemSpace) -> u64 {
+        let key = match space {
+            MemSpace::Global => "global",
+            MemSpace::Shared => "shared",
+            MemSpace::Local => "local",
+            MemSpace::Const => "const",
+        };
+        self.mem_by_space.get(key).copied().unwrap_or(0)
+    }
+
+    /// Total loads/stores to attack-relevant spaces (global+shared+local).
+    pub fn mem_total(&self) -> u64 {
+        self.mem_count(MemSpace::Global)
+            + self.mem_count(MemSpace::Shared)
+            + self.mem_count(MemSpace::Local)
+    }
+
+    /// Fraction of memory instructions targeting `space` (Fig. 1).
+    pub fn mem_ratio(&self, space: MemSpace) -> f64 {
+        let total = self.mem_total();
+        if total == 0 {
+            0.0
+        } else {
+            self.mem_count(space) as f64 / total as f64
+        }
+    }
+
+    /// Returns `true` if any violation was recorded.
+    pub fn violated(&self) -> bool {
+        !self.violations.is_empty()
+    }
+
+    /// Warp-level instructions per cycle (the schedulers' utilization).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.issued as f64 / self.cycles as f64
+        }
+    }
+}
+
+impl std::fmt::Display for SimStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "cycles            {:>12}", self.cycles)?;
+        writeln!(f, "issued (warp)     {:>12}  (IPC {:.2})", self.issued, self.ipc())?;
+        writeln!(f, "  int alu         {:>12}", self.int_issued)?;
+        writeln!(f, "  fpu             {:>12}", self.fpu_issued)?;
+        writeln!(f, "  marked (OCU)    {:>12}", self.marked_issued)?;
+        writeln!(
+            f,
+            "mem (G/S/L)       {:>12}  {} / {} / {}",
+            self.mem_total(),
+            self.mem_count(lmi_isa::MemSpace::Global),
+            self.mem_count(lmi_isa::MemSpace::Shared),
+            self.mem_count(lmi_isa::MemSpace::Local)
+        )?;
+        writeln!(f, "transactions      {:>12}", self.transactions)?;
+        writeln!(f, "heap malloc/free  {:>12}  / {}", self.mallocs, self.frees)?;
+        write!(f, "violations        {:>12}", self.violations.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_ratios_sum_to_one_over_protected_spaces() {
+        let mut s = SimStats::default();
+        for _ in 0..6 {
+            s.record_mem(MemSpace::Global);
+        }
+        for _ in 0..3 {
+            s.record_mem(MemSpace::Shared);
+        }
+        s.record_mem(MemSpace::Local);
+        assert_eq!(s.mem_total(), 10);
+        let sum = s.mem_ratio(MemSpace::Global)
+            + s.mem_ratio(MemSpace::Shared)
+            + s.mem_ratio(MemSpace::Local);
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((s.mem_ratio(MemSpace::Global) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn const_accesses_do_not_skew_fig1_ratios() {
+        let mut s = SimStats::default();
+        s.record_mem(MemSpace::Const);
+        s.record_mem(MemSpace::Global);
+        assert_eq!(s.mem_total(), 1);
+        assert_eq!(s.mem_ratio(MemSpace::Global), 1.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! SIMT divergence tests: per-lane control flow must execute each lane's
+//! path exactly once, including nested and loop-carried divergence.
+
+use lmi_isa::instr::CmpOp;
+use lmi_isa::op::SpecialReg;
+use lmi_isa::reg::PredReg;
+use lmi_isa::{abi, Instruction, MemRef, ProgramBuilder, Reg};
+use lmi_mem::layout;
+use lmi_sim::{Gpu, GpuConfig, Launch, NullMechanism};
+
+const BUF: u64 = layout::GLOBAL_BASE + 0x50000;
+
+fn run(program: lmi_isa::Program, threads: usize) -> Gpu {
+    let launch = Launch::new(program).grid(1).block(threads).param(BUF);
+    let mut gpu = Gpu::new(GpuConfig::small());
+    let stats = gpu.run(&launch, &mut NullMechanism);
+    assert!(!stats.violated());
+    gpu
+}
+
+fn out(gpu: &Gpu, tid: u64) -> u64 {
+    gpu.memory.read(BUF + tid * 4, 4)
+}
+
+/// Nested two-level divergence: four lane groups take four different paths.
+#[test]
+fn nested_divergence_routes_every_lane() {
+    // v = (tid < 16 ? (tid < 8 ? 1 : 2) : (tid < 24 ? 3 : 4)); out[tid] = v;
+    let mut b = ProgramBuilder::new("nested");
+    b.push(Instruction::s2r(Reg(0), SpecialReg::TidX));
+    b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
+    b.push(Instruction::lea64(Reg(6), Reg(4), Reg(0), 2));
+    b.push(Instruction::isetp(PredReg(0), Reg(0), CmpOp::Lt, 16));
+    let outer_then = b.forward_branch_if(PredReg(0), false);
+
+    // outer else: tid >= 16
+    b.push(Instruction::isetp(PredReg(1), Reg(0), CmpOp::Lt, 24));
+    let inner2_then = b.forward_branch_if(PredReg(1), false);
+    b.push(Instruction::mov(Reg(8), 4));
+    b.push(Instruction::stg(MemRef::new(Reg(6), 0, 4), Reg(8)));
+    b.push(Instruction::exit());
+    b.bind(inner2_then);
+    b.push(Instruction::mov(Reg(8), 3));
+    b.push(Instruction::stg(MemRef::new(Reg(6), 0, 4), Reg(8)));
+    b.push(Instruction::exit());
+
+    // outer then: tid < 16
+    b.bind(outer_then);
+    b.push(Instruction::isetp(PredReg(2), Reg(0), CmpOp::Lt, 8));
+    let inner1_then = b.forward_branch_if(PredReg(2), false);
+    b.push(Instruction::mov(Reg(8), 2));
+    b.push(Instruction::stg(MemRef::new(Reg(6), 0, 4), Reg(8)));
+    b.push(Instruction::exit());
+    b.bind(inner1_then);
+    b.push(Instruction::mov(Reg(8), 1));
+    b.push(Instruction::stg(MemRef::new(Reg(6), 0, 4), Reg(8)));
+    b.push(Instruction::exit());
+
+    let gpu = run(b.build(), 32);
+    for tid in 0..32u64 {
+        let expect = if tid < 8 {
+            1
+        } else if tid < 16 {
+            2
+        } else if tid < 24 {
+            3
+        } else {
+            4
+        };
+        assert_eq!(out(&gpu, tid), expect, "tid {tid}");
+    }
+}
+
+/// Loop-carried divergence: each lane iterates `tid + 1` times.
+#[test]
+fn per_lane_trip_counts() {
+    // c = 0; do { c++ } while (c < tid + 1); out[tid] = c;
+    let mut b = ProgramBuilder::new("trips");
+    b.push(Instruction::s2r(Reg(0), SpecialReg::TidX));
+    b.push(Instruction::iadd3(Reg(1), Reg(0), 1)); // bound = tid + 1
+    b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
+    b.push(Instruction::lea64(Reg(6), Reg(4), Reg(0), 2));
+    b.push(Instruction::mov(Reg(2), 0));
+    let top = b.label();
+    b.push(Instruction::iadd3(Reg(2), Reg(2), 1));
+    b.push(Instruction::isetp(PredReg(0), Reg(2), CmpOp::Lt, Reg(1)));
+    b.branch_if(top, PredReg(0), false);
+    b.push(Instruction::stg(MemRef::new(Reg(6), 0, 4), Reg(2)));
+    b.push(Instruction::exit());
+
+    let gpu = run(b.build(), 32);
+    for tid in 0..32u64 {
+        assert_eq!(out(&gpu, tid), tid + 1, "tid {tid}");
+    }
+}
+
+/// A fully-taken branch must not push a divergence context (no phantom
+/// re-execution of the fall-through path).
+#[test]
+fn uniform_branches_do_not_duplicate_work() {
+    let mut b = ProgramBuilder::new("uniform");
+    b.push(Instruction::s2r(Reg(0), SpecialReg::TidX));
+    b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
+    b.push(Instruction::lea64(Reg(6), Reg(4), Reg(0), 2));
+    b.push(Instruction::isetp(PredReg(0), Reg(0), CmpOp::Ge, 0)); // always true
+    let taken = b.forward_branch_if(PredReg(0), false);
+    // Fall-through (never executes): would write 99.
+    b.push(Instruction::mov(Reg(8), 99));
+    b.push(Instruction::stg(MemRef::new(Reg(6), 0, 4), Reg(8)));
+    b.push(Instruction::exit());
+    b.bind(taken);
+    // Taken path increments out[tid] so double-execution would show.
+    b.push(Instruction::ldg(Reg(9), MemRef::new(Reg(6), 0, 4)));
+    b.push(Instruction::iadd3(Reg(9), Reg(9), 1));
+    b.push(Instruction::stg(MemRef::new(Reg(6), 0, 4), Reg(9)));
+    b.push(Instruction::exit());
+
+    let gpu = run(b.build(), 32);
+    for tid in 0..32u64 {
+        assert_eq!(out(&gpu, tid), 1, "tid {tid} executed the taken path once");
+    }
+}
+
+/// Predicated-off memory operations must not touch memory.
+#[test]
+fn predicated_stores_respect_the_mask() {
+    let mut b = ProgramBuilder::new("pred");
+    b.push(Instruction::s2r(Reg(0), SpecialReg::TidX));
+    b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
+    b.push(Instruction::lea64(Reg(6), Reg(4), Reg(0), 2));
+    b.push(Instruction::mov(Reg(8), 7));
+    b.push(Instruction::isetp(PredReg(0), Reg(0), CmpOp::Lt, 10));
+    b.push(
+        Instruction::stg(MemRef::new(Reg(6), 0, 4), Reg(8))
+            .with_pred(lmi_isa::Predicate { reg: PredReg(0), negated: false }),
+    );
+    b.push(Instruction::exit());
+
+    let gpu = run(b.build(), 32);
+    for tid in 0..32u64 {
+        let expect = if tid < 10 { 7 } else { 0 };
+        assert_eq!(out(&gpu, tid), expect, "tid {tid}");
+    }
+}

@@ -1,0 +1,545 @@
+//! The 38 violation test cases of paper Table III (reconstructed from the
+//! cuCatch methodology, §IX).
+//!
+//! Each case is a function over [`Defense`]; it stages the allocations,
+//! performs the attack, and reports whether the mechanism protected against
+//! it. Attacks are expressed as *reaching a victim object*, with the delta
+//! computed under the defense's own memory layout — an aligned allocator
+//! moves the victim out of the attacker's power-of-two region, a shadow-tag
+//! tool leaves the layout untouched.
+
+use crate::defense::{overrun, poke, victim_delta, Defense, Outcome, Region};
+
+/// Table III row classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CaseClass {
+    /// Global-memory out-of-bounds.
+    GlobalOob,
+    /// Device-heap out-of-bounds.
+    HeapOob,
+    /// Local (stack) out-of-bounds.
+    LocalOob,
+    /// Shared-memory out-of-bounds.
+    SharedOob,
+    /// Intra-object (field-to-field) out-of-bounds.
+    IntraOob,
+    /// Use-after-free.
+    Uaf,
+    /// Use-after-scope.
+    Uas,
+    /// Invalid free.
+    InvalidFree,
+    /// Double free.
+    DoubleFree,
+}
+
+impl CaseClass {
+    /// Returns `true` for the spatial categories.
+    pub fn is_spatial(self) -> bool {
+        matches!(
+            self,
+            CaseClass::GlobalOob
+                | CaseClass::HeapOob
+                | CaseClass::LocalOob
+                | CaseClass::SharedOob
+                | CaseClass::IntraOob
+        )
+    }
+
+    /// Table III row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CaseClass::GlobalOob => "Global OoB",
+            CaseClass::HeapOob => "Heap OoB",
+            CaseClass::LocalOob => "Local OoB",
+            CaseClass::SharedOob => "Shared OoB",
+            CaseClass::IntraOob => "Intra OoB",
+            CaseClass::Uaf => "UAF",
+            CaseClass::Uas => "UAS",
+            CaseClass::InvalidFree => "Invalid free",
+            CaseClass::DoubleFree => "Double free",
+        }
+    }
+}
+
+/// A violation test case.
+pub struct Case {
+    /// Case identifier.
+    pub name: &'static str,
+    /// Table III row.
+    pub class: CaseClass,
+    /// Runs the case; returns `true` if the defense protected against it.
+    pub run: fn(&mut dyn Defense) -> bool,
+}
+
+fn detected(outcome: Outcome, d: &mut dyn Defense) -> bool {
+    outcome.faulted() || d.sync_scan()
+}
+
+// ---- spatial: global (2) --------------------------------------------------
+
+fn g1_adjacent_overflow(d: &mut dyn Defense) -> bool {
+    let a = d.alloc(Region::Global, 1024);
+    let v = d.alloc(Region::Global, 1024);
+    let delta = victim_delta(d, a, v);
+    let p = d.ptr_to(a);
+    let out = overrun(d, p, 1024, delta);
+    detected(out, d)
+}
+
+fn g2_nonadjacent_write(d: &mut dyn Defense) -> bool {
+    let a = d.alloc(Region::Global, 1024);
+    let _spacer = d.alloc(Region::Global, 4096);
+    let v = d.alloc(Region::Global, 1024);
+    let delta = victim_delta(d, a, v);
+    let p = d.ptr_to(a);
+    let out = poke(d, p, delta);
+    detected(out, d)
+}
+
+// ---- spatial: heap (3) ----------------------------------------------------
+
+fn h1_adjacent_overflow(d: &mut dyn Defense) -> bool {
+    let a = d.alloc(Region::Heap, 1024);
+    let v = d.alloc(Region::Heap, 1024);
+    let delta = victim_delta(d, a, v);
+    let p = d.ptr_to(a);
+    let out = overrun(d, p, 1024, delta);
+    detected(out, d)
+}
+
+fn h2_nonadjacent_write(d: &mut dyn Defense) -> bool {
+    let a = d.alloc(Region::Heap, 1024);
+    let _spacer = d.alloc(Region::Heap, 8192);
+    let v = d.alloc(Region::Heap, 1024);
+    let delta = victim_delta(d, a, v);
+    let p = d.ptr_to(a);
+    let out = poke(d, p, delta);
+    detected(out, d)
+}
+
+fn h3_beyond_heap(d: &mut dyn Defense) -> bool {
+    let a = d.alloc(Region::Heap, 1024);
+    let p = d.ptr_to(a);
+    // Far outside the device-heap arena.
+    let out = poke(d, p, 1 << 31);
+    detected(out, d)
+}
+
+// ---- spatial: local (8) ---------------------------------------------------
+
+fn l1_single_adjacent_in_frame(d: &mut dyn Defense) -> bool {
+    // Unaligned 20-byte buffer underflowing into the frame's spill slot in
+    // the shared shadow granule — the sub-granule case shadow tags miss.
+    let a = d.alloc(Region::Local, 20);
+    let spill = d.alloc(Region::Local, 8);
+    let delta = victim_delta(d, a, spill);
+    let p = d.ptr_to(a);
+    let out = overrun(d, p, if delta > 0 { 20 } else { -1 }, delta);
+    detected(out, d)
+}
+
+fn l2_single_nonadjacent_in_frame(d: &mut dyn Defense) -> bool {
+    let a = d.alloc(Region::Local, 20);
+    let _gap = d.alloc(Region::Local, 64);
+    let spill = d.alloc(Region::Local, 8);
+    let delta = victim_delta(d, a, spill);
+    let p = d.ptr_to(a);
+    let out = poke(d, p, delta);
+    detected(out, d)
+}
+
+fn l3_sibling_adjacent_in_frame(d: &mut dyn Defense) -> bool {
+    let a = d.alloc(Region::Local, 20);
+    let v = d.alloc(Region::Local, 20);
+    let delta = victim_delta(d, a, v);
+    let p = d.ptr_to(a);
+    let out = overrun(d, p, if delta > 0 { 20 } else { -1 }, delta);
+    detected(out, d)
+}
+
+fn l4_sibling_nonadjacent_in_frame(d: &mut dyn Defense) -> bool {
+    let a = d.alloc(Region::Local, 20);
+    let _gap = d.alloc(Region::Local, 128);
+    let v = d.alloc(Region::Local, 20);
+    let delta = victim_delta(d, a, v);
+    let p = d.ptr_to(a);
+    let out = poke(d, p, delta);
+    detected(out, d)
+}
+
+fn l5_cross_frame_adjacent(d: &mut dyn Defense) -> bool {
+    let v = d.alloc(Region::Local, 32); // caller frame
+    d.begin_frame();
+    let a = d.alloc(Region::Local, 32);
+    let delta = victim_delta(d, a, v);
+    let p = d.ptr_to(a);
+    let out = overrun(d, p, if delta > 0 { 32 } else { -1 }, delta);
+    detected(out, d)
+}
+
+fn l6_cross_frame_nonadjacent(d: &mut dyn Defense) -> bool {
+    let v = d.alloc(Region::Local, 32);
+    let _pad = d.alloc(Region::Local, 512);
+    d.begin_frame();
+    let a = d.alloc(Region::Local, 32);
+    let delta = victim_delta(d, a, v);
+    let p = d.ptr_to(a);
+    let out = poke(d, p, delta);
+    detected(out, d)
+}
+
+fn l7_beyond_local_low(d: &mut dyn Defense) -> bool {
+    let a = d.alloc(Region::Local, 64);
+    let p = d.ptr_to(a);
+    let out = poke(d, p, -(1 << 22));
+    detected(out, d)
+}
+
+fn l8_beyond_local_high(d: &mut dyn Defense) -> bool {
+    let a = d.alloc(Region::Local, 64);
+    let p = d.ptr_to(a);
+    let out = poke(d, p, 1 << 22);
+    detected(out, d)
+}
+
+// ---- spatial: shared (6) --------------------------------------------------
+
+fn s1_static_adjacent(d: &mut dyn Defense) -> bool {
+    let a = d.alloc(Region::SharedStatic, 20);
+    let v = d.alloc(Region::SharedStatic, 20);
+    let delta = victim_delta(d, a, v);
+    let p = d.ptr_to(a);
+    let out = overrun(d, p, if delta > 0 { 20 } else { -1 }, delta);
+    detected(out, d)
+}
+
+fn s2_static_nonadjacent(d: &mut dyn Defense) -> bool {
+    let a = d.alloc(Region::SharedStatic, 256);
+    let _gap = d.alloc(Region::SharedStatic, 1024);
+    let v = d.alloc(Region::SharedStatic, 256);
+    let delta = victim_delta(d, a, v);
+    let p = d.ptr_to(a);
+    let out = poke(d, p, delta);
+    detected(out, d)
+}
+
+fn s3_beyond_shared(d: &mut dyn Defense) -> bool {
+    let a = d.alloc(Region::SharedStatic, 256);
+    let p = d.ptr_to(a);
+    let out = poke(d, p, 1 << 22);
+    detected(out, d)
+}
+
+fn s4_static_into_dynamic(d: &mut dyn Defense) -> bool {
+    let a = d.alloc(Region::SharedStatic, 256);
+    let v = d.alloc(Region::SharedDynamic, 512);
+    let delta = victim_delta(d, a, v);
+    let p = d.ptr_to(a);
+    let out = poke(d, p, delta);
+    detected(out, d)
+}
+
+fn s5_dynamic_beyond_pool(d: &mut dyn Defense) -> bool {
+    let a = d.alloc(Region::SharedDynamic, 512);
+    let p = d.ptr_to(a);
+    // Far past the pool's end.
+    let out = poke(d, p, 1 << 22);
+    detected(out, d)
+}
+
+fn s6_dynamic_into_static(d: &mut dyn Defense) -> bool {
+    let v = d.alloc(Region::SharedStatic, 256);
+    let a = d.alloc(Region::SharedDynamic, 512);
+    let delta = victim_delta(d, a, v);
+    let p = d.ptr_to(a);
+    let out = poke(d, p, delta);
+    detected(out, d)
+}
+
+// ---- spatial: intra-object (3) --------------------------------------------
+
+fn intra_case(d: &mut dyn Defense, field_offset: i64) -> bool {
+    // One allocation modeling a struct; overflowing field A corrupts field
+    // B inside the same object — invisible to all object-granular schemes.
+    let obj = d.alloc(Region::Global, 64);
+    let p = d.ptr_to(obj);
+    let out = poke(d, p, field_offset);
+    detected(out, d)
+}
+
+fn i1_adjacent_field(d: &mut dyn Defense) -> bool {
+    intra_case(d, 16)
+}
+
+fn i2_nonadjacent_field(d: &mut dyn Defense) -> bool {
+    intra_case(d, 48)
+}
+
+fn i3_struct_array_element(d: &mut dyn Defense) -> bool {
+    intra_case(d, 36)
+}
+
+// ---- temporal: UAF (8) ----------------------------------------------------
+
+fn uaf(d: &mut dyn Defense, region: Region, copied: bool, delayed: bool) -> bool {
+    let a = d.alloc(region, 1024);
+    let p = d.ptr_to(a);
+    let access_ptr = if copied { d.derive(p, 4) } else { p };
+    if d.free(p) {
+        return true; // runtime rejected the free itself (not expected here)
+    }
+    if delayed {
+        // The allocator recycles the region for a new allocation.
+        let _b = d.alloc(region, 1024);
+    }
+    d.read(access_ptr, 4).faulted()
+}
+
+fn u1_global_imm_orig(d: &mut dyn Defense) -> bool {
+    uaf(d, Region::Global, false, false)
+}
+
+fn u2_global_imm_copied(d: &mut dyn Defense) -> bool {
+    uaf(d, Region::Global, true, false)
+}
+
+fn u3_global_delayed_orig(d: &mut dyn Defense) -> bool {
+    uaf(d, Region::Global, false, true)
+}
+
+fn u4_global_delayed_copied(d: &mut dyn Defense) -> bool {
+    uaf(d, Region::Global, true, true)
+}
+
+fn u5_heap_imm_orig(d: &mut dyn Defense) -> bool {
+    uaf(d, Region::Heap, false, false)
+}
+
+fn u6_heap_imm_copied(d: &mut dyn Defense) -> bool {
+    uaf(d, Region::Heap, true, false)
+}
+
+fn u7_heap_delayed_orig(d: &mut dyn Defense) -> bool {
+    uaf(d, Region::Heap, false, true)
+}
+
+fn u8_heap_delayed_copied(d: &mut dyn Defense) -> bool {
+    uaf(d, Region::Heap, true, true)
+}
+
+// ---- temporal: UAS (4) ----------------------------------------------------
+
+fn uas(d: &mut dyn Defense, copied: bool, delayed: bool) -> bool {
+    d.begin_frame();
+    let a = d.alloc(Region::Local, 64);
+    let p = d.ptr_to(a);
+    let access_ptr = if copied { d.derive(p, 8) } else { p };
+    d.end_frame();
+    if delayed {
+        // A new frame reuses the stack region.
+        d.begin_frame();
+        let _b = d.alloc(Region::Local, 64);
+    }
+    d.read(access_ptr, 4).faulted()
+}
+
+fn a1_imm_orig(d: &mut dyn Defense) -> bool {
+    uas(d, false, false)
+}
+
+fn a2_imm_copied(d: &mut dyn Defense) -> bool {
+    uas(d, true, false)
+}
+
+fn a3_delayed_orig(d: &mut dyn Defense) -> bool {
+    uas(d, false, true)
+}
+
+fn a4_delayed_copied(d: &mut dyn Defense) -> bool {
+    uas(d, true, true)
+}
+
+// ---- temporal: invalid free (2) -------------------------------------------
+
+fn f1_interior_free(d: &mut dyn Defense) -> bool {
+    let a = d.alloc(Region::Heap, 1024);
+    let p = d.ptr_to(a);
+    let interior = d.derive(p, 8);
+    d.free(interior)
+}
+
+fn f2_wild_free(d: &mut dyn Defense) -> bool {
+    let a = d.alloc(Region::Heap, 1024);
+    let p = d.ptr_to(a);
+    let wild = d.derive(p, 1 << 26);
+    d.free(wild)
+}
+
+// ---- temporal: double free (2) --------------------------------------------
+
+fn d1_immediate_double_free(d: &mut dyn Defense) -> bool {
+    let a = d.alloc(Region::Heap, 1024);
+    let p = d.ptr_to(a);
+    assert!(!d.free(p), "first free is legitimate");
+    d.free(p)
+}
+
+fn d2_delayed_double_free(d: &mut dyn Defense) -> bool {
+    let a = d.alloc(Region::Heap, 1024);
+    let p = d.ptr_to(a);
+    assert!(!d.free(p));
+    let _b = d.alloc(Region::Heap, 1024); // region recycled in between
+    d.free(p)
+}
+
+// ---- benign negative controls ----------------------------------------------
+//
+// §XII-A's other half: a mechanism must not flag correct programs. Each
+// control returns `true` when the defense stayed quiet.
+
+fn benign_in_bounds_walk(d: &mut dyn Defense) -> bool {
+    let a = d.alloc(Region::Global, 1024);
+    let p = d.ptr_to(a);
+    let mut quiet = true;
+    for off in (0..1024).step_by(4) {
+        let q = d.derive(p, off);
+        quiet &= !d.write(q, 4).faulted();
+        quiet &= !d.read(q, 4).faulted();
+    }
+    quiet && !d.sync_scan()
+}
+
+fn benign_loop_past_end_no_deref(d: &mut dyn Defense) -> bool {
+    // Fig. 14: the pointer walks one past the end but is never used there.
+    let a = d.alloc(Region::Heap, 256);
+    let p = d.ptr_to(a);
+    let mut quiet = true;
+    for off in (0..256).step_by(4) {
+        let q = d.derive(p, off);
+        quiet &= !d.read(q, 4).faulted();
+    }
+    let _one_past = d.derive(p, 256); // derived, never dereferenced
+    quiet && !d.sync_scan()
+}
+
+fn benign_alloc_free_realloc(d: &mut dyn Defense) -> bool {
+    let a = d.alloc(Region::Heap, 512);
+    let p = d.ptr_to(a);
+    if d.free(p) {
+        return false; // a valid free must not be rejected
+    }
+    let b = d.alloc(Region::Heap, 512);
+    let q = d.ptr_to(b);
+    !d.write(q, 4).faulted()
+}
+
+fn benign_stack_frames(d: &mut dyn Defense) -> bool {
+    d.begin_frame();
+    let a = d.alloc(Region::Local, 100);
+    let p = d.ptr_to(a);
+    let quiet = !d.write(p, 4).faulted();
+    d.end_frame();
+    // A fresh frame reusing the region is fully legitimate.
+    d.begin_frame();
+    let b = d.alloc(Region::Local, 100);
+    let q = d.ptr_to(b);
+    quiet && !d.write(q, 4).faulted()
+}
+
+fn benign_shared_use(d: &mut dyn Defense) -> bool {
+    let s = d.alloc(Region::SharedStatic, 1024);
+    let p = d.ptr_to(s);
+    let q = d.derive(p, 1020);
+    !d.write(q, 4).faulted()
+}
+
+/// Benign control programs: every mechanism must stay quiet on all of them
+/// (returns `true` = no false positive).
+pub fn benign_controls() -> Vec<Case> {
+    use CaseClass::*;
+    macro_rules! case {
+        ($name:literal, $class:expr, $f:ident) => {
+            Case { name: $name, class: $class, run: $f }
+        };
+    }
+    vec![
+        case!("benign-in-bounds-walk", GlobalOob, benign_in_bounds_walk),
+        case!("benign-loop-past-end-no-deref", HeapOob, benign_loop_past_end_no_deref),
+        case!("benign-alloc-free-realloc", Uaf, benign_alloc_free_realloc),
+        case!("benign-stack-frames", Uas, benign_stack_frames),
+        case!("benign-shared-use", SharedOob, benign_shared_use),
+    ]
+}
+
+/// All 38 cases, in Table III order.
+pub fn all_cases() -> Vec<Case> {
+    use CaseClass::*;
+    macro_rules! case {
+        ($name:literal, $class:expr, $f:ident) => {
+            Case { name: $name, class: $class, run: $f }
+        };
+    }
+    vec![
+        case!("g1-adjacent-overflow", GlobalOob, g1_adjacent_overflow),
+        case!("g2-nonadjacent-write", GlobalOob, g2_nonadjacent_write),
+        case!("h1-adjacent-overflow", HeapOob, h1_adjacent_overflow),
+        case!("h2-nonadjacent-write", HeapOob, h2_nonadjacent_write),
+        case!("h3-beyond-heap", HeapOob, h3_beyond_heap),
+        case!("l1-single-adjacent-in-frame", LocalOob, l1_single_adjacent_in_frame),
+        case!("l2-single-nonadjacent-in-frame", LocalOob, l2_single_nonadjacent_in_frame),
+        case!("l3-sibling-adjacent-in-frame", LocalOob, l3_sibling_adjacent_in_frame),
+        case!("l4-sibling-nonadjacent-in-frame", LocalOob, l4_sibling_nonadjacent_in_frame),
+        case!("l5-cross-frame-adjacent", LocalOob, l5_cross_frame_adjacent),
+        case!("l6-cross-frame-nonadjacent", LocalOob, l6_cross_frame_nonadjacent),
+        case!("l7-beyond-local-low", LocalOob, l7_beyond_local_low),
+        case!("l8-beyond-local-high", LocalOob, l8_beyond_local_high),
+        case!("s1-static-adjacent", SharedOob, s1_static_adjacent),
+        case!("s2-static-nonadjacent", SharedOob, s2_static_nonadjacent),
+        case!("s3-beyond-shared", SharedOob, s3_beyond_shared),
+        case!("s4-static-into-dynamic", SharedOob, s4_static_into_dynamic),
+        case!("s5-dynamic-beyond-pool", SharedOob, s5_dynamic_beyond_pool),
+        case!("s6-dynamic-into-static", SharedOob, s6_dynamic_into_static),
+        case!("i1-adjacent-field", IntraOob, i1_adjacent_field),
+        case!("i2-nonadjacent-field", IntraOob, i2_nonadjacent_field),
+        case!("i3-struct-array-element", IntraOob, i3_struct_array_element),
+        case!("u1-global-imm-orig", Uaf, u1_global_imm_orig),
+        case!("u2-global-imm-copied", Uaf, u2_global_imm_copied),
+        case!("u3-global-delayed-orig", Uaf, u3_global_delayed_orig),
+        case!("u4-global-delayed-copied", Uaf, u4_global_delayed_copied),
+        case!("u5-heap-imm-orig", Uaf, u5_heap_imm_orig),
+        case!("u6-heap-imm-copied", Uaf, u6_heap_imm_copied),
+        case!("u7-heap-delayed-orig", Uaf, u7_heap_delayed_orig),
+        case!("u8-heap-delayed-copied", Uaf, u8_heap_delayed_copied),
+        case!("a1-uas-imm-orig", Uas, a1_imm_orig),
+        case!("a2-uas-imm-copied", Uas, a2_imm_copied),
+        case!("a3-uas-delayed-orig", Uas, a3_delayed_orig),
+        case!("a4-uas-delayed-copied", Uas, a4_delayed_copied),
+        case!("f1-interior-free", InvalidFree, f1_interior_free),
+        case!("f2-wild-free", InvalidFree, f2_wild_free),
+        case!("d1-immediate-double-free", DoubleFree, d1_immediate_double_free),
+        case!("d2-delayed-double-free", DoubleFree, d2_delayed_double_free),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_counts_match_table3_rows() {
+        let cases = all_cases();
+        let count = |c: CaseClass| cases.iter().filter(|k| k.class == c).count();
+        assert_eq!(count(CaseClass::GlobalOob), 2);
+        assert_eq!(count(CaseClass::HeapOob), 3);
+        assert_eq!(count(CaseClass::LocalOob), 8);
+        assert_eq!(count(CaseClass::SharedOob), 6);
+        assert_eq!(count(CaseClass::IntraOob), 3);
+        assert_eq!(count(CaseClass::Uaf), 8);
+        assert_eq!(count(CaseClass::Uas), 4);
+        assert_eq!(count(CaseClass::InvalidFree), 2);
+        assert_eq!(count(CaseClass::DoubleFree), 2);
+        assert_eq!(cases.len(), 38);
+        assert_eq!(cases.iter().filter(|c| c.class.is_spatial()).count(), 22);
+    }
+}

@@ -1,0 +1,124 @@
+//! The mechanism-under-test abstraction.
+//!
+//! A test case manipulates *handles* (allocations) and *pointers* (register
+//! values derived from allocations). Every operation routes through the
+//! defense's own allocator layout and check path, so the same case source
+//! yields mechanism-specific outcomes — mirroring how the paper compiles
+//! one test program under each protection scheme.
+
+/// Memory region of an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// `cudaMalloc` global buffer (kernel argument).
+    Global,
+    /// In-kernel `malloc` device-heap buffer.
+    Heap,
+    /// Stack (`alloca`) buffer in the current frame.
+    Local,
+    /// Statically declared shared-memory buffer.
+    SharedStatic,
+    /// A logical sub-buffer of the dynamically sized shared pool.
+    SharedDynamic,
+}
+
+/// An allocation handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Handle(pub usize);
+
+/// A pointer value handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ptr(pub usize);
+
+/// Result of a memory access under a defense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The access proceeded unchecked.
+    Allowed,
+    /// The defense faulted the access.
+    Faulted,
+}
+
+impl Outcome {
+    /// Convenience predicate.
+    pub fn faulted(self) -> bool {
+        self == Outcome::Faulted
+    }
+}
+
+/// A memory-safety mechanism under security evaluation.
+pub trait Defense {
+    /// Mechanism name (Table III column header).
+    fn name(&self) -> &'static str;
+
+    /// Allocates `size` bytes in `region`; local allocations join the
+    /// current stack frame.
+    fn alloc(&mut self, region: Region, size: u64) -> Handle;
+
+    /// Base address of the allocation under this defense's layout.
+    fn addr_of(&self, h: Handle) -> u64;
+
+    /// The original pointer to an allocation.
+    fn ptr_to(&mut self, h: Handle) -> Ptr;
+
+    /// Pointer arithmetic: `p + delta` through the defense's checked
+    /// pointer-update path (LMI's OCU). Returns the derived pointer.
+    fn derive(&mut self, p: Ptr, delta: i64) -> Ptr;
+
+    /// A `width`-byte write through `p`.
+    fn write(&mut self, p: Ptr, width: u8) -> Outcome;
+
+    /// A `width`-byte read through `p`.
+    fn read(&mut self, p: Ptr, width: u8) -> Outcome;
+
+    /// Runtime `free` of a heap/global allocation through pointer `p`.
+    /// Returns `true` if the runtime rejected it (invalid/double free
+    /// detection, provided by basic CUDA functions per §IX-B).
+    fn free(&mut self, p: Ptr) -> bool;
+
+    /// Enters a callee stack frame; subsequent local allocations belong to
+    /// it until the matching [`Defense::end_frame`].
+    fn begin_frame(&mut self);
+
+    /// Ends the current stack frame (function return): all its local
+    /// allocations go out of scope; the caller's frame becomes current.
+    fn end_frame(&mut self);
+
+    /// Synchronization-point scan (canary mechanisms); returns `true` if
+    /// damage was detected.
+    fn sync_scan(&mut self) -> bool {
+        false
+    }
+}
+
+/// Writes every byte position from `from` toward `to` inclusive (a
+/// contiguous overrun, like a `memcpy` past the end — or a downward
+/// underflow when `to < from`); returns `Faulted` as soon as any write
+/// faults. This is the "adjacent" attack shape — it must cross whatever
+/// sits between the buffer and the victim (canaries included).
+pub fn overrun(d: &mut dyn Defense, base: Ptr, from: i64, to: i64) -> Outcome {
+    let step = if to >= from { 1 } else { -1 };
+    let mut off = from;
+    loop {
+        let p = d.derive(base, off);
+        if d.write(p, 1).faulted() {
+            return Outcome::Faulted;
+        }
+        if off == to {
+            return Outcome::Allowed;
+        }
+        off += step;
+    }
+}
+
+/// A single wild write at `delta` (the "non-adjacent" attack shape).
+pub fn poke(d: &mut dyn Defense, base: Ptr, delta: i64) -> Outcome {
+    let p = d.derive(base, delta);
+    d.write(p, 4)
+}
+
+/// Delta (in bytes) from `attacker`'s base to `victim`'s base under the
+/// defense's own layout — what an attacker's OOB index arithmetic must
+/// produce to reach the victim.
+pub fn victim_delta(d: &dyn Defense, attacker: Handle, victim: Handle) -> i64 {
+    d.addr_of(victim) as i64 - d.addr_of(attacker) as i64
+}

@@ -1,0 +1,153 @@
+//! Behavioral unit tests of the individual [`Defense`] implementations —
+//! the layout and detection properties Table III's cell values rest on.
+
+use lmi_security::cases::all_cases;
+use lmi_security::defense::{overrun, poke, victim_delta, Defense, Region};
+use lmi_security::{CuCatchDefense, GmodDefense, GpuShieldDefense, LmiDefense};
+
+#[test]
+fn lmi_layout_moves_adjacent_victims_out_of_the_region() {
+    let mut d = LmiDefense::new();
+    let a = d.alloc(Region::Global, 1000); // rounds to 1024
+    let v = d.alloc(Region::Global, 1000);
+    let delta = victim_delta(&d, a, v);
+    assert!(delta >= 1024, "aligned allocation separates the victim: {delta}");
+}
+
+#[test]
+fn packed_layouts_keep_victims_adjacent() {
+    let mut d = CuCatchDefense::new();
+    let a = d.alloc(Region::Local, 20);
+    let v = d.alloc(Region::Local, 20);
+    let delta = victim_delta(&d, a, v);
+    assert_eq!(delta.unsigned_abs(), 20, "cuCatch does not move objects");
+}
+
+#[test]
+fn lmi_neutralizes_slack_writes_but_faults_region_escapes() {
+    let mut d = LmiDefense::new();
+    let a = d.alloc(Region::Global, 100); // 256-byte region
+    let p = d.ptr_to(a);
+    // Writes into the slack are unchecked but harmless (no other object).
+    let slack = d.derive(p, 150);
+    assert!(!d.write(slack, 4).faulted());
+    // The first write past the region faults.
+    let escape = d.derive(p, 256);
+    assert!(d.write(escape, 4).faulted());
+}
+
+#[test]
+fn cucatch_granule_aliasing_hides_subgranule_neighbors() {
+    let mut d = CuCatchDefense::new();
+    let a = d.alloc(Region::Local, 20);
+    let v = d.alloc(Region::Local, 20);
+    let delta = victim_delta(&d, a, v);
+    let p = d.ptr_to(a);
+    // The adjacent overrun rides the shared 16-byte granule: undetected.
+    assert!(!overrun(&mut d, p, if delta > 0 { 20 } else { -1 }, delta).faulted());
+    // A far poke into untagged memory is detected.
+    assert!(poke(&mut d, p, 4096).faulted());
+}
+
+#[test]
+fn gpushield_is_fine_grained_for_globals_only() {
+    let mut d = GpuShieldDefense::new();
+    let a = d.alloc(Region::Global, 1024);
+    let _v = d.alloc(Region::Global, 1024);
+    let p = d.ptr_to(a);
+    assert!(poke(&mut d, p, 1024).faulted(), "past the registered bounds");
+    // Heap: a single coarse region — intra-heap overflow invisible.
+    let h = d.alloc(Region::Heap, 1024);
+    let hp = d.ptr_to(h);
+    assert!(!poke(&mut d, hp, 4096).faulted());
+    assert!(poke(&mut d, hp, 1 << 31).faulted(), "beyond the heap arena");
+}
+
+#[test]
+fn gmod_detects_only_on_scan_and_only_contiguous_writes() {
+    let mut d = GmodDefense::new();
+    let a = d.alloc(Region::Global, 256);
+    let v = d.alloc(Region::Global, 256);
+    let delta = victim_delta(&d, a, v);
+    let p = d.ptr_to(a);
+    // The overrun write itself is never faulted inline …
+    assert!(!overrun(&mut d, p, 256, delta).faulted());
+    // … the canary scan at the next sync point reports it.
+    assert!(d.sync_scan());
+}
+
+#[test]
+fn lmi_uas_nullifies_copies_too() {
+    let mut d = LmiDefense::new();
+    d.begin_frame();
+    let a = d.alloc(Region::Local, 64);
+    let p = d.ptr_to(a);
+    let copy = d.derive(p, 8);
+    d.end_frame();
+    assert!(d.read(p, 4).faulted(), "original nullified at scope exit");
+    assert!(d.read(copy, 4).faulted(), "compiler sees and nullifies copies");
+}
+
+#[test]
+fn lmi_heap_uaf_misses_copies_without_liveness_tracking() {
+    let mut base = LmiDefense::new();
+    let a = base.alloc(Region::Heap, 256);
+    let p = base.ptr_to(a);
+    let copy = base.derive(p, 8);
+    assert!(!base.free(p));
+    assert!(base.read(p, 4).faulted(), "freed pointer faults");
+    assert!(!base.read(copy, 4).faulted(), "copy slips through (Fig. 11)");
+
+    let mut tracked = LmiDefense::with_liveness();
+    let a = tracked.alloc(Region::Heap, 256);
+    let p = tracked.ptr_to(a);
+    let copy = tracked.derive(p, 8);
+    assert!(!tracked.free(p));
+    assert!(tracked.read(copy, 4).faulted(), "liveness tracking closes the hole");
+}
+
+#[test]
+fn every_case_runs_on_every_defense_without_panicking() {
+    for case in all_cases() {
+        for which in 0..4 {
+            let mut d: Box<dyn Defense> = match which {
+                0 => Box::new(GmodDefense::new()),
+                1 => Box::new(GpuShieldDefense::new()),
+                2 => Box::new(CuCatchDefense::new()),
+                _ => Box::new(LmiDefense::new()),
+            };
+            let _ = (case.run)(d.as_mut());
+        }
+    }
+}
+
+#[test]
+fn lmi_detects_every_non_intra_spatial_case() {
+    for case in all_cases().iter().filter(|c| {
+        c.class.is_spatial() && c.class != lmi_security::CaseClass::IntraOob
+    }) {
+        let mut d = LmiDefense::new();
+        assert!((case.run)(&mut d), "LMI must protect against {}", case.name);
+    }
+}
+
+#[test]
+fn no_mechanism_false_positives_on_benign_controls() {
+    for case in lmi_security::benign_controls() {
+        for which in 0..5 {
+            let mut d: Box<dyn Defense> = match which {
+                0 => Box::new(GmodDefense::new()),
+                1 => Box::new(GpuShieldDefense::new()),
+                2 => Box::new(CuCatchDefense::new()),
+                3 => Box::new(LmiDefense::new()),
+                _ => Box::new(LmiDefense::with_liveness()),
+            };
+            assert!(
+                (case.run)(d.as_mut()),
+                "{} false-positived on {}",
+                d.name(),
+                case.name
+            );
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Expands a [`WorkloadSpec`] into an executable kernel.
+//!
+//! The generated kernel is a fully unrolled stream of *memory slots*. Each
+//! slot: (1) loads a buffer base pointer from the parameter bank (cycling
+//! through all registered buffers — the RCache-hostile benchmarks touch
+//! more distinct buffers than GPUShield's RCache holds), (2) computes a
+//! masked, always-in-bounds index, (3) performs the hint-marked pointer
+//! arithmetic, (4) issues the load/store, and (5) runs the spec's FFMA
+//! compute payload. Extra marked pointer ops model pointer-arithmetic-heavy
+//! kernels (`gaussian`); sub-1 densities model access-reuse-heavy kernels
+//! (`swin`).
+
+use lmi_core::PtrConfig;
+use lmi_isa::{abi, HintBits, Instruction, MemRef, Opcode, Program, ProgramBuilder, Reg};
+
+use crate::spec::WorkloadSpec;
+
+/// Size of each global perf buffer (power of two so the unprotected and
+/// LMI allocators produce identical layouts — a fair timing comparison).
+pub const PERF_BUF_BYTES: u64 = 256 * 1024;
+
+/// Per-thread local scratch used by workloads with local traffic.
+pub const LOCAL_BYTES: u64 = 4096;
+
+/// Static shared memory used by workloads with shared traffic.
+pub const SHARED_BYTES: u64 = 16 * 1024;
+
+/// Memory slots per unrolled iteration.
+pub const SLOTS_PER_ITER: usize = 20;
+
+const TID: Reg = Reg(0);
+const IDX: Reg = Reg(1);
+const LBASE: Reg = Reg(2); // pair
+const SBASE: Reg = Reg(4); // pair
+const VAL: Reg = Reg(6);
+const FB: Reg = Reg(7);
+const FC: Reg = Reg(8);
+const GBASE: Reg = Reg(12); // pair, reloaded per global slot
+const ADDR: Reg = Reg(14); // pair
+const PSCRATCH: Reg = Reg(16); // pair for extra marked pointer ops
+const LOADED: Reg = Reg(9); // load destination, consumed by the compute chain
+const HEAPPTR: Reg = Reg(18); // pair: per-iteration device-heap allocation
+const HEAPSZ: Reg = Reg(10); // requested malloc size
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Space {
+    Global,
+    Shared,
+    Local,
+}
+
+/// Deterministic per-iteration slot assignment matching the Fig. 1 mix:
+/// Bresenham-style interleaving so the regions mix within an iteration
+/// rather than running in phases.
+fn slot_spaces(spec: &WorkloadSpec) -> Vec<Space> {
+    let n = SLOTS_PER_ITER;
+    let g = (spec.global_frac * n as f64).round() as usize;
+    let s = ((spec.shared_frac * n as f64).round() as usize).min(n - g);
+    let l = n - g - s;
+    let targets = [(Space::Global, g), (Space::Shared, s), (Space::Local, l)];
+    let mut emitted = [0usize; 3];
+    let mut out = Vec::with_capacity(n);
+    for k in 1..=n {
+        // Pick the space that is furthest behind its proportional quota.
+        let (best, _) = targets
+            .iter()
+            .enumerate()
+            .filter(|&(i, &(_, t))| emitted[i] < t)
+            .map(|(i, &(_, t))| (i, (t * k) as i64 - (emitted[i] * n) as i64))
+            .max_by_key(|&(_, deficit)| deficit)
+            .expect("quotas sum to n");
+        emitted[best] += 1;
+        out.push(targets[best].0);
+    }
+    out
+}
+
+fn extent_bits_for(bytes: u64) -> i32 {
+    let cfg = PtrConfig::default();
+    let extent = cfg.extent_for_size(bytes).expect("workload buffers fit the limit");
+    (extent as i32) << 27
+}
+
+/// Generates the LMI-protected kernel variant for `spec`.
+pub fn generate(spec: &WorkloadSpec) -> Program {
+    generate_variant(spec, true)
+}
+
+/// Generates a kernel variant: with `embed_extents` the prologue stamps the
+/// statically known extents into the local/shared base pointers (the only
+/// instruction-stream difference between the protected and unprotected
+/// builds — the hint bits are present in both, they are free metadata).
+pub fn generate_variant(spec: &WorkloadSpec, embed_extents: bool) -> Program {
+    let mut b = ProgramBuilder::new(spec.name);
+    b.local_bytes(LOCAL_BYTES as u32);
+    b.shared_bytes(SHARED_BYTES as u32);
+
+    let spaces = slot_spaces(spec);
+    let uses_shared = spaces.contains(&Space::Shared);
+    let uses_local = spaces.contains(&Space::Local);
+
+    // Prologue.
+    b.push(Instruction::s2r(TID, lmi_isa::op::SpecialReg::TidX));
+    b.push(Instruction::mov(VAL, 1.5f32.to_bits() as i32));
+    b.push(Instruction::mov(FB, 1.0001f32.to_bits() as i32));
+    b.push(Instruction::mov(FC, 0.25f32.to_bits() as i32));
+    if uses_local {
+        b.push(Instruction::ldc(LBASE, abi::LAUNCH_BANK, abi::STACK_TOP_OFFSET, 8));
+        b.push(Instruction::iadd64(LBASE, LBASE, -(LOCAL_BYTES as i32)));
+        if embed_extents {
+            b.push(Instruction::int2(
+                Opcode::Or,
+                LBASE.pair_high(),
+                LBASE.pair_high(),
+                extent_bits_for(LOCAL_BYTES),
+            ));
+        }
+    }
+    if uses_shared {
+        b.push(Instruction::ldc(SBASE, abi::LAUNCH_BANK, abi::SHARED_BASE_OFFSET, 8));
+        if embed_extents {
+            b.push(Instruction::int2(
+                Opcode::Or,
+                SBASE.pair_high(),
+                SBASE.pair_high(),
+                extent_bits_for(SHARED_BYTES),
+            ));
+        }
+    }
+
+    let ppm = spec.ptr_ops_per_mem();
+    // Sub-1 densities reuse one address for several accesses.
+    let accesses_per_ptr = if ppm < 1.0 { (1.0 / ppm).round() as usize } else { 1 };
+    let extra_marked = if ppm > 1.0 { ppm.round() as usize - 1 } else { 0 };
+
+    let mut global_instance = 0usize; // cycles through buffers
+    let mut slot_instance = 0usize;
+    for iter in 0..spec.iters {
+        if spec.uses_kernel_malloc {
+            // Fig. 3: every thread allocates its own (variable-size) buffer,
+            // touches it, and frees it — thousands of concurrent heap calls.
+            b.push(Instruction::int2(Opcode::And, HEAPSZ, TID, 63));
+            b.push(Instruction::int2(Opcode::Shl, HEAPSZ, HEAPSZ, 2));
+            b.push(Instruction::iadd3(HEAPSZ, HEAPSZ, 64 + (iter as i32 % 5) * 16));
+            b.push(Instruction::malloc(HEAPPTR, HEAPSZ));
+            b.push(Instruction::int2(Opcode::And, IDX, TID, 15));
+            b.push(
+                Instruction::lea64(ADDR, HEAPPTR, IDX, 2)
+                    .with_hints(HintBits::check_operand(0)),
+            );
+            b.push(Instruction::stg(MemRef::new(ADDR, 0, 4), TID));
+            b.push(Instruction::ldg(LOADED, MemRef::new(ADDR, 0, 4)));
+            b.push(Instruction::free(HEAPPTR));
+        }
+        for &space in &spaces {
+            let (base, elem_mask): (Reg, i32) = match space {
+                Space::Global => {
+                    let param = global_instance % spec.num_buffers.max(1);
+                    global_instance += 1;
+                    b.push(Instruction::ldc(
+                        GBASE,
+                        abi::LAUNCH_BANK,
+                        abi::param_offset(param),
+                        8,
+                    ));
+                    (GBASE, (PERF_BUF_BYTES / 4 - 1) as i32)
+                }
+                Space::Shared => (SBASE, (SHARED_BYTES / 4 - 1) as i32),
+                // Kernels touch a small hot region of their stacks; the
+                // full window would span 32x that after lane interleaving.
+                Space::Local => (LBASE, 63),
+            };
+
+            // Index: coalesced lanes sit adjacent; uncoalesced lanes are a
+            // cache line apart.
+            if space == Space::Local {
+                // Per-thread local arrays are indexed uniformly across the
+                // warp (each lane owns its interleaved copy), so the warp's
+                // accesses coalesce into one transaction.
+                b.push(Instruction::mov(IDX, (slot_instance * 11 % 64) as i32));
+            } else if spec.uncoalesced && space == Space::Global {
+                // Lane-strided accesses: 16 transactions per warp, but a
+                // tight per-buffer footprint (2 KB) that stays L1-resident
+                // across buffer-cycling rounds — the L1-hit/RCache-miss
+                // pattern behind GPUShield's needle/LSTM overheads (§XI-A).
+                b.push(Instruction::int2(Opcode::And, IDX, TID, 31));
+                b.push(Instruction::int2(Opcode::Shl, IDX, IDX, 4));
+                b.push(Instruction::iadd3(IDX, IDX, (slot_instance % 4) as i32));
+            } else if spec.rcache_hostile {
+                b.push(Instruction::iadd3(IDX, TID, (slot_instance % 64) as i32));
+            } else {
+                b.push(Instruction::iadd3(IDX, TID, (slot_instance * 37 % 1024) as i32));
+            }
+            b.push(Instruction::int2(Opcode::And, IDX, IDX, elem_mask));
+
+            // The hint-marked pointer arithmetic (LMI's OCU check site).
+            b.push(
+                Instruction::lea64(ADDR, base, IDX, 2).with_hints(HintBits::check_operand(0)),
+            );
+            for e in 0..extra_marked {
+                b.push(
+                    Instruction::iadd64(PSCRATCH, base, (e as i32 + 1) * 4)
+                        .with_hints(HintBits::check_operand(0)),
+                );
+            }
+
+            for access in 0..accesses_per_ptr {
+                let mem = MemRef::new(ADDR, access as i32 * 4, 4);
+                let is_store = (slot_instance + access) % 4 == 3;
+                let ins = match (space, is_store) {
+                    (Space::Global, false) => Instruction::ldg(LOADED, mem),
+                    (Space::Global, true) => Instruction::stg(mem, VAL),
+                    (Space::Shared, false) => Instruction::lds(LOADED, mem),
+                    (Space::Shared, true) => Instruction::sts(mem, VAL),
+                    (Space::Local, false) => Instruction::ldl(LOADED, mem),
+                    (Space::Local, true) => Instruction::stl(mem, VAL),
+                };
+                b.push(ins);
+            }
+
+            // The first compute op consumes the loaded value so memory
+            // latency is architecturally visible (dead loads hide stalls).
+            for c in 0..spec.compute_per_mem {
+                if c == 0 {
+                    b.push(Instruction::ffma(VAL, VAL, FB, LOADED));
+                } else {
+                    b.push(Instruction::ffma(VAL, VAL, FB, FC));
+                }
+            }
+            slot_instance += 1;
+        }
+        if spec.barrier_per_iter {
+            b.push(Instruction::bar());
+        }
+    }
+    b.push(Instruction::exit());
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::all_workloads;
+    use lmi_isa::MemSpace;
+
+    fn spec(name: &str) -> WorkloadSpec {
+        all_workloads().into_iter().find(|w| w.name == name).unwrap()
+    }
+
+    #[test]
+    fn every_workload_generates_and_assembles() {
+        for w in all_workloads() {
+            let p = generate(&w);
+            assert!(!p.is_empty(), "{}", w.name);
+            assert!(p.regs_per_thread <= 32, "{} uses {} regs", w.name, p.regs_per_thread);
+            p.assemble(lmi_isa::ComputeCapability::Cc80)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        }
+    }
+
+    #[test]
+    fn static_mem_mix_tracks_the_spec() {
+        for w in all_workloads() {
+            let p = generate(&w);
+            let count = |space| {
+                p.instructions
+                    .iter()
+                    .filter(|i| i.opcode.mem_space() == Some(space) && i.opcode.is_mem())
+                    .count() as f64
+            };
+            let g = count(MemSpace::Global);
+            let s = count(MemSpace::Shared);
+            let l = count(MemSpace::Local);
+            let total = g + s + l;
+            assert!(
+                (g / total - w.global_frac).abs() < 0.08,
+                "{}: global {} vs {}",
+                w.name,
+                g / total,
+                w.global_frac
+            );
+            assert!((s / total - w.shared_frac).abs() < 0.08, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn hostile_workloads_cycle_many_buffers() {
+        let p = generate(&spec("needle"));
+        let mut params: Vec<u16> = p
+            .instructions
+            .iter()
+            .filter(|i| i.opcode == lmi_isa::Opcode::Ldc)
+            .filter_map(|i| match i.srcs[0] {
+                lmi_isa::Operand::Const { offset, .. } if offset >= abi::PARAM_BASE_OFFSET => {
+                    Some(offset)
+                }
+                _ => None,
+            })
+            .collect();
+        params.sort_unstable();
+        params.dedup();
+        assert!(params.len() > 28, "needle touches {} distinct buffers", params.len());
+    }
+
+    #[test]
+    fn gaussian_is_pointer_op_dense_and_swin_is_sparse() {
+        let g = generate(&spec("gaussian"));
+        let s = generate(&spec("swin"));
+        let ratio = |p: &Program| p.hinted_count() as f64 / p.mem_count() as f64;
+        assert!(ratio(&g) > 3.0, "gaussian check:mem ratio {}", ratio(&g));
+        assert!(ratio(&s) < 0.8, "swin check:mem ratio {}", ratio(&s));
+    }
+
+    #[test]
+    fn generated_kernels_mark_only_wide_int_ops() {
+        for w in all_workloads() {
+            let p = generate(&w);
+            for i in &p.instructions {
+                if i.hints.activate {
+                    assert!(i.opcode.is_wide(), "{}: {} marked", w.name, i.opcode);
+                }
+            }
+        }
+    }
+}

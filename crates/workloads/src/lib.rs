@@ -1,0 +1,28 @@
+//! # lmi-workloads — the synthetic benchmark suite (paper Table V)
+//!
+//! The paper evaluates on 28 CUDA benchmarks (Rodinia, Tango,
+//! FasterTransformer, and four autonomous-driving models) whose binaries
+//! and traces are not reproducible here. Each benchmark is therefore
+//! re-expressed as a **parameterized synthetic kernel**: a [`spec`] records
+//! the properties that actually drive the paper's results —
+//!
+//! * the memory-region instruction mix (Fig. 1: e.g. `bert`/`decoding` are
+//!   global-dominant, `lud_cuda`/`needle` issue > 80 % shared-memory ops);
+//! * compute intensity and pointer-arithmetic density (drives Baggy
+//!   Bounds' and the DBI tools' instruction-injection overheads);
+//! * the access/coalescing pattern and the number of distinct buffers
+//!   (drives GPUShield's RCache behaviour on `needle`/`LSTM`);
+//! * the host allocation-size profile (Fig. 4 fragmentation, tuned so the
+//!   published per-benchmark overheads and the 18.73 % geometric mean are
+//!   reproduced);
+//!
+//! and [`generator`] expands the spec into an executable [`lmi_isa`]
+//! program plus launch geometry ([`prepare()`](prepare())).
+
+pub mod generator;
+pub mod prepare;
+pub mod spec;
+
+pub use generator::generate;
+pub use prepare::{prepare, PreparedWorkload};
+pub use spec::{all_workloads, malloc_stress_workload, rodinia_workloads, Suite, WorkloadSpec};

@@ -1,0 +1,131 @@
+//! Host-side preparation: buffer allocation, launch construction, and the
+//! Fig. 4 fragmentation measurement.
+
+use lmi_alloc::{AlignmentPolicy, GlobalAllocator};
+use lmi_core::{DevicePtr, PtrConfig};
+use lmi_mem::layout;
+use lmi_sim::Launch;
+
+use crate::generator::{self, PERF_BUF_BYTES};
+use crate::spec::WorkloadSpec;
+
+/// Minimal trait so `prepare` can register buffers with GPUShield without a
+/// circular crate dependency (`lmi-baselines` depends on `lmi-sim`, and the
+/// bench harness wires both together).
+pub(crate) mod lmi_baselines_shim {
+    /// Anything with a GPUShield-style bounds-table registration call.
+    pub trait GpuShieldLike {
+        /// Registers a kernel-argument buffer region.
+        fn register_buffer(&mut self, base: u64, size: u64);
+    }
+}
+
+pub use lmi_baselines_shim::GpuShieldLike as RegisterBuffers;
+
+/// A workload ready to run: launch descriptor plus buffer ground truth.
+#[derive(Debug, Clone)]
+pub struct PreparedWorkload {
+    /// The launch (program, geometry, parameters).
+    pub launch: Launch,
+    /// `(base address, requested size)` of each kernel-argument buffer.
+    pub buffers: Vec<(u64, u64)>,
+}
+
+impl PreparedWorkload {
+    /// Registers every kernel-argument buffer with a GPUShield-style
+    /// bounds table.
+    pub fn register_with(&self, shield: &mut impl RegisterBuffers) {
+        for &(base, size) in &self.buffers {
+            shield.register_buffer(base, size);
+        }
+    }
+}
+
+/// Allocates the workload's buffers under `policy` and builds the launch.
+pub fn prepare(spec: &WorkloadSpec, policy: AlignmentPolicy) -> PreparedWorkload {
+    let cfg = PtrConfig::default();
+    let mut alloc = GlobalAllocator::new(cfg, policy, layout::GLOBAL_BASE, 8 << 30);
+    let program = generator::generate_variant(spec, policy == AlignmentPolicy::PowerOfTwo);
+    let mut launch = Launch::new(program)
+        .grid(spec.blocks)
+        .block(spec.threads_per_block);
+    let mut buffers = Vec::with_capacity(spec.num_buffers);
+    for _ in 0..spec.num_buffers {
+        let raw = alloc.alloc(PERF_BUF_BYTES).expect("perf arena is large enough");
+        buffers.push((DevicePtr::from_raw(raw).addr(), PERF_BUF_BYTES));
+        launch = launch.param(raw);
+    }
+    PreparedWorkload { launch, buffers }
+}
+
+/// Runs the spec's Fig. 4 allocation profile under `policy`; returns the
+/// peak RSS in bytes.
+pub fn profile_peak_rss(spec: &WorkloadSpec, policy: AlignmentPolicy) -> u64 {
+    let cfg = PtrConfig::default();
+    let mut alloc = GlobalAllocator::new(cfg, policy, layout::GLOBAL_BASE, 8 << 30);
+    for &(size, count) in spec.alloc_profile {
+        for _ in 0..count {
+            alloc.alloc(size).expect("profile fits the arena");
+        }
+    }
+    alloc.rss().peak
+}
+
+/// Fig. 4's metric: LMI peak RSS over baseline peak RSS, minus one.
+pub fn fragmentation_overhead(spec: &WorkloadSpec) -> f64 {
+    let base = profile_peak_rss(spec, AlignmentPolicy::CudaDefault) as f64;
+    let lmi = profile_peak_rss(spec, AlignmentPolicy::PowerOfTwo) as f64;
+    lmi / base - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{all_workloads, rodinia_workloads};
+
+    fn spec(name: &str) -> WorkloadSpec {
+        all_workloads().into_iter().find(|w| w.name == name).unwrap()
+    }
+
+    #[test]
+    fn prepared_buffers_match_params() {
+        let p = prepare(&spec("backprop"), AlignmentPolicy::PowerOfTwo);
+        assert_eq!(p.buffers.len(), p.launch.params.len());
+        for (&(base, _), &param) in p.buffers.iter().zip(&p.launch.params) {
+            assert_eq!(DevicePtr::from_raw(param).addr(), base);
+            assert!(DevicePtr::from_raw(param).is_valid(&PtrConfig::default()));
+        }
+    }
+
+    #[test]
+    fn baseline_params_carry_no_extents() {
+        let p = prepare(&spec("bfs"), AlignmentPolicy::CudaDefault);
+        for &param in &p.launch.params {
+            assert_eq!(DevicePtr::from_raw(param).extent(), 0);
+        }
+    }
+
+    #[test]
+    fn fig4_named_benchmarks_match_the_paper() {
+        let ov = |n: &str| fragmentation_overhead(&spec(n));
+        assert!((ov("backprop") - 0.859).abs() < 0.01, "backprop {}", ov("backprop"));
+        assert!((ov("needle") - 0.929).abs() < 0.012, "needle {}", ov("needle"));
+        assert!(ov("hotspot") < 0.005, "hotspot {}", ov("hotspot"));
+        assert!(ov("srad_v1") < 0.005);
+        assert!(ov("srad_v2") < 0.005);
+    }
+
+    #[test]
+    fn fig4_geomean_is_near_18_73_percent() {
+        let rodinia = rodinia_workloads();
+        let lnsum: f64 = rodinia
+            .iter()
+            .map(|w| (1.0 + fragmentation_overhead(w)).ln())
+            .sum();
+        let geomean = (lnsum / rodinia.len() as f64).exp() - 1.0;
+        assert!(
+            (geomean - 0.1873).abs() < 0.02,
+            "geomean fragmentation {geomean} vs paper 0.1873"
+        );
+    }
+}

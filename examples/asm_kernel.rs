@@ -1,0 +1,51 @@
+//! Writing a kernel directly in SASS-like assembly, assembling it to
+//! 128-bit microcode, and running it under LMI.
+//!
+//! Run with: `cargo run --example asm_kernel`
+
+use lmi::core::{DevicePtr, PtrConfig};
+use lmi::isa::asm::assemble;
+use lmi::isa::ComputeCapability;
+use lmi::mem::layout;
+use lmi::sim::{Gpu, GpuConfig, Launch, LmiMechanism};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // data[tid] = tid * tid, with the pointer op carrying the A/S hints.
+    let program = assemble(
+        "squares",
+        r#"
+        S2R  R0, 0                   // tid
+        LDC  R4, c[0x0][0x160]       // data pointer (extent-tagged)
+        IMAD R1, R0, R0, RZ          // tid^2
+        LEA64.A0 R6, R4, R0, 2       // &data[tid], OCU-checked
+        STG  [R6], R1
+        EXIT
+        "#,
+    )?;
+
+    // Show the encoded microcode with its hint bits.
+    println!("microcode (A/S bits live at positions 28/27):");
+    for (ins, word) in program
+        .instructions
+        .iter()
+        .zip(program.assemble(ComputeCapability::Cc80)?)
+    {
+        println!("  {word}  {ins}");
+    }
+
+    let cfg = PtrConfig::default();
+    let buf = DevicePtr::encode(layout::GLOBAL_BASE, 4096, &cfg)?;
+    let launch = Launch::new(program).grid(1).block(64).param(buf.raw());
+    let mut gpu = Gpu::new(GpuConfig::small());
+    let mut mech = LmiMechanism::default_config();
+    let stats = gpu.run(&launch, &mut mech);
+    assert!(!stats.violated());
+
+    println!("\nresults:");
+    for tid in [0u64, 1, 7, 63] {
+        println!("  data[{tid}] = {}", gpu.memory.read(buf.addr() + tid * 4, 4));
+        assert_eq!(gpu.memory.read(buf.addr() + tid * 4, 4), tid * tid);
+    }
+    println!("\n{} cycles, {} instructions issued", stats.cycles, stats.issued);
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Quickstart: the LMI pointer life cycle, end to end.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use lmi::core::{DevicePtr, ExtentChecker, Ocu, PtrConfig, Violation};
+use lmi::isa::{abi, HintBits, Instruction, MemRef, ProgramBuilder, Reg};
+use lmi::mem::layout;
+use lmi::sim::{Gpu, GpuConfig, Launch, LmiMechanism};
+
+fn main() {
+    let cfg = PtrConfig::default();
+
+    // --- 1. Pointer generation (the allocator's job) --------------------
+    // cudaMalloc(1000) rounds to 1024 B, places the buffer 1024-aligned,
+    // and embeds extent 3 in the top bits of the returned pointer.
+    let ptr = DevicePtr::encode(0x1234_5400, 1000, &cfg).expect("aligned");
+    println!("allocated:   {ptr}  (size {:?})", ptr.size(&cfg));
+
+    // --- 2. Pointer update (the OCU's job) -------------------------------
+    let ocu = Ocu::new(cfg);
+    let (ok, outcome) = ocu.check_marked(ptr.raw(), ptr.raw() + 1016);
+    println!("p + 1016  -> {} ({outcome:?})", DevicePtr::from_raw(ok));
+    let (bad, outcome) = ocu.check_marked(ptr.raw(), ptr.raw() + 1024);
+    println!("p + 1024  -> {} ({outcome:?})", DevicePtr::from_raw(bad));
+
+    // --- 3. Pointer dereference (the EC's job) ---------------------------
+    let ec = ExtentChecker::new(cfg);
+    assert!(ec.check_access(ok).is_ok());
+    match ec.check_access(bad) {
+        Err(v) => println!("dereference of poisoned pointer: {v}"),
+        Ok(_) => unreachable!("the EC faults poisoned pointers"),
+    }
+
+    // --- 4. The same flow on the cycle simulator -------------------------
+    // A one-thread kernel walks off a 256-byte buffer and dereferences.
+    let buf = DevicePtr::encode(layout::GLOBAL_BASE, 256, &cfg).unwrap();
+    let mut b = ProgramBuilder::new("oob_demo");
+    b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
+    b.push(Instruction::iadd64(Reg(4), Reg(4), 256).with_hints(HintBits::check_operand(0)));
+    b.push(Instruction::stg(MemRef::new(Reg(4), 0, 4), Reg(0)));
+    b.push(Instruction::exit());
+    let launch = Launch::new(b.build()).grid(1).block(1).param(buf.raw());
+
+    let mut gpu = Gpu::new(GpuConfig::security());
+    let mut mech = LmiMechanism::default_config();
+    let stats = gpu.run(&launch, &mut mech);
+    let event = stats.violations.first().expect("the OOB store faults");
+    assert!(matches!(event.violation, Violation::InvalidPointer { .. }));
+    println!(
+        "simulator:   warp {} at pc {} -> {}",
+        event.warp, event.pc, event.violation
+    );
+    println!("simulated cycles: {}", stats.cycles);
+}

@@ -1,0 +1,56 @@
+//! # lmi — a Rust reproduction of *Let-Me-In* (HPCA 2025)
+//!
+//! LMI is a fine-grained GPU memory-safety mechanism: allocations are
+//! rounded to powers of two, the size exponent ("extent") lives in the
+//! upper 5 bits of each 64-bit pointer, a tiny Overflow Checking Unit next
+//! to every integer ALU verifies compiler-marked pointer arithmetic, and an
+//! Extent Checker in the load/store unit faults dereferences of poisoned or
+//! freed pointers.
+//!
+//! This workspace implements the full system and every substrate the paper
+//! evaluates it on:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | `lmi_core` | pointer format, OCU, EC, temporal safety, liveness tracking, gate-level hardware model |
+//! | `lmi_isa` | SASS-like ISA, 128-bit microcode with the A/S hint bits |
+//! | `lmi_mem` | caches, DRAM, functional backing store |
+//! | `lmi_sim` | cycle-level SIMT simulator with pluggable mechanisms |
+//! | `lmi_alloc` | 2ⁿ-aligned allocators for every GPU memory type |
+//! | `lmi_compiler` | kernel IR, the LMI pass, hint-bit codegen |
+//! | `lmi_baselines` | GPUShield, Baggy Bounds, canary, cuCatch, DBI |
+//! | `lmi_workloads` | the 28 synthetic Table V benchmarks |
+//! | `lmi_security` | the 38 Table III violation test cases |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lmi::core::{DevicePtr, Ocu, ExtentChecker, PtrConfig};
+//!
+//! let cfg = PtrConfig::default();
+//! let ptr = DevicePtr::encode(0x1000_0000, 1000, &cfg)?; // rounds to 1024
+//! let ocu = Ocu::new(cfg);
+//! let ec = ExtentChecker::new(cfg);
+//!
+//! // In-bounds arithmetic and access:
+//! let (p, _) = ocu.check_marked(ptr.raw(), ptr.raw() + 512);
+//! assert!(ec.check_access(p).is_ok());
+//!
+//! // Out-of-bounds arithmetic poisons; the dereference faults:
+//! let (bad, _) = ocu.check_marked(ptr.raw(), ptr.raw() + 1024);
+//! assert!(ec.check_access(bad).is_err());
+//! # Ok::<(), lmi::core::PtrError>(())
+//! ```
+//!
+//! See `examples/` for runnable end-to-end programs and `crates/bench` for
+//! the figure/table regeneration harness.
+
+pub use lmi_alloc as alloc;
+pub use lmi_baselines as baselines;
+pub use lmi_compiler as compiler;
+pub use lmi_core as core;
+pub use lmi_isa as isa;
+pub use lmi_mem as mem;
+pub use lmi_security as security;
+pub use lmi_sim as sim;
+pub use lmi_workloads as workloads;

@@ -1,0 +1,198 @@
+//! Differential fuzzing: random well-typed kernels are compiled twice —
+//! unprotected and with the LMI pass — and executed on the simulator.
+//!
+//! Invariants checked (the paper's correctness claims):
+//! * **No false positives**: a memory-safe kernel never faults under LMI
+//!   (correct-by-construction, delayed termination).
+//! * **Semantic transparency**: both builds produce identical memory
+//!   contents — LMI's instrumentation never changes program results.
+
+use lmi::compiler::ir::{CmpKind, Function, FunctionBuilder, IBinOp, Region, Ty};
+use lmi::compiler::{compile, CompileOptions};
+use lmi::core::{DevicePtr, PtrConfig};
+use lmi::mem::layout;
+use lmi::sim::{Gpu, GpuConfig, Launch, LmiMechanism, NullMechanism};
+use proptest::prelude::*;
+
+/// A recipe for one random-but-safe kernel.
+#[derive(Debug, Clone)]
+struct KernelRecipe {
+    /// Element strides for global accesses (kept within the buffer).
+    global_ops: Vec<(u16, bool)>, // (index offset, is_store)
+    /// Same for a stack buffer of 64 elements.
+    local_ops: Vec<(u8, bool)>,
+    /// Arithmetic mixed in between.
+    arith: Vec<u8>,
+    /// Loop trip count (0 = straight line).
+    trips: u8,
+}
+
+fn arb_recipe() -> impl Strategy<Value = KernelRecipe> {
+    (
+        proptest::collection::vec(((0u16..900), any::<bool>()), 1..8),
+        proptest::collection::vec(((0u8..64), any::<bool>()), 0..4),
+        proptest::collection::vec(any::<u8>(), 0..6),
+        0u8..4,
+    )
+        .prop_map(|(global_ops, local_ops, arith, trips)| KernelRecipe {
+            global_ops,
+            local_ops,
+            arith,
+            trips,
+        })
+}
+
+/// Expands a recipe into a well-typed, memory-safe kernel.
+fn build_kernel(recipe: &KernelRecipe) -> Function {
+    let mut b = FunctionBuilder::new("fuzz");
+    let data = b.param(Ty::Ptr(Region::Global));
+    let buf = b.alloca(256); // 64 i32 elements
+    let tid = b.tid();
+    let zero = b.const_i32(0);
+    let acc = b.var(zero);
+    let iter = b.var(zero);
+
+    let body = b.new_block();
+    let exit = b.new_block();
+    b.jump(body);
+    b.switch_to(body);
+
+    for &(off, is_store) in &recipe.global_ops {
+        // Index stays within the 1024-element buffer: (tid + off) covers at
+        // most 255 + 900 < 1024.
+        let off_v = b.const_i32(off as i32);
+        let idx = b.ibin(IBinOp::Add, tid, off_v);
+        let e = b.gep(data, idx, 4);
+        if is_store {
+            let v = b.read_var(acc);
+            b.store(e, v, 4);
+        } else {
+            let v = b.load_i32(e);
+            let cur = b.read_var(acc);
+            let next = b.ibin(IBinOp::Add, cur, v);
+            b.write_var(acc, next);
+        }
+    }
+    for &(off, is_store) in &recipe.local_ops {
+        let off_v = b.const_i32(off as i32 % 64);
+        let e = b.gep(buf, off_v, 4);
+        if is_store {
+            let v = b.read_var(acc);
+            b.store(e, v, 4);
+        } else {
+            let v = b.load_i32(e);
+            let cur = b.read_var(acc);
+            let next = b.ibin(IBinOp::Xor, cur, v);
+            b.write_var(acc, next);
+        }
+    }
+    for &k in &recipe.arith {
+        let c = b.const_i32(k as i32 + 1);
+        let cur = b.read_var(acc);
+        let op = match k % 4 {
+            0 => IBinOp::Add,
+            1 => IBinOp::Mul,
+            2 => IBinOp::Xor,
+            _ => IBinOp::Or,
+        };
+        let next = b.ibin(op, cur, c);
+        b.write_var(acc, next);
+    }
+
+    let one = b.const_i32(1);
+    let iv = b.read_var(iter);
+    let next = b.ibin(IBinOp::Add, iv, one);
+    b.write_var(iter, next);
+    let n = b.const_i32(recipe.trips as i32);
+    let c = b.cmp(CmpKind::Lt, next, n);
+    b.branch(c, body, exit);
+    b.switch_to(exit);
+
+    // Publish the accumulator so both builds' results are observable.
+    let out = b.gep(data, tid, 4);
+    let v = b.read_var(acc);
+    b.store(out, v, 4);
+    b.ret();
+    b.build()
+}
+
+fn snapshot(gpu: &Gpu, base: u64) -> Vec<u64> {
+    (0..64u64).map(|i| gpu.memory.read(base + i * 4, 4)).collect()
+}
+
+// Quieter-than-default case count: each case runs four simulations.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lmi_is_transparent_and_false_positive_free(recipe in arb_recipe()) {
+        let cfg = PtrConfig::default();
+        let kernel = build_kernel(&recipe);
+
+        // Unprotected build + bare pointer.
+        let base_bin = compile(&kernel, CompileOptions::baseline()).unwrap();
+        let base_addr = layout::GLOBAL_BASE + 0x100000;
+        let launch = Launch::new(base_bin.program)
+            .grid(1)
+            .block(64)
+            .param(base_addr);
+        let mut gpu_base = Gpu::new(GpuConfig::security());
+        for i in 0..1024u64 {
+            gpu_base.memory.write(base_addr + i * 4, i.wrapping_mul(2654435761), 4);
+        }
+        let stats = gpu_base.run(&launch, &mut NullMechanism);
+        prop_assert!(!stats.violated());
+
+        // LMI build + extent-carrying pointer.
+        let lmi_bin = compile(&kernel, CompileOptions::default()).unwrap();
+        let ptr = DevicePtr::encode(base_addr, 4096, &cfg).unwrap();
+        let launch = Launch::new(lmi_bin.program).grid(1).block(64).param(ptr.raw());
+        let mut gpu_lmi = Gpu::new(GpuConfig::security());
+        for i in 0..1024u64 {
+            gpu_lmi.memory.write(base_addr + i * 4, i.wrapping_mul(2654435761), 4);
+        }
+        let mut mech = LmiMechanism::default_config();
+        let stats = gpu_lmi.run(&launch, &mut mech);
+
+        // No false positives on a memory-safe kernel.
+        prop_assert!(
+            !stats.violated(),
+            "false positive: {:?} (recipe {:?})",
+            stats.violations.first(),
+            recipe
+        );
+        // Bit-identical results.
+        prop_assert_eq!(snapshot(&gpu_base, base_addr), snapshot(&gpu_lmi, base_addr));
+    }
+
+    /// Injecting a single OOB global access into any safe recipe makes the
+    /// LMI build fault (soundness under arbitrary surrounding code).
+    #[test]
+    fn injected_oob_is_always_caught(recipe in arb_recipe(), escape in 1024u32..50_000) {
+        let cfg = PtrConfig::default();
+        // Rebuild the kernel with one extra far-OOB store at the end.
+        let mut b = FunctionBuilder::new("fuzz_oob");
+        let data = b.param(Ty::Ptr(Region::Global));
+        let tid = b.tid();
+        for &(off, _) in recipe.global_ops.iter().take(3) {
+            let off_v = b.const_i32(off as i32);
+            let idx = b.ibin(IBinOp::Add, tid, off_v);
+            let e = b.gep(data, idx, 4);
+            let _ = b.load_i32(e);
+        }
+        let oob = b.const_i32(escape as i32);
+        let e = b.gep(data, oob, 4);
+        b.store(e, tid, 4);
+        b.ret();
+        let kernel = b.build();
+
+        let lmi_bin = compile(&kernel, CompileOptions::default()).unwrap();
+        let base_addr = layout::GLOBAL_BASE + 0x200000;
+        let ptr = DevicePtr::encode(base_addr, 4096, &cfg).unwrap();
+        let launch = Launch::new(lmi_bin.program).grid(1).block(32).param(ptr.raw());
+        let mut gpu = Gpu::new(GpuConfig::security());
+        let mut mech = LmiMechanism::default_config();
+        let stats = gpu.run(&launch, &mut mech);
+        prop_assert!(stats.violated(), "escape to element {} undetected", escape);
+    }
+}

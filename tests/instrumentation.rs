@@ -1,0 +1,84 @@
+//! Integration tests of the software baselines: instrumented binaries must
+//! preserve kernel semantics while paying their documented costs.
+
+use lmi::baselines::{instrument_baggy, instrument_lmi_dbi, instrument_memcheck};
+use lmi::core::{DevicePtr, PtrConfig};
+use lmi::isa::instr::CmpOp;
+use lmi::isa::reg::PredReg;
+use lmi::isa::{abi, HintBits, Instruction, MemRef, Program, ProgramBuilder, Reg};
+use lmi::mem::layout;
+use lmi::sim::{Gpu, GpuConfig, Launch, NullMechanism};
+
+/// A looped kernel writing `out[gid] = gid` plus pointer arithmetic — the
+/// shape every instrumentation pass must leave semantically intact.
+fn looped_kernel() -> Program {
+    let mut b = ProgramBuilder::new("looped");
+    b.push(Instruction::s2r(Reg(0), lmi::isa::op::SpecialReg::TidX));
+    b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
+    b.push(Instruction::mov(Reg(2), 0));
+    let top = b.label();
+    b.push(Instruction::lea64(Reg(6), Reg(4), Reg(0), 2).with_hints(HintBits::check_operand(0)));
+    b.push(Instruction::stg(MemRef::new(Reg(6), 0, 4), Reg(0)));
+    b.push(Instruction::iadd3(Reg(2), Reg(2), 1));
+    b.push(Instruction::isetp(PredReg(0), Reg(2), CmpOp::Lt, 4));
+    b.branch_if(top, PredReg(0), false);
+    b.push(Instruction::exit());
+    b.build()
+}
+
+fn run(program: Program) -> Gpu {
+    let buf = DevicePtr::encode(layout::GLOBAL_BASE, 4096, &PtrConfig::default()).unwrap();
+    let launch = Launch::new(program).grid(1).block(64).param(buf.raw());
+    let mut gpu = Gpu::new(GpuConfig::small());
+    let stats = gpu.run(&launch, &mut NullMechanism);
+    assert!(!stats.violated());
+    gpu
+}
+
+fn output_of(gpu: &Gpu) -> Vec<u64> {
+    (0..64u64).map(|t| gpu.memory.read(layout::GLOBAL_BASE + t * 4, 4)).collect()
+}
+
+#[test]
+fn baggy_instrumentation_preserves_semantics() {
+    let original = looped_kernel();
+    let reference = output_of(&run(original.clone()));
+    let instrumented = instrument_baggy(&original);
+    assert!(instrumented.len() > original.len());
+    assert_eq!(output_of(&run(instrumented)), reference);
+}
+
+#[test]
+fn dbi_instrumentation_preserves_semantics() {
+    let original = looped_kernel();
+    let reference = output_of(&run(original.clone()));
+    for instrumented in [instrument_lmi_dbi(&original), instrument_memcheck(&original)] {
+        assert_eq!(output_of(&run(instrumented)), reference);
+    }
+}
+
+#[test]
+fn instrumented_loops_still_iterate_correctly() {
+    // The loop body's branch target remapping must keep the trip count at 4
+    // — a wrong target would change the iteration count or hang.
+    let original = looped_kernel();
+    let instrumented = instrument_memcheck(&original);
+    let buf = DevicePtr::encode(layout::GLOBAL_BASE, 4096, &PtrConfig::default()).unwrap();
+    let launch = Launch::new(instrumented).grid(1).block(32).param(buf.raw());
+    let mut gpu = Gpu::new(GpuConfig::small());
+    let stats = gpu.run(&launch, &mut NullMechanism);
+    // 32 lanes × 4 iterations × 1 STG = warp executes 4 warp-level STGs,
+    // plus the injected stub's local traffic.
+    assert_eq!(stats.mem_count(lmi::isa::MemSpace::Global), 4);
+    assert!(stats.mem_count(lmi::isa::MemSpace::Local) > 0, "stub spills executed");
+}
+
+#[test]
+fn instrumentation_cost_ordering_holds() {
+    let original = looped_kernel();
+    let baggy = instrument_baggy(&original);
+    let memcheck = instrument_memcheck(&original);
+    let lmi_dbi = instrument_lmi_dbi(&original);
+    assert!(baggy.len() < memcheck.len(), "inline checks are far cheaper than DBI stubs");
+    assert!(memcheck.len() < lmi_dbi.len(), "LMI-DBI instruments strictly more sites");
+}
