@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use lmi_core::{DevicePtr, PtrConfig};
 
@@ -146,7 +146,7 @@ impl DeviceHeap {
         let (reserved, header) = self.reserved_for(size);
         let gid = thread_id % self.groups.len();
         let group_base = self.arena_base + gid as u64 * self.group_span;
-        let mut group = self.groups[gid].lock();
+        let mut group = self.groups[gid].lock().unwrap();
 
         let align = self.policy.alignment_for(reserved, &self.cfg);
         let base = (group_base + group.cursor).next_multiple_of(align);
@@ -157,7 +157,7 @@ impl DeviceHeap {
         group.live.insert(base, (size, reserved));
         group.freed.retain(|b| *b != base);
 
-        let mut stats = self.stats.lock();
+        let mut stats = self.stats.lock().unwrap();
         stats.requested += size;
         stats.reserved += reserved;
         stats.header_bytes += header;
@@ -193,11 +193,11 @@ impl DeviceHeap {
             return Err(AllocError::InvalidFree(addr));
         }
         let gid = ((addr - self.arena_base) / self.group_span) as usize;
-        let mut group = self.groups[gid].lock();
+        let mut group = self.groups[gid].lock().unwrap();
         match group.live.remove(&addr) {
             Some((requested, reserved)) => {
                 group.freed.push(addr);
-                let mut stats = self.stats.lock();
+                let mut stats = self.stats.lock().unwrap();
                 stats.requested -= requested;
                 stats.reserved -= reserved;
                 stats.live -= 1;
@@ -210,7 +210,7 @@ impl DeviceHeap {
 
     /// Aggregate statistics.
     pub fn stats(&self) -> DeviceHeapStats {
-        *self.stats.lock()
+        *self.stats.lock().unwrap()
     }
 
     /// Ground truth for the security suite: the live heap buffer containing
@@ -221,7 +221,7 @@ impl DeviceHeap {
             return None;
         }
         let gid = ((addr - self.arena_base) / self.group_span) as usize;
-        let group = self.groups[gid].lock();
+        let group = self.groups[gid].lock().unwrap();
         group
             .live
             .iter()

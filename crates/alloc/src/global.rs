@@ -165,10 +165,7 @@ impl GlobalAllocator {
             None => {
                 // Distinguish double free (previously live, now recycled or
                 // freed) from a wild/interior pointer.
-                let was_ours = self
-                    .free
-                    .values()
-                    .any(|list| list.contains(&addr));
+                let was_ours = self.free.values().any(|list| list.contains(&addr));
                 if was_ours {
                     Err(AllocError::DoubleFree(addr))
                 } else {
@@ -310,12 +307,8 @@ mod tests {
 
     #[test]
     fn out_of_memory_is_reported() {
-        let mut a = GlobalAllocator::new(
-            PtrConfig::default(),
-            AlignmentPolicy::PowerOfTwo,
-            ARENA,
-            4096,
-        );
+        let mut a =
+            GlobalAllocator::new(PtrConfig::default(), AlignmentPolicy::PowerOfTwo, ARENA, 4096);
         a.alloc(2048).unwrap();
         a.alloc(2048).unwrap();
         assert_eq!(a.alloc(256), Err(AllocError::OutOfMemory));

@@ -155,12 +155,8 @@ mod tests {
 
     #[test]
     fn window_exhaustion_detected() {
-        let mut l = SharedLayout::new(
-            PtrConfig::default(),
-            AlignmentPolicy::PowerOfTwo,
-            BASE,
-            2048,
-        );
+        let mut l =
+            SharedLayout::new(PtrConfig::default(), AlignmentPolicy::PowerOfTwo, BASE, 2048);
         l.place_static(1024).unwrap();
         l.place_static(1024).unwrap();
         assert_eq!(l.place_static(1), Err(AllocError::OutOfMemory));

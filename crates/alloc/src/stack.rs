@@ -81,10 +81,7 @@ impl ThreadStack {
 
     /// Ground truth: the live stack buffer containing `addr`.
     pub fn buffer_containing(&self, addr: u64) -> Option<(u64, u64)> {
-        self.frames
-            .iter()
-            .copied()
-            .find(|&(base, reserved)| addr >= base && addr < base + reserved)
+        self.frames.iter().copied().find(|&(base, reserved)| addr >= base && addr < base + reserved)
     }
 }
 
@@ -135,12 +132,8 @@ mod tests {
 
     #[test]
     fn overflow_is_detected() {
-        let mut s = ThreadStack::new(
-            PtrConfig::default(),
-            AlignmentPolicy::PowerOfTwo,
-            WINDOW,
-            1024,
-        );
+        let mut s =
+            ThreadStack::new(PtrConfig::default(), AlignmentPolicy::PowerOfTwo, WINDOW, 1024);
         s.push(512).unwrap();
         s.push(256).unwrap();
         s.push(256).unwrap();

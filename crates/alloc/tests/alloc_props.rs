@@ -1,10 +1,10 @@
-//! Property tests on the allocators: alignment, non-overlap, RSS
-//! accounting, and recycling invariants under arbitrary alloc/free
-//! interleavings.
+//! Randomized property tests on the allocators: alignment, non-overlap,
+//! RSS accounting, and recycling invariants under arbitrary alloc/free
+//! interleavings. Seeded SplitMix64 keeps failures reproducible.
 
 use lmi_alloc::{AlignmentPolicy, DeviceHeap, GlobalAllocator, ThreadStack};
 use lmi_core::{DevicePtr, PtrConfig};
-use proptest::prelude::*;
+use lmi_telemetry::SplitMix64;
 
 const ARENA: u64 = 0x0100_0000_0000;
 const HEAP: u64 = 0x0200_0000_0000;
@@ -17,117 +17,132 @@ enum Op {
     Free(usize),
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (1u64..200_000).prop_map(Op::Alloc),
-            (0usize..16).prop_map(Op::Free),
-        ],
-        1..60,
-    )
+fn ops(rng: &mut SplitMix64) -> Vec<Op> {
+    let count = rng.range(1, 60) as usize;
+    (0..count)
+        .map(|_| {
+            if rng.chance(0.5) {
+                Op::Alloc(rng.range(1, 200_000))
+            } else {
+                Op::Free(rng.below(16) as usize)
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn global_allocator_invariants(ops in arb_ops()) {
+#[test]
+fn global_allocator_invariants() {
+    let mut rng = SplitMix64::new(0xA110C);
+    for case in 0..200 {
         let cfg = PtrConfig::default();
         let mut a = GlobalAllocator::new(cfg, AlignmentPolicy::PowerOfTwo, ARENA, 1 << 32);
         let mut live: Vec<(u64, u64)> = Vec::new(); // (raw, requested)
-        for op in ops {
+        for op in ops(&mut rng) {
             match op {
                 Op::Alloc(size) => {
                     let raw = a.alloc(size).unwrap();
                     let p = DevicePtr::from_raw(raw);
                     // Alignment: base is aligned to the rounded size.
                     let rounded = cfg.round_up(size).unwrap();
-                    prop_assert_eq!(p.addr() % rounded, 0);
-                    prop_assert_eq!(p.size(&cfg), Some(rounded));
+                    assert_eq!(p.addr() % rounded, 0, "case {case}");
+                    assert_eq!(p.size(&cfg), Some(rounded), "case {case}");
                     // Non-overlap with every live buffer.
                     for &(other, _) in &live {
                         let q = DevicePtr::from_raw(other);
                         let (b1, s1) = (p.addr(), rounded);
                         let (b2, s2) = (q.addr(), q.size(&cfg).unwrap());
-                        prop_assert!(b1 + s1 <= b2 || b2 + s2 <= b1,
-                            "overlap {:#x}+{} vs {:#x}+{}", b1, s1, b2, s2);
+                        assert!(
+                            b1 + s1 <= b2 || b2 + s2 <= b1,
+                            "case {case}: overlap {b1:#x}+{s1} vs {b2:#x}+{s2}"
+                        );
                     }
                     live.push((raw, size));
                 }
                 Op::Free(n) => {
                     if !live.is_empty() {
                         let (raw, _) = live.remove(n % live.len());
-                        prop_assert!(a.free(raw).is_ok());
+                        assert!(a.free(raw).is_ok(), "case {case}");
                     }
                 }
             }
             // RSS accounting matches the live set exactly.
-            let expect: u64 = live
-                .iter()
-                .map(|&(_, s)| cfg.round_up(s).unwrap())
-                .sum();
-            prop_assert_eq!(a.rss().current, expect);
-            prop_assert_eq!(a.live_count(), live.len());
+            let expect: u64 = live.iter().map(|&(_, s)| cfg.round_up(s).unwrap()).sum();
+            assert_eq!(a.rss().current, expect, "case {case}");
+            assert_eq!(a.live_count(), live.len(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn double_free_always_detected(size in 1u64..100_000) {
+#[test]
+fn double_free_always_detected() {
+    let mut rng = SplitMix64::new(0xD0B1E);
+    for _ in 0..300 {
+        let size = rng.range(1, 100_000);
         let cfg = PtrConfig::default();
         let mut a = GlobalAllocator::new(cfg, AlignmentPolicy::PowerOfTwo, ARENA, 1 << 32);
         let raw = a.alloc(size).unwrap();
         a.free(raw).unwrap();
-        prop_assert!(a.free(raw).is_err());
+        assert!(a.free(raw).is_err(), "size={size}");
     }
+}
 
-    #[test]
-    fn device_heap_pointers_are_valid_and_disjoint(
-        sizes in proptest::collection::vec(1u64..50_000, 1..40),
-    ) {
+#[test]
+fn device_heap_pointers_are_valid_and_disjoint() {
+    let mut rng = SplitMix64::new(0x8EA9);
+    for case in 0..150 {
         let cfg = PtrConfig::default();
         let heap = DeviceHeap::new(cfg, AlignmentPolicy::PowerOfTwo, HEAP, 8, 1 << 24);
         let mut regions: Vec<(u64, u64)> = Vec::new();
-        for (tid, &size) in sizes.iter().enumerate() {
+        let count = rng.range(1, 40) as usize;
+        for tid in 0..count {
+            let size = rng.range(1, 50_000);
             let raw = heap.malloc(tid, size).unwrap();
             let p = DevicePtr::from_raw(raw);
-            prop_assert!(p.is_valid(&cfg));
+            assert!(p.is_valid(&cfg), "case {case} size={size}");
             let s = p.size(&cfg).unwrap();
-            prop_assert!(s >= size);
-            prop_assert_eq!(p.addr() % s, 0);
+            assert!(s >= size, "case {case} size={size}");
+            assert_eq!(p.addr() % s, 0, "case {case} size={size}");
             for &(b2, s2) in &regions {
-                prop_assert!(p.addr() + s <= b2 || b2 + s2 <= p.addr());
+                assert!(p.addr() + s <= b2 || b2 + s2 <= p.addr(), "case {case}: overlap");
             }
             regions.push((p.addr(), s));
         }
     }
+}
 
-    #[test]
-    fn stack_frames_nest_and_restore(sizes in proptest::collection::vec(1u64..4_000, 1..12)) {
+#[test]
+fn stack_frames_nest_and_restore() {
+    let mut rng = SplitMix64::new(0x57AC);
+    for case in 0..200 {
         let cfg = PtrConfig::default();
         let mut stack = ThreadStack::new(cfg, AlignmentPolicy::PowerOfTwo, STACK, 1 << 20);
         let sp0 = stack.sp();
-        let mut frames = Vec::new();
-        for &size in &sizes {
+        let count = rng.range(1, 12) as usize;
+        for _ in 0..count {
+            let size = rng.range(1, 4_000);
             let raw = stack.push(size).unwrap();
             let p = DevicePtr::from_raw(raw);
             let s = p.size(&cfg).unwrap();
-            prop_assert_eq!(p.addr() % s, 0, "frame self-aligned");
-            frames.push(raw);
+            assert_eq!(p.addr() % s, 0, "case {case}: frame self-aligned");
         }
-        for _ in &sizes {
+        for _ in 0..count {
             stack.pop();
         }
-        prop_assert_eq!(stack.sp(), sp0, "LIFO discipline restores sp");
+        assert_eq!(stack.sp(), sp0, "case {case}: LIFO discipline restores sp");
     }
+}
 
-    #[test]
-    fn policies_agree_on_power_of_two_sizes(exp in 8u32..22) {
-        // Power-of-two requests cost the same under both policies — the
-        // reason the perf workloads are layout-fair between runs.
+#[test]
+fn policies_agree_on_power_of_two_sizes() {
+    // Power-of-two requests cost the same under both policies — the
+    // reason the perf workloads are layout-fair between runs.
+    for exp in 8u32..22 {
         let cfg = PtrConfig::default();
         let size = 1u64 << exp;
         let mut base = GlobalAllocator::new(cfg, AlignmentPolicy::CudaDefault, ARENA, 1 << 32);
         let mut lmi = GlobalAllocator::new(cfg, AlignmentPolicy::PowerOfTwo, ARENA, 1 << 32);
         base.alloc(size).unwrap();
         lmi.alloc(size).unwrap();
-        prop_assert_eq!(base.rss().peak, lmi.rss().peak);
+        assert_eq!(base.rss().peak, lmi.rss().peak, "exp={exp}");
     }
 }

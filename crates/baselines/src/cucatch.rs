@@ -166,10 +166,7 @@ mod tests {
         let mut c = CuCatch::new();
         let tag = c.tag_buffer(A, 256);
         c.free(A);
-        assert_eq!(
-            c.check(tag, A),
-            Err(Violation::Temporal(TemporalKind::UseAfterFree))
-        );
+        assert_eq!(c.check(tag, A), Err(Violation::Temporal(TemporalKind::UseAfterFree)));
     }
 
     #[test]

@@ -96,10 +96,11 @@ pub fn instrument_lmi_dbi(program: &Program) -> Program {
 /// tripwire checks around loads/stores only.
 pub fn instrument_memcheck(program: &Program) -> Program {
     let scratch = Reg(program.regs_per_thread.min(118));
-    let mut out = instrument(
-        program,
-        |ins, _| if is_checked_mem(ins) { call_seq(scratch) } else { Vec::new() },
-    );
+    let mut out =
+        instrument(
+            program,
+            |ins, _| if is_checked_mem(ins) { call_seq(scratch) } else { Vec::new() },
+        );
     for ins in &mut out.instructions {
         ins.hints = lmi_isa::HintBits::NONE;
     }

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use lmi_core::Violation;
 use lmi_isa::MemSpace;
 use lmi_mem::{layout, Cache, CacheConfig};
-use lmi_sim::{MemAccessCtx, MemCheck, Mechanism};
+use lmi_sim::{Mechanism, MemAccessCtx, MemCheck};
 
 /// Synthetic address of the in-memory bounds table (for RCache miss
 /// fills routed through the L2).
@@ -100,9 +100,7 @@ impl GpuShield {
     }
 
     fn region_index_of(&self, vaddr: u64) -> Option<usize> {
-        self.regions
-            .iter()
-            .position(|r| vaddr >= r.base && vaddr < r.base + r.size)
+        self.regions.iter().position(|r| vaddr >= r.base && vaddr < r.base + r.size)
     }
 
     /// Region-level spatial check used by the security suite directly.
@@ -128,10 +126,7 @@ impl Mechanism for GpuShield {
                     Some(index) => {
                         let entry = BOUNDS_TABLE_BASE + index as u64 * ENTRY_BYTES;
                         let warp = ctx.global_tid / 32;
-                        let hit = self
-                            .warp_rcache(warp)
-                            .map(|c| c.access(entry))
-                            .unwrap_or(false);
+                        let hit = self.warp_rcache(warp).map(|c| c.access(entry)).unwrap_or(false);
                         if hit {
                             self.rcache_hits += 1;
                             MemCheck::allow()
@@ -179,7 +174,17 @@ mod tests {
     use super::*;
 
     fn ctx(space: MemSpace, vaddr: u64) -> MemAccessCtx {
-        MemAccessCtx { space, raw: vaddr, vaddr, width: 4, is_store: false, global_tid: 0 }
+        MemAccessCtx {
+            space,
+            raw: vaddr,
+            vaddr,
+            width: 4,
+            is_store: false,
+            global_tid: 0,
+            pc: 0,
+            lane: 0,
+            issue_index: 0,
+        }
     }
 
     #[test]
@@ -221,10 +226,8 @@ mod tests {
         // misses.
         for round in 0..4 {
             for i in 0..64u64 {
-                let _ = gs.on_mem_access(&ctx(
-                    MemSpace::Global,
-                    layout::GLOBAL_BASE + i * 8192 + round,
-                ));
+                let _ = gs
+                    .on_mem_access(&ctx(MemSpace::Global, layout::GLOBAL_BASE + i * 8192 + round));
             }
         }
         assert!(gs.rcache_misses > gs.rcache_hits * 10, "thrashing dominates");

@@ -1,19 +1,19 @@
-//! Property tests for the binary-rewriting engine: under arbitrary
-//! injection patterns, control flow is preserved — every branch still
-//! lands on the instruction it originally targeted.
+//! Randomized property tests for the binary-rewriting engine: under
+//! arbitrary injection patterns, control flow is preserved — every branch
+//! still lands on the instruction it originally targeted. Seeded
+//! SplitMix64 keeps failures reproducible.
 
 use lmi_baselines::instrument;
 use lmi_isa::instr::CmpOp;
 use lmi_isa::reg::PredReg;
 use lmi_isa::{Instruction, Opcode, Operand, Program, ProgramBuilder, Reg};
-use proptest::prelude::*;
+use lmi_telemetry::SplitMix64;
 
 /// Builds a program with `n` filler instructions and branches at chosen
 /// positions targeting chosen original indices.
 fn build_program(n: usize, branches: &[(usize, usize)]) -> Program {
     let mut b = ProgramBuilder::new("p");
-    let branch_at: std::collections::HashMap<usize, usize> =
-        branches.iter().copied().collect();
+    let branch_at: std::collections::HashMap<usize, usize> = branches.iter().copied().collect();
     for pc in 0..n {
         if let Some(&target) = branch_at.get(&pc) {
             b.push(
@@ -32,19 +32,22 @@ fn build_program(n: usize, branches: &[(usize, usize)]) -> Program {
     b.build()
 }
 
-fn arb_case() -> impl Strategy<Value = (usize, Vec<(usize, usize)>, Vec<bool>)> {
-    (5usize..40).prop_flat_map(|n| {
-        (
-            Just(n),
-            proptest::collection::vec((0..n, 0..=n), 0..5),
-            proptest::collection::vec(any::<bool>(), n + 1),
-        )
-    })
+/// One test case: program length, branch (position, target) pairs, and a
+/// per-pc injection mask.
+fn case(rng: &mut SplitMix64) -> (usize, Vec<(usize, usize)>, Vec<bool>) {
+    let n = rng.range(5, 40) as usize;
+    let branches = (0..rng.below(5))
+        .map(|_| (rng.below(n as u64) as usize, rng.below(n as u64 + 1) as usize))
+        .collect();
+    let inject_at = (0..=n).map(|_| rng.chance(0.5)).collect();
+    (n, branches, inject_at)
 }
 
-proptest! {
-    #[test]
-    fn branch_targets_survive_arbitrary_injection((n, branches, inject_at) in arb_case()) {
+#[test]
+fn branch_targets_survive_arbitrary_injection() {
+    let mut rng = SplitMix64::new(0xB4A);
+    for case_idx in 0..300 {
+        let (n, branches, inject_at) = case(&mut rng);
         let original = build_program(n, &branches);
         let out = instrument(&original, |_, pc| {
             if inject_at.get(pc).copied().unwrap_or(false) {
@@ -67,7 +70,7 @@ proptest! {
         for (pc, ins) in original.instructions.iter().enumerate() {
             let moved = &out.instructions[new_pos[pc]];
             if ins.opcode == Opcode::Bra {
-                prop_assert_eq!(moved.opcode, Opcode::Bra);
+                assert_eq!(moved.opcode, Opcode::Bra, "case {case_idx}");
                 // … and every branch points at the mapped target.
                 let old_target = match ins.srcs[0] {
                     Operand::Imm(t) => t as usize,
@@ -77,20 +80,23 @@ proptest! {
                     Operand::Imm(t) => t as usize,
                     _ => unreachable!(),
                 };
-                prop_assert_eq!(new_target, new_pos[old_target.min(original.len())]);
+                assert_eq!(new_target, new_pos[old_target.min(original.len())], "case {case_idx}");
             } else {
-                prop_assert_eq!(moved, ins);
+                assert_eq!(moved, ins, "case {case_idx}");
             }
         }
     }
+}
 
-    #[test]
-    fn injection_count_is_exact((n, branches, inject_at) in arb_case()) {
+#[test]
+fn injection_count_is_exact() {
+    let mut rng = SplitMix64::new(0x171);
+    for case_idx in 0..300 {
+        let (n, branches, inject_at) = case(&mut rng);
         let original = build_program(n, &branches);
-        let injected_total: usize = (0..original.len())
-            .filter(|&pc| inject_at.get(pc).copied().unwrap_or(false))
-            .count()
-            * 2;
+        let injected_total: usize =
+            (0..original.len()).filter(|&pc| inject_at.get(pc).copied().unwrap_or(false)).count()
+                * 2;
         let out = instrument(&original, |_, pc| {
             if inject_at.get(pc).copied().unwrap_or(false) {
                 vec![Instruction::nop(), Instruction::nop()]
@@ -98,6 +104,6 @@ proptest! {
                 Vec::new()
             }
         });
-        prop_assert_eq!(out.len(), original.len() + injected_total);
+        assert_eq!(out.len(), original.len() + injected_total, "case {case_idx}");
     }
 }

@@ -1,52 +1,41 @@
-//! Criterion benchmarks of the LMI allocators — the power-of-two policy's
-//! software cost versus the baseline policy, and concurrent device-heap
-//! throughput (thousands of threads allocating simultaneously is the
-//! scenario LMI is designed around, paper §IV-B1).
+//! Benchmarks of the LMI allocators — the power-of-two policy's software
+//! cost versus the baseline policy, and concurrent device-heap throughput
+//! (thousands of threads allocating simultaneously is the scenario LMI is
+//! designed around, paper §IV-B1).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use lmi_alloc::{AlignmentPolicy, DeviceHeap, GlobalAllocator};
+use lmi_bench::harness::{bench_with_setup, black_box};
 use lmi_core::PtrConfig;
 use lmi_mem::layout;
 
-fn bench_global(c: &mut Criterion) {
+fn main() {
     let cfg = PtrConfig::default();
-    for (label, policy) in [
-        ("base", AlignmentPolicy::CudaDefault),
-        ("lmi", AlignmentPolicy::PowerOfTwo),
-    ] {
-        c.bench_function(&format!("global_alloc_free/{label}"), |b| {
-            b.iter_batched(
-                || GlobalAllocator::new(cfg, policy, layout::GLOBAL_BASE, 1 << 30),
-                |mut a| {
-                    for size in [100u64, 4096, 65552, 300] {
-                        let p = a.alloc(black_box(size)).unwrap();
-                        a.free(p).unwrap();
-                    }
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
-    }
-}
-
-fn bench_device_heap(c: &mut Criterion) {
-    let cfg = PtrConfig::default();
-    c.bench_function("device_heap/warp_malloc_free", |b| {
-        b.iter_batched(
-            || DeviceHeap::new(cfg, AlignmentPolicy::PowerOfTwo, layout::HEAP_BASE, 8, 1 << 20),
-            |heap| {
-                let mut ptrs = Vec::with_capacity(32);
-                for tid in 0..32usize {
-                    ptrs.push(heap.malloc(tid, (tid as u64 + 1) * 4).unwrap());
-                }
-                for p in ptrs {
-                    heap.free(p).unwrap();
+    for (label, policy) in
+        [("base", AlignmentPolicy::CudaDefault), ("lmi", AlignmentPolicy::PowerOfTwo)]
+    {
+        bench_with_setup(
+            &format!("global_alloc_free/{label}"),
+            || GlobalAllocator::new(cfg, policy, layout::GLOBAL_BASE, 1 << 30),
+            |mut a| {
+                for size in [100u64, 4096, 65552, 300] {
+                    let p = a.alloc(black_box(size)).unwrap();
+                    a.free(p).unwrap();
                 }
             },
-            criterion::BatchSize::SmallInput,
-        )
-    });
-}
+        );
+    }
 
-criterion_group!(benches, bench_global, bench_device_heap);
-criterion_main!(benches);
+    bench_with_setup(
+        "device_heap/warp_malloc_free",
+        || DeviceHeap::new(cfg, AlignmentPolicy::PowerOfTwo, layout::HEAP_BASE, 8, 1 << 20),
+        |heap| {
+            let mut ptrs = Vec::with_capacity(32);
+            for tid in 0..32usize {
+                ptrs.push(heap.malloc(tid, (tid as u64 + 1) * 4).unwrap());
+            }
+            for p in ptrs {
+                heap.free(p).unwrap();
+            }
+        },
+    );
+}

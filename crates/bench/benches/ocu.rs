@@ -1,38 +1,40 @@
-//! Criterion microbenchmarks of LMI's core hardware-model operations: the
-//! OCU check, the EC check, and the pointer codec. These are the hot paths
-//! of every simulated instruction, so their software cost bounds the
+//! Microbenchmarks of LMI's core hardware-model operations: the OCU
+//! check, the EC check, and the pointer codec. These are the hot paths of
+//! every simulated instruction, so their software cost bounds the
 //! simulator's throughput.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lmi_bench::harness::{bench, black_box};
 use lmi_core::{DevicePtr, ExtentChecker, Ocu, PtrConfig};
 
-fn bench_ocu(c: &mut Criterion) {
+fn main() {
     let cfg = PtrConfig::default();
     let ocu = Ocu::new(cfg);
     let p = DevicePtr::encode(0x1_0000_0000, 4096, &cfg).unwrap().raw();
 
-    c.bench_function("ocu/check_in_bounds", |b| {
-        b.iter(|| ocu.check_marked(black_box(p), black_box(p + 128)))
+    bench("ocu/check_in_bounds", || {
+        black_box(ocu.check_marked(black_box(p), black_box(p + 128)));
     });
-    c.bench_function("ocu/check_escape", |b| {
-        b.iter(|| ocu.check_marked(black_box(p), black_box(p + 8192)))
+    bench("ocu/check_escape", || {
+        black_box(ocu.check_marked(black_box(p), black_box(p + 8192)));
     });
 
     let ec = ExtentChecker::new(cfg);
-    c.bench_function("ec/check_valid", |b| b.iter(|| ec.check_access(black_box(p))));
-    let dead = DevicePtr::from_raw(p).invalidated().raw();
-    c.bench_function("ec/check_poisoned", |b| b.iter(|| ec.check_access(black_box(dead))));
-}
-
-fn bench_codec(c: &mut Criterion) {
-    let cfg = PtrConfig::default();
-    c.bench_function("ptr/encode", |b| {
-        b.iter(|| DevicePtr::encode(black_box(0x40_0000), black_box(1000), &cfg))
+    bench("ec/check_valid", || {
+        black_box(ec.check_access(black_box(p)).is_ok());
     });
-    let p = DevicePtr::encode(0x40_0000, 1000, &cfg).unwrap();
-    c.bench_function("ptr/base_recovery", |b| b.iter(|| black_box(p).base(&cfg)));
-    c.bench_function("ptr/um_bits", |b| b.iter(|| black_box(p).um_bits(&cfg)));
-}
+    let dead = DevicePtr::from_raw(p).invalidated().raw();
+    bench("ec/check_poisoned", || {
+        black_box(ec.check_access(black_box(dead)).is_ok());
+    });
 
-criterion_group!(benches, bench_ocu, bench_codec);
-criterion_main!(benches);
+    bench("ptr/encode", || {
+        black_box(DevicePtr::encode(black_box(0x40_0000), black_box(1000), &cfg).unwrap());
+    });
+    let enc = DevicePtr::encode(0x40_0000, 1000, &cfg).unwrap();
+    bench("ptr/base_recovery", || {
+        black_box(black_box(enc).base(&cfg));
+    });
+    bench("ptr/um_bits", || {
+        black_box(black_box(enc).um_bits(&cfg));
+    });
+}

@@ -1,73 +1,66 @@
-//! Criterion benchmarks of the simulation pipeline: microcode codec
-//! throughput, cache-model access rate, and end-to-end simulator
-//! instruction throughput on a small kernel.
+//! Benchmarks of the simulation pipeline: microcode codec throughput,
+//! cache-model access rate, and end-to-end simulator instruction
+//! throughput on a small kernel.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lmi_bench::harness::{bench, bench_throughput, bench_with_setup, black_box};
 use lmi_isa::{ComputeCapability, HintBits, Instruction, MemRef, Microcode, ProgramBuilder, Reg};
 use lmi_mem::{Cache, CacheConfig};
 use lmi_sim::{Gpu, GpuConfig, Launch, LmiMechanism};
 
-fn bench_microcode(c: &mut Criterion) {
-    let ins = Instruction::iadd64(Reg(4), Reg(4), 256).with_hints(HintBits::check_operand(0));
-    c.bench_function("microcode/encode", |b| {
-        b.iter(|| Microcode::encode(black_box(&ins), ComputeCapability::Cc80))
-    });
-    let word = Microcode::encode(&ins, ComputeCapability::Cc80).unwrap();
-    c.bench_function("microcode/decode", |b| {
-        b.iter(|| black_box(word).decode(ComputeCapability::Cc80))
-    });
-}
-
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("cache/l1_access", |b| {
-        b.iter_batched(
-            || Cache::new(CacheConfig::l1_default()),
-            |mut cache| {
-                for i in 0..256u64 {
-                    cache.access(black_box(i * 128));
-                }
-            },
-            criterion::BatchSize::SmallInput,
-        )
-    });
-}
-
-fn bench_sim(c: &mut Criterion) {
+fn program() -> lmi_isa::Program {
     // A small compute+memory kernel: measures simulated instructions per
     // wall-clock second, the figure that bounds full-benchmark runtimes.
-    fn program() -> lmi_isa::Program {
-        let mut b = ProgramBuilder::new("bench");
-        b.push(Instruction::s2r(Reg(0), lmi_isa::op::SpecialReg::TidX));
-        b.push(Instruction::ldc(Reg(4), lmi_isa::abi::LAUNCH_BANK, lmi_isa::abi::param_offset(0), 8));
-        for i in 0..64 {
-            b.push(Instruction::lea64(Reg(6), Reg(4), Reg(0), 2).with_hints(HintBits::check_operand(0)));
-            if i % 4 == 0 {
-                b.push(Instruction::stg(MemRef::new(Reg(6), 0, 4), Reg(0)));
-            } else {
-                b.push(Instruction::ldg(Reg(8), MemRef::new(Reg(6), 0, 4)));
-            }
-            b.push(Instruction::ffma(Reg(9), Reg(9), Reg(10), Reg(8)));
+    let mut b = ProgramBuilder::new("bench");
+    b.push(Instruction::s2r(Reg(0), lmi_isa::op::SpecialReg::TidX));
+    b.push(Instruction::ldc(Reg(4), lmi_isa::abi::LAUNCH_BANK, lmi_isa::abi::param_offset(0), 8));
+    for i in 0..64 {
+        b.push(
+            Instruction::lea64(Reg(6), Reg(4), Reg(0), 2).with_hints(HintBits::check_operand(0)),
+        );
+        if i % 4 == 0 {
+            b.push(Instruction::stg(MemRef::new(Reg(6), 0, 4), Reg(0)));
+        } else {
+            b.push(Instruction::ldg(Reg(8), MemRef::new(Reg(6), 0, 4)));
         }
-        b.push(Instruction::exit());
-        b.build()
+        b.push(Instruction::ffma(Reg(9), Reg(9), Reg(10), Reg(8)));
     }
-    let prog = program();
-    let instrs = prog.len() as u64 * 32; // 32 warps
-    let buf = lmi_core::DevicePtr::encode(lmi_mem::layout::GLOBAL_BASE, 256 * 1024, &lmi_core::PtrConfig::default())
-        .unwrap()
-        .raw();
-    let mut group = c.benchmark_group("sim");
-    group.throughput(Throughput::Elements(instrs));
-    group.bench_function("warp_instructions", |b| {
-        b.iter(|| {
-            let launch = Launch::new(prog.clone()).grid(8).block(128).param(buf);
-            let mut gpu = Gpu::new(GpuConfig::small());
-            let mut mech = LmiMechanism::default_config();
-            gpu.run(&launch, &mut mech)
-        })
-    });
-    group.finish();
+    b.push(Instruction::exit());
+    b.build()
 }
 
-criterion_group!(benches, bench_microcode, bench_cache, bench_sim);
-criterion_main!(benches);
+fn main() {
+    let ins = Instruction::iadd64(Reg(4), Reg(4), 256).with_hints(HintBits::check_operand(0));
+    bench("microcode/encode", || {
+        black_box(Microcode::encode(black_box(&ins), ComputeCapability::Cc80).unwrap());
+    });
+    let word = Microcode::encode(&ins, ComputeCapability::Cc80).unwrap();
+    bench("microcode/decode", || {
+        black_box(black_box(word).decode(ComputeCapability::Cc80).unwrap());
+    });
+
+    bench_with_setup(
+        "cache/l1_access",
+        || Cache::new(CacheConfig::l1_default()),
+        |mut cache| {
+            for i in 0..256u64 {
+                cache.access(black_box(i * 128));
+            }
+        },
+    );
+
+    let prog = program();
+    let instrs = prog.len() as u64 * 32; // 32 warps
+    let buf = lmi_core::DevicePtr::encode(
+        lmi_mem::layout::GLOBAL_BASE,
+        256 * 1024,
+        &lmi_core::PtrConfig::default(),
+    )
+    .unwrap()
+    .raw();
+    bench_throughput("sim/warp_instructions", instrs, || {
+        let launch = Launch::new(prog.clone()).grid(8).block(128).param(buf);
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let mut mech = LmiMechanism::default_config();
+        black_box(gpu.run(&launch, &mut mech));
+    });
+}

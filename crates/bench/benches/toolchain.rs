@@ -1,9 +1,9 @@
-//! Criterion benchmarks of the toolchain components: IR compilation with
-//! the LMI pass, binary instrumentation, the security matrix, and the
+//! Benchmarks of the toolchain components: IR compilation with the LMI
+//! pass, binary instrumentation, the security matrix, and the
 //! hardware-model queries.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use lmi_baselines::{instrument_baggy, instrument_memcheck};
+use lmi_bench::harness::{bench, black_box};
 use lmi_compiler::ir::{CmpKind, FunctionBuilder, IBinOp, Region, Ty};
 use lmi_compiler::{compile, CompileOptions};
 use lmi_core::hw::{DatapathWidth, OcuNetlist};
@@ -40,45 +40,30 @@ fn saxpy_ir() -> lmi_compiler::Function {
     b.build()
 }
 
-fn bench_compile(c: &mut Criterion) {
+fn main() {
     let func = saxpy_ir();
-    c.bench_function("compiler/lmi_build", |b| {
-        b.iter(|| compile(black_box(&func), CompileOptions::default()).unwrap())
+    bench("compiler/lmi_build", || {
+        black_box(compile(black_box(&func), CompileOptions::default()).unwrap());
     });
-    c.bench_function("compiler/optimized_build", |b| {
-        b.iter(|| compile(black_box(&func), CompileOptions::optimized()).unwrap())
+    bench("compiler/optimized_build", || {
+        black_box(compile(black_box(&func), CompileOptions::optimized()).unwrap());
     });
-}
 
-fn bench_instrumentation(c: &mut Criterion) {
     let spec = all_workloads().into_iter().find(|w| w.name == "bert").unwrap();
     let program = generate(&spec);
-    c.bench_function("instrument/baggy", |b| {
-        b.iter(|| instrument_baggy(black_box(&program)))
+    bench("instrument/baggy", || {
+        black_box(instrument_baggy(black_box(&program)));
     });
-    c.bench_function("instrument/memcheck", |b| {
-        b.iter(|| instrument_memcheck(black_box(&program)))
+    bench("instrument/memcheck", || {
+        black_box(instrument_memcheck(black_box(&program)));
     });
-}
 
-fn bench_security_matrix(c: &mut Criterion) {
-    c.bench_function("security/table3_matrix", |b| b.iter(run_matrix));
-}
+    bench("security/table3_matrix", || {
+        black_box(run_matrix());
+    });
 
-fn bench_hw_model(c: &mut Criterion) {
-    c.bench_function("hw/netlist_synthesis", |b| {
-        b.iter(|| {
-            let n = OcuNetlist::new(black_box(DatapathWidth::W32));
-            (n.area_ge(), n.critical_path_ps(), n.latency_cycles(3.0))
-        })
+    bench("hw/netlist_synthesis", || {
+        let n = OcuNetlist::new(black_box(DatapathWidth::W32));
+        black_box((n.area_ge(), n.critical_path_ps(), n.latency_cycles(3.0)));
     });
 }
-
-criterion_group!(
-    benches,
-    bench_compile,
-    bench_instrumentation,
-    bench_security_matrix,
-    bench_hw_model
-);
-criterion_main!(benches);

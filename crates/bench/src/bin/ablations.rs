@@ -60,7 +60,7 @@ fn ablation_min_alignment() {
         // Extent values needed to span K..256 GiB.
         let extents = cfg.max_size_extent();
         let bits = 8 - extents.leading_zeros(); // bits to encode 0..=extents
-        // Fragmentation over the Rodinia profiles at this K.
+                                                // Fragmentation over the Rodinia profiles at this K.
         let mut lnsum = 0.0;
         let mut n = 0;
         for w in rodinia_workloads() {
@@ -79,11 +79,7 @@ fn ablation_min_alignment() {
         let frag = ((lnsum / n as f64).exp() - 1.0) * 100.0;
         print_row(
             &format!("{} B", 1u64 << min_log2),
-            &[
-                format!("{bits}"),
-                format!("{} GiB", (1u64 << 38) >> 30),
-                format!("{frag:.2}%"),
-            ],
+            &[format!("{bits}"), format!("{} GiB", (1u64 << 38) >> 30), format!("{frag:.2}%")],
         );
     }
     println!("(K = 256 B is the paper's choice: 5 extent bits, 18.7% fragmentation)\n");
@@ -102,8 +98,8 @@ fn ablation_rcache_capacity() {
         }
         let mut gpu = Gpu::new(GpuConfig::small());
         let c = gpu.run(&prepared.launch, &mut shield).cycles as f64;
-        let miss_rate = shield.rcache_misses as f64
-            / (shield.rcache_hits + shield.rcache_misses).max(1) as f64;
+        let miss_rate =
+            shield.rcache_misses as f64 / (shield.rcache_hits + shield.rcache_misses).max(1) as f64;
         print_row(
             &format!("{entries}"),
             &[format!("{:.4}", c / base), format!("{:.1}%", miss_rate * 100.0)],
@@ -115,7 +111,10 @@ fn ablation_rcache_capacity() {
 fn ablation_page_invalidation() {
     println!("== Ablation 4: liveness tracker pageInvalidOpt (Algorithm 1) ==\n");
     let cfg = PtrConfig::default();
-    print_row("allocation mix", &["table peak (off)".into(), "table peak (on)".into(), "pages".into()]);
+    print_row(
+        "allocation mix",
+        &["table peak (off)".into(), "table peak (on)".into(), "pages".into()],
+    );
     for (label, sizes) in [
         ("small buffers (1 KiB x 512)", vec![1024u64; 512]),
         ("large buffers (128 KiB x 64)", vec![128 * 1024; 64]),
@@ -131,8 +130,12 @@ fn ablation_page_invalidation() {
             } else {
                 LivenessTracker::new(cfg)
             };
-            let mut alloc =
-                GlobalAllocator::new(cfg, AlignmentPolicy::PowerOfTwo, layout::GLOBAL_BASE, 16 << 30);
+            let mut alloc = GlobalAllocator::new(
+                cfg,
+                AlignmentPolicy::PowerOfTwo,
+                layout::GLOBAL_BASE,
+                16 << 30,
+            );
             let mut ptrs = Vec::new();
             for &s in &sizes {
                 let raw = alloc.alloc(s).unwrap();

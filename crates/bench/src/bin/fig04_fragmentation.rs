@@ -2,32 +2,54 @@
 //! buffers, measured as the peak-RSS increase of the LMI allocator over the
 //! CUDA-default allocator on each Rodinia benchmark's allocation profile.
 
+use lmi_bench::report::{self, ReportOpts};
 use lmi_bench::{geomean, print_row};
+use lmi_telemetry::Json;
 use lmi_workloads::prepare::{fragmentation_overhead, profile_peak_rss};
 use lmi_workloads::rodinia_workloads;
 
 fn main() {
+    let opts = ReportOpts::from_env();
+    let rows: Vec<(&'static str, u64, u64, f64)> = rodinia_workloads()
+        .iter()
+        .map(|spec| {
+            let base = profile_peak_rss(spec, lmi_alloc::AlignmentPolicy::CudaDefault);
+            let lmi = profile_peak_rss(spec, lmi_alloc::AlignmentPolicy::PowerOfTwo);
+            let overhead = fragmentation_overhead(spec);
+            (spec.name, base, lmi, overhead)
+        })
+        .collect();
+    let geo = geomean(rows.iter().map(|&(_, _, _, o)| 1.0 + o)) - 1.0;
+
+    if opts.json {
+        let mut out = Vec::new();
+        for &(name, base, lmi, overhead) in &rows {
+            out.push(
+                Json::obj()
+                    .with("benchmark", name)
+                    .with("base_rss", base)
+                    .with("lmi_rss", lmi)
+                    .with("overhead", overhead),
+            );
+        }
+        report::emit(&report::envelope(
+            "fig04_fragmentation",
+            Json::obj().with("rows", Json::Arr(out)).with("geomean_overhead", geo),
+        ));
+        return;
+    }
+
     println!("Fig. 4 — memory overhead of 2^n-aligned buffers (peak RSS)\n");
     print_row(
         "benchmark",
         &["base RSS", "LMI RSS", "overhead"].iter().map(|s| s.to_string()).collect::<Vec<_>>(),
     );
-    let mut factors = Vec::new();
-    for spec in rodinia_workloads() {
-        let base = profile_peak_rss(&spec, lmi_alloc::AlignmentPolicy::CudaDefault);
-        let lmi = profile_peak_rss(&spec, lmi_alloc::AlignmentPolicy::PowerOfTwo);
-        let overhead = fragmentation_overhead(&spec);
-        factors.push(1.0 + overhead);
+    for &(name, base, lmi, overhead) in &rows {
         print_row(
-            spec.name,
-            &[
-                format!("{base}"),
-                format!("{lmi}"),
-                format!("{:6.1}%", overhead * 100.0),
-            ],
+            name,
+            &[format!("{base}"), format!("{lmi}"), format!("{:6.1}%", overhead * 100.0)],
         );
     }
-    let geo = geomean(factors) - 1.0;
     println!("\ngeomean overhead: {:.2}%  (paper: 18.73%)", geo * 100.0);
     println!("paper call-outs:  backprop 85.9%, needle 92.9%, hotspot/srad negligible");
 }

@@ -5,13 +5,74 @@
 
 use lmi_alloc::{AlignmentPolicy, DeviceHeap};
 use lmi_bench::print_row;
+use lmi_bench::report::{self, ReportOpts};
 use lmi_core::PtrConfig;
 use lmi_mem::layout;
+use lmi_telemetry::Json;
 
 fn main() {
-    println!("Fig. 5 — kernel malloc buffer groups and chunk units\n");
+    let opts = ReportOpts::from_env();
     let cfg = PtrConfig::default();
 
+    let sizes = [16u64, 64, 240, 500, 1024, 1104, 2000, 4000, 8000];
+    let rows: Vec<(u64, u64, u64, u64)> = sizes
+        .iter()
+        .map(|&size| {
+            let base =
+                DeviceHeap::new(cfg, AlignmentPolicy::CudaDefault, layout::HEAP_BASE, 1, 1 << 20);
+            let lmi =
+                DeviceHeap::new(cfg, AlignmentPolicy::PowerOfTwo, layout::HEAP_BASE, 1, 1 << 20);
+            base.malloc(0, size).unwrap();
+            lmi.malloc(0, size).unwrap();
+            (size, DeviceHeap::chunk_unit(size), base.stats().reserved, lmi.stats().reserved)
+        })
+        .collect();
+
+    // A warp-wide allocation storm (Fig. 3): 32 threads allocate variable
+    // sizes concurrently across buffer groups.
+    let storm: Vec<(AlignmentPolicy, u64, u64, f64, usize)> =
+        [AlignmentPolicy::CudaDefault, AlignmentPolicy::PowerOfTwo]
+            .iter()
+            .map(|&policy| {
+                let heap = DeviceHeap::new(cfg, policy, layout::HEAP_BASE, 8, 1 << 20);
+                for tid in 0..32usize {
+                    heap.malloc(tid, (tid as u64 + 1) * 4).unwrap();
+                }
+                let s = heap.stats();
+                (policy, s.requested, s.reserved, s.fragmentation(), heap.group_count())
+            })
+            .collect();
+
+    if opts.json {
+        let mut out = Vec::new();
+        for &(size, unit, base, lmi) in &rows {
+            out.push(
+                Json::obj()
+                    .with("request", size)
+                    .with("chunk_unit", unit)
+                    .with("base_reserves", base)
+                    .with("lmi_reserves", lmi),
+            );
+        }
+        let mut storm_out = Vec::new();
+        for &(policy, requested, reserved, frag, groups) in &storm {
+            storm_out.push(
+                Json::obj()
+                    .with("policy", format!("{policy:?}"))
+                    .with("requested", requested)
+                    .with("reserved", reserved)
+                    .with("fragmentation", frag)
+                    .with("groups", groups as u64),
+            );
+        }
+        report::emit(&report::envelope(
+            "fig05_kernel_malloc",
+            Json::obj().with("rows", Json::Arr(out)).with("warp_storm", Json::Arr(storm_out)),
+        ));
+        return;
+    }
+
+    println!("Fig. 5 — kernel malloc buffer groups and chunk units\n");
     print_row(
         "request",
         &["chunk unit", "base reserves", "LMI reserves"]
@@ -19,36 +80,19 @@ fn main() {
             .map(|s| s.to_string())
             .collect::<Vec<_>>(),
     );
-    for size in [16u64, 64, 240, 500, 1024, 1104, 2000, 4000, 8000] {
-        let base = DeviceHeap::new(cfg, AlignmentPolicy::CudaDefault, layout::HEAP_BASE, 1, 1 << 20);
-        let lmi = DeviceHeap::new(cfg, AlignmentPolicy::PowerOfTwo, layout::HEAP_BASE, 1, 1 << 20);
-        base.malloc(0, size).unwrap();
-        lmi.malloc(0, size).unwrap();
+    for &(size, unit, base, lmi) in &rows {
         print_row(
             &format!("malloc({size})"),
-            &[
-                format!("{}", DeviceHeap::chunk_unit(size)),
-                format!("{}", base.stats().reserved),
-                format!("{}", lmi.stats().reserved),
-            ],
+            &[format!("{unit}"), format!("{base}"), format!("{lmi}")],
         );
     }
 
-    // A warp-wide allocation storm (Fig. 3): 32 threads allocate variable
-    // sizes concurrently across buffer groups.
     println!("\nwarp-wide variable-size allocation (Fig. 3):");
-    for policy in [AlignmentPolicy::CudaDefault, AlignmentPolicy::PowerOfTwo] {
-        let heap = DeviceHeap::new(cfg, policy, layout::HEAP_BASE, 8, 1 << 20);
-        for tid in 0..32usize {
-            heap.malloc(tid, (tid as u64 + 1) * 4).unwrap();
-        }
-        let s = heap.stats();
+    for &(policy, requested, reserved, frag, groups) in &storm {
         println!(
-            "  {policy:?}: requested {} B, reserved {} B (+{:.0}% incl. headers), {} groups",
-            s.requested,
-            s.reserved,
-            s.fragmentation() * 100.0,
-            heap.group_count()
+            "  {policy:?}: requested {requested} B, reserved {reserved} B \
+             (+{:.0}% incl. headers), {groups} groups",
+            frag * 100.0,
         );
     }
 }

@@ -2,10 +2,14 @@
 //! `dummy` kernel, unprotected vs. LMI (stack top read from `c[0x0][0x28]`,
 //! frame reserved by subtraction — rounded to a power of two under LMI).
 
+use lmi_bench::report::{self, ReportOpts};
 use lmi_compiler::ir::FunctionBuilder;
 use lmi_compiler::{compile, CompileOptions};
+use lmi_telemetry::Json;
 
 fn main() {
+    let opts = ReportOpts::from_env();
+
     // __global__ void dummy2(int size) { char buf[0x60]; }   (Fig. 7a)
     let build = || {
         let mut b = FunctionBuilder::new("dummy2");
@@ -15,12 +19,33 @@ fn main() {
         b.build()
     };
 
-    println!("Fig. 7 — stack memory allocation codegen\n");
     let base = compile(&build(), CompileOptions::baseline()).unwrap();
+    let lmi = compile(&build(), CompileOptions::default()).unwrap();
+
+    if opts.json {
+        report::emit(&report::envelope(
+            "fig07_stack_codegen",
+            Json::obj()
+                .with(
+                    "base",
+                    Json::obj()
+                        .with("frame_bytes", base.frame_bytes)
+                        .with("listing", format!("{}", base.program)),
+                )
+                .with(
+                    "lmi",
+                    Json::obj()
+                        .with("frame_bytes", lmi.frame_bytes)
+                        .with("listing", format!("{}", lmi.program)),
+                ),
+        ));
+        return;
+    }
+
+    println!("Fig. 7 — stack memory allocation codegen\n");
     println!("(b) unprotected build — frame = {} bytes:", base.frame_bytes);
     print!("{}", base.program);
 
-    let lmi = compile(&build(), CompileOptions::default()).unwrap();
     println!(
         "\n(c) LMI build — 0x60 (96) bytes rounded to {} bytes, extent embedded:",
         lmi.frame_bytes

@@ -2,29 +2,67 @@
 //! Checking (software, naively ported to the GPU), GPUShield, and LMI over
 //! the 28 Table V benchmarks on the simulator.
 
+use lmi_bench::report::{self, ReportOpts};
 use lmi_bench::{geomean, mean, normalized, print_row, Mechanism};
+use lmi_telemetry::Json;
 use lmi_workloads::all_workloads;
 
 fn main() {
+    let opts = ReportOpts::from_env();
+    let rows: Vec<(&'static str, f64, f64, f64)> = all_workloads()
+        .iter()
+        .map(|spec| {
+            (
+                spec.name,
+                normalized(spec, Mechanism::BaggySoftware),
+                normalized(spec, Mechanism::GpuShield),
+                normalized(spec, Mechanism::Lmi),
+            )
+        })
+        .collect();
+    let baggy_all: Vec<f64> = rows.iter().map(|r| r.1).collect();
+    let shield_all: Vec<f64> = rows.iter().map(|r| r.2).collect();
+    let lmi_all: Vec<f64> = rows.iter().map(|r| r.3).collect();
+
+    if opts.json {
+        let mut out = Vec::new();
+        for &(name, baggy, shield, lmi) in &rows {
+            out.push(
+                Json::obj()
+                    .with("workload", name)
+                    .with("baggy", baggy)
+                    .with("gpushield", shield)
+                    .with("lmi", lmi),
+            );
+        }
+        let body = Json::obj()
+            .with("rows", Json::Arr(out))
+            .with(
+                "mean",
+                Json::obj()
+                    .with("baggy", mean(baggy_all.iter().copied()))
+                    .with("gpushield", mean(shield_all.iter().copied()))
+                    .with("lmi", mean(lmi_all.iter().copied())),
+            )
+            .with(
+                "geomean",
+                Json::obj()
+                    .with("baggy", geomean(baggy_all.iter().copied()))
+                    .with("gpushield", geomean(shield_all.iter().copied()))
+                    .with("lmi", geomean(lmi_all.iter().copied())),
+            )
+            .with("lmi_avg_overhead_pct", (mean(lmi_all.iter().copied()) - 1.0) * 100.0);
+        report::emit(&report::envelope("fig12_hw_comparison", body));
+        return;
+    }
+
     println!("Fig. 12 — normalized execution time (baseline = 1.0)\n");
     print_row(
         "workload",
         &["Baggy", "GPUShield", "LMI"].iter().map(|s| s.to_string()).collect::<Vec<_>>(),
     );
-    let mut baggy_all = Vec::new();
-    let mut shield_all = Vec::new();
-    let mut lmi_all = Vec::new();
-    for spec in all_workloads() {
-        let baggy = normalized(&spec, Mechanism::BaggySoftware);
-        let shield = normalized(&spec, Mechanism::GpuShield);
-        let lmi = normalized(&spec, Mechanism::Lmi);
-        baggy_all.push(baggy);
-        shield_all.push(shield);
-        lmi_all.push(lmi);
-        print_row(
-            spec.name,
-            &[format!("{baggy:.4}"), format!("{shield:.4}"), format!("{lmi:.4}")],
-        );
+    for &(name, baggy, shield, lmi) in &rows {
+        print_row(name, &[format!("{baggy:.4}"), format!("{shield:.4}"), format!("{lmi:.4}")]);
     }
     println!();
     print_row(

@@ -34,10 +34,7 @@ fn main() {
         lmi.violations.len(),
         mech.poisoned_count
     );
-    println!(
-        "device heap after run: {} live allocations (all freed)",
-        gpu.heap().stats().live
-    );
+    println!("device heap after run: {} live allocations (all freed)", gpu.heap().stats().live);
     assert!(lmi.violations.is_empty(), "benign stress must be violation-free");
     assert_eq!(gpu.heap().stats().live, 0);
     assert_eq!(lmi.mallocs, lmi.frees);

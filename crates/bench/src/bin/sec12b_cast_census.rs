@@ -51,11 +51,7 @@ fn main() {
     println!("§XII-B — ptrtoint/inttoptr census over the kernel corpus\n");
     let mut corpus: Vec<Function> = Vec::new();
     for spec in lmi_workloads::all_workloads() {
-        corpus.push(benchmark_kernel(
-            spec.name,
-            spec.shared_frac > 0.0,
-            spec.local_frac > 0.0,
-        ));
+        corpus.push(benchmark_kernel(spec.name, spec.shared_frac > 0.0, spec.local_frac > 0.0));
     }
     // The kernels exercised by the examples and security suite.
     corpus.push(benchmark_kernel("quickstart", false, false));

@@ -2,8 +2,10 @@
 //! mechanisms, with LMI's quantitative cells (coverage, overhead) filled in
 //! from this reproduction's own measurements.
 
+use lmi_bench::report::{self, ReportOpts};
 use lmi_bench::{mean, normalized, print_row, Mechanism};
 use lmi_security::table::{coverage, run_matrix};
+use lmi_telemetry::Json;
 use lmi_workloads::all_workloads;
 
 struct Row {
@@ -18,37 +20,103 @@ struct Row {
 }
 
 fn main() {
-    println!("Table II — security coverage and overhead comparison\n");
+    let opts = ReportOpts::from_env();
+    if !opts.json {
+        println!("Table II — security coverage and overhead comparison\n");
+    }
 
     // Published rows (from the papers' own reports).
     let mut rows = vec![
-        Row { name: "Baggy Bounds", target: "CPU", base: "SW", mechanism: "Pointer Aligning",
-              spatial: "stack+heap", temporal: "partial", metadata_access: "no (64-bit)",
-              overhead: "72% (SPEC2000)".into() },
-        Row { name: "No-Fat", target: "CPU", base: "HW", mechanism: "Pointer Aligning",
-              spatial: "heap", temporal: "partial", metadata_access: "yes",
-              overhead: "8%".into() },
-        Row { name: "C3", target: "CPU", base: "HW", mechanism: "Pointer Encryption",
-              spatial: "heap", temporal: "yes", metadata_access: "no",
-              overhead: "0.01%".into() },
-        Row { name: "clArmor", target: "GPU", base: "SW", mechanism: "Canary",
-              spatial: "global only", temporal: "no", metadata_access: "no",
-              overhead: "x1.48".into() },
-        Row { name: "GMOD", target: "GPU", base: "SW", mechanism: "Canary",
-              spatial: "global only", temporal: "no", metadata_access: "no",
-              overhead: "x3.06".into() },
-        Row { name: "Compute Sanitizer", target: "GPU", base: "SW", mechanism: "Tripwires",
-              spatial: "all (coarse)", temporal: "partial", metadata_access: "yes",
-              overhead: "x72.29".into() },
-        Row { name: "GPUShield", target: "GPU", base: "HW", mechanism: "Pointer Tagging",
-              spatial: "global", temporal: "no", metadata_access: "yes",
-              overhead: "0.8%".into() },
-        Row { name: "cuCatch", target: "GPU", base: "SW", mechanism: "Pointer Tagging",
-              spatial: "global+stack", temporal: "mostly", metadata_access: "yes",
-              overhead: "19%".into() },
-        Row { name: "IMT", target: "GPU", base: "HW", mechanism: "Memory Tagging",
-              spatial: "global", temporal: "partial", metadata_access: "yes",
-              overhead: "2.69%".into() },
+        Row {
+            name: "Baggy Bounds",
+            target: "CPU",
+            base: "SW",
+            mechanism: "Pointer Aligning",
+            spatial: "stack+heap",
+            temporal: "partial",
+            metadata_access: "no (64-bit)",
+            overhead: "72% (SPEC2000)".into(),
+        },
+        Row {
+            name: "No-Fat",
+            target: "CPU",
+            base: "HW",
+            mechanism: "Pointer Aligning",
+            spatial: "heap",
+            temporal: "partial",
+            metadata_access: "yes",
+            overhead: "8%".into(),
+        },
+        Row {
+            name: "C3",
+            target: "CPU",
+            base: "HW",
+            mechanism: "Pointer Encryption",
+            spatial: "heap",
+            temporal: "yes",
+            metadata_access: "no",
+            overhead: "0.01%".into(),
+        },
+        Row {
+            name: "clArmor",
+            target: "GPU",
+            base: "SW",
+            mechanism: "Canary",
+            spatial: "global only",
+            temporal: "no",
+            metadata_access: "no",
+            overhead: "x1.48".into(),
+        },
+        Row {
+            name: "GMOD",
+            target: "GPU",
+            base: "SW",
+            mechanism: "Canary",
+            spatial: "global only",
+            temporal: "no",
+            metadata_access: "no",
+            overhead: "x3.06".into(),
+        },
+        Row {
+            name: "Compute Sanitizer",
+            target: "GPU",
+            base: "SW",
+            mechanism: "Tripwires",
+            spatial: "all (coarse)",
+            temporal: "partial",
+            metadata_access: "yes",
+            overhead: "x72.29".into(),
+        },
+        Row {
+            name: "GPUShield",
+            target: "GPU",
+            base: "HW",
+            mechanism: "Pointer Tagging",
+            spatial: "global",
+            temporal: "no",
+            metadata_access: "yes",
+            overhead: "0.8%".into(),
+        },
+        Row {
+            name: "cuCatch",
+            target: "GPU",
+            base: "SW",
+            mechanism: "Pointer Tagging",
+            spatial: "global+stack",
+            temporal: "mostly",
+            metadata_access: "yes",
+            overhead: "19%".into(),
+        },
+        Row {
+            name: "IMT",
+            target: "GPU",
+            base: "HW",
+            mechanism: "Memory Tagging",
+            spatial: "global",
+            temporal: "partial",
+            metadata_access: "yes",
+            overhead: "2.69%".into(),
+        },
     ];
 
     // LMI's row, measured by this reproduction (security matrix + a sample
@@ -72,13 +140,41 @@ fn main() {
         metadata_access: "no",
         overhead: format!(
             "{:.2}% (measured); spatial {}/{}, temporal {}/{}",
-            mean(sample) * 100.0,
+            mean(sample.iter().copied()) * 100.0,
             sd,
             st,
             td,
             tt
         ),
     });
+
+    if opts.json {
+        let mut out = Vec::new();
+        for r in &rows {
+            out.push(
+                Json::obj()
+                    .with("name", r.name)
+                    .with("target", r.target)
+                    .with("base", r.base)
+                    .with("mechanism", r.mechanism)
+                    .with("spatial", r.spatial)
+                    .with("temporal", r.temporal)
+                    .with("metadata_access", r.metadata_access)
+                    .with("overhead", r.overhead.as_str()),
+            );
+        }
+        let body = Json::obj().with("rows", Json::Arr(out)).with(
+            "lmi_measured",
+            Json::obj()
+                .with("overhead_pct", mean(sample.iter().copied()) * 100.0)
+                .with("spatial_detected", sd as u64)
+                .with("spatial_total", st as u64)
+                .with("temporal_detected", td as u64)
+                .with("temporal_total", tt as u64),
+        );
+        report::emit(&report::envelope("table2_comparison", body));
+        return;
+    }
 
     print_row(
         "name",

@@ -1,0 +1,104 @@
+//! Minimal micro-benchmark harness for the `[[bench]] harness = false`
+//! targets. Replaces the external benchmarking framework so the workspace
+//! builds offline: auto-calibrated iteration counts, best-of-N sampling,
+//! and an ns/op (plus optional elements/sec) report on stdout.
+//!
+//! Methodology: the closure is timed in batches; the batch size is grown
+//! until one batch takes ≥ `BATCH_TARGET`, then `SAMPLES` batches run and
+//! the *minimum* per-iteration time is reported (the minimum is the
+//! standard robust estimator for microbenchmarks — noise only ever adds
+//! time).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const BATCH_TARGET: Duration = Duration::from_millis(20);
+const SAMPLES: usize = 7;
+
+/// Times `f` and prints one report line. Returns the best ns/op estimate.
+pub fn bench<F: FnMut()>(name: &str, mut f: F) -> f64 {
+    // Warm up and calibrate the batch size.
+    let mut batch: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= BATCH_TARGET || batch >= 1 << 30 {
+            break;
+        }
+        // Grow geometrically, with a guess from the observed rate.
+        let rate_guess = if elapsed.is_zero() {
+            batch * 16
+        } else {
+            (batch as f64 * BATCH_TARGET.as_secs_f64() / elapsed.as_secs_f64()) as u64
+        };
+        batch = rate_guess.clamp(batch * 2, batch * 16).max(1);
+    }
+
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        let per_iter = start.elapsed().as_nanos() as f64 / batch as f64;
+        best = best.min(per_iter);
+    }
+    println!("{name:<40} {:>12} ns/op   ({batch} iters/sample)", format_ns(best));
+    best
+}
+
+/// Like [`bench()`], but rebuilds fresh state before every call so the
+/// measured closure can consume it (the `iter_batched` pattern). Setup
+/// time is excluded from the measurement.
+pub fn bench_with_setup<S, T, F: FnMut(T)>(name: &str, mut setup: S, mut f: F) -> f64
+where
+    S: FnMut() -> T,
+{
+    // Calibrate on a handful of runs (setup excluded from timing).
+    let mut total = Duration::ZERO;
+    let mut warmup = 0u32;
+    while total < BATCH_TARGET && warmup < 1000 {
+        let input = setup();
+        let start = Instant::now();
+        f(input);
+        total += start.elapsed();
+        warmup += 1;
+    }
+    let batch = warmup.max(1);
+
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let mut timed = Duration::ZERO;
+        for _ in 0..batch {
+            let input = setup();
+            let start = Instant::now();
+            f(input);
+            timed += start.elapsed();
+        }
+        best = best.min(timed.as_nanos() as f64 / batch as f64);
+    }
+    println!("{name:<40} {:>12} ns/op   ({batch} iters/sample)", format_ns(best));
+    best
+}
+
+/// Reports throughput alongside latency: `elements` is how many logical
+/// items one call of `f` processes.
+pub fn bench_throughput<F: FnMut()>(name: &str, elements: u64, f: F) {
+    let ns = bench(name, f);
+    let per_sec = elements as f64 * 1e9 / ns;
+    println!("{name:<40} {:>12.3} Melem/s", per_sec / 1e6);
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.3}m", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}k", ns / 1e3)
+    } else {
+        format!("{ns:.1}")
+    }
+}

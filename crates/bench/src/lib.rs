@@ -1,9 +1,12 @@
 //! # lmi-bench — experiment harness
 //!
 //! Shared machinery for the figure/table regeneration binaries (one binary
-//! per paper table/figure, see `src/bin/`) and the Criterion
+//! per paper table/figure, see `src/bin/`) and the hand-rolled
 //! micro-benchmarks (`benches/`). The per-experiment index lives in
 //! `DESIGN.md`; measured-vs-paper numbers are recorded in `EXPERIMENTS.md`.
+
+pub mod harness;
+pub mod report;
 
 use lmi_alloc::AlignmentPolicy;
 use lmi_baselines::{instrument_baggy, instrument_lmi_dbi, instrument_memcheck, GpuShield};
@@ -142,10 +145,7 @@ pub fn cycles(spec: &WorkloadSpec, mechanism: Mechanism) -> f64 {
         }
         Mechanism::BaggySoftware => run_workload(spec, mechanism).cycles as f64,
         _ => {
-            let sum: u64 = PHASES
-                .iter()
-                .map(|&ph| run_at_phase(spec, mechanism, ph).cycles)
-                .sum();
+            let sum: u64 = PHASES.iter().map(|&ph| run_at_phase(spec, mechanism, ph).cycles).sum();
             sum as f64 / PHASES.len() as f64
         }
     }
@@ -165,9 +165,7 @@ pub fn normalized(spec: &WorkloadSpec, mechanism: Mechanism) -> f64 {
 
 /// Geometric mean.
 pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
-    let (sum, n) = values
-        .into_iter()
-        .fold((0.0f64, 0usize), |(s, n), v| (s + v.ln(), n + 1));
+    let (sum, n) = values.into_iter().fold((0.0f64, 0usize), |(s, n), v| (s + v.ln(), n + 1));
     if n == 0 {
         1.0
     } else {

@@ -134,11 +134,7 @@ struct Placement {
     extent: u8,
 }
 
-fn layout_buffers(
-    items: &[(ValueId, u64)],
-    lmi: bool,
-    ptr: &PtrConfig,
-) -> (Vec<Placement>, u64) {
+fn layout_buffers(items: &[(ValueId, u64)], lmi: bool, ptr: &PtrConfig) -> (Vec<Placement>, u64) {
     // Largest-first placement keeps every 2ⁿ buffer aligned to its own size
     // provided the frame base is aligned to the largest size.
     let mut rounded: Vec<(ValueId, u64, u8)> = items
@@ -162,11 +158,8 @@ fn layout_buffers(
     }
     // Round the frame to the largest buffer's alignment so the frame base
     // (stack top − frame) stays aligned to every buffer it holds.
-    let total = if lmi {
-        offset.next_multiple_of(largest.max(1))
-    } else {
-        offset.next_multiple_of(16)
-    };
+    let total =
+        if lmi { offset.next_multiple_of(largest.max(1)) } else { offset.next_multiple_of(16) };
     (placements, total)
 }
 
@@ -334,10 +327,7 @@ impl<'a> Codegen<'a> {
                             ))
                         }
                     };
-                    self.emit_branch(
-                        Instruction::bra(0).with_pred(Predicate::when(pred)),
-                        then_,
-                    );
+                    self.emit_branch(Instruction::bra(0).with_pred(Predicate::when(pred)), then_);
                     if else_ != b + 1 {
                         self.emit_branch(Instruction::bra(0), else_);
                     }
@@ -511,10 +501,7 @@ impl<'a> Codegen<'a> {
 
     fn lower_buffer(&mut self, v: ValueId, slot: Slot, is_stack: bool) {
         let placements = if is_stack { &self.stack } else { &self.shared };
-        let p = *placements
-            .iter()
-            .find(|p| p.value == v)
-            .expect("buffer placed during layout");
+        let p = *placements.iter().find(|p| p.value == v).expect("buffer placed during layout");
         let base = if is_stack { self.sp } else { self.shared_base };
         let dst = slot.reg();
         self.emit(Instruction::iadd64(dst, base, p.offset as i32));
@@ -632,8 +619,7 @@ mod tests {
     fn lmi_build_marks_exactly_the_pointer_ops() {
         let k = compile(&simple_kernel(), CompileOptions::default()).unwrap();
         assert_eq!(k.hinted, 1, "only the GEP is pointer arithmetic");
-        let hinted: Vec<_> =
-            k.program.instructions.iter().filter(|i| i.hints.activate).collect();
+        let hinted: Vec<_> = k.program.instructions.iter().filter(|i| i.hints.activate).collect();
         assert_eq!(hinted[0].opcode, Opcode::Lea64);
     }
 
@@ -694,8 +680,7 @@ mod tests {
     }
 
     #[test]
-    fn free_is_followed_by_extent_clearing_and()
-    {
+    fn free_is_followed_by_extent_clearing_and() {
         let mut b = FunctionBuilder::new("k");
         let sz = b.const_i32(64);
         let p = b.malloc(sz);
@@ -727,12 +712,8 @@ mod tests {
         b.ibin(IBinOp::Add, four, p);
         b.ret();
         let k = compile(&b.build(), CompileOptions::default()).unwrap();
-        let marked = k
-            .program
-            .instructions
-            .iter()
-            .find(|i| i.hints.activate)
-            .expect("one marked add");
+        let marked =
+            k.program.instructions.iter().find(|i| i.hints.activate).expect("one marked add");
         assert_eq!(marked.hints.select, 1);
     }
 
@@ -774,12 +755,8 @@ mod tests {
         let _ = b.gep(q, t, 4);
         b.ret();
         let k = compile(&b.build(), CompileOptions::default()).unwrap();
-        let moves: Vec<_> = k
-            .program
-            .instructions
-            .iter()
-            .filter(|i| i.opcode == Opcode::Mov64)
-            .collect();
+        let moves: Vec<_> =
+            k.program.instructions.iter().filter(|i| i.opcode == Opcode::Mov64).collect();
         assert!(!moves.is_empty());
         assert!(moves.iter().all(|m| m.hints.activate), "IMOV of pointers is verified");
     }

@@ -437,9 +437,7 @@ impl FunctionBuilder {
         let ta = self.ty_of(a);
         let tb = self.ty_of(b);
         let ty = match (ta, tb) {
-            (Ty::Ptr(r), _) | (_, Ty::Ptr(r))
-                if matches!(op, IBinOp::Add | IBinOp::Sub) =>
-            {
+            (Ty::Ptr(r), _) | (_, Ty::Ptr(r)) if matches!(op, IBinOp::Add | IBinOp::Sub) => {
                 Ty::Ptr(r)
             }
             (Ty::I32, Ty::I32) => Ty::I32,

@@ -50,7 +50,7 @@ pub mod opt;
 pub mod pass;
 pub mod verify;
 
-pub use codegen::{compile, CompiledKernel, CompileOptions};
+pub use codegen::{compile, CompileOptions, CompiledKernel};
 pub use error::CompileError;
 pub use ir::{Function, FunctionBuilder, Region, Ty, ValueId};
 pub use opt::{optimize, OptStats};

@@ -85,9 +85,7 @@ pub fn eliminate_dead_code(func: &mut Function) -> usize {
             work.push(ptr);
             work.push(index);
         }
-        InstKind::IBin { a, b, .. }
-        | InstKind::FBin { a, b, .. }
-        | InstKind::Cmp { a, b, .. } => {
+        InstKind::IBin { a, b, .. } | InstKind::FBin { a, b, .. } | InstKind::Cmp { a, b, .. } => {
             work.push(a);
             work.push(b);
         }
@@ -218,8 +216,7 @@ mod tests {
         assert!(stats.eliminated >= 1);
         assert!(f.blocks[0].insts.len() < before);
         // The store and its operands survive.
-        assert!(f
-            .blocks[0]
+        assert!(f.blocks[0]
             .insts
             .iter()
             .any(|&v| matches!(f.insts[v].kind, InstKind::Store { .. })));

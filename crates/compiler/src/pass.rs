@@ -84,10 +84,8 @@ pub fn cast_census(func: &Function) -> CastCensus {
 ///   on forbidden casts;
 /// * [`CompileError::PointerStoredToMemory`] when a pointer value is stored.
 pub fn analyze(func: &Function) -> Result<PointerAnalysis, CompileError> {
-    let mut analysis = PointerAnalysis {
-        pointer_values: vec![false; func.insts.len()],
-        marks: HashMap::new(),
-    };
+    let mut analysis =
+        PointerAnalysis { pointer_values: vec![false; func.insts.len()], marks: HashMap::new() };
 
     // Pointer-ness of mutable vars: fixpoint (a var becomes a pointer if any
     // write stores a pointer into it).

@@ -134,9 +134,10 @@ pub fn verify(func: &Function) -> Result<(), VerifyError> {
             }
             match func.insts[v].kind {
                 InstKind::ReadVar(var) | InstKind::WriteVar { var, .. }
-                    if var >= func.vars.len() => {
-                        return Err(VerifyError::BadVariable { inst: v, var });
-                    }
+                    if var >= func.vars.len() =>
+                {
+                    return Err(VerifyError::BadVariable { inst: v, var });
+                }
                 _ => {}
             }
             defined[v] = true;

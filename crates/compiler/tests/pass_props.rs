@@ -1,10 +1,11 @@
-//! Property tests on the compiler: the pointer analysis marks exactly the
-//! address-deriving instructions (no false hints, no missed hints), the
-//! optimizer preserves effects, and codegen is total over well-typed IR.
+//! Randomized property tests on the compiler: the pointer analysis marks
+//! exactly the address-deriving instructions (no false hints, no missed
+//! hints), the optimizer preserves effects, and codegen is total over
+//! well-typed IR. Seeded SplitMix64 keeps failures reproducible.
 
 use lmi_compiler::ir::{Function, FunctionBuilder, IBinOp, InstKind, Region, Ty};
 use lmi_compiler::{analyze, compile, optimize, CompileOptions};
-use proptest::prelude::*;
+use lmi_telemetry::SplitMix64;
 
 /// Random straight-line kernel recipe over two global pointers and a
 /// handful of scalars.
@@ -17,21 +18,29 @@ enum Step {
     Store { recent_ptr: u8, value: u8 },
 }
 
-fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (any::<u8>(), any::<u8>(), prop_oneof![Just(1u8), Just(2), Just(4), Just(8), Just(12)])
-                .prop_map(|(ptr, idx, scale)| Step::Gep { ptr, idx, scale }),
-            (any::<u8>(), any::<u8>(), any::<bool>())
-                .prop_map(|(ptr, scalar, swapped)| Step::PtrAdd { ptr, scalar, swapped }),
-            (any::<u8>(), any::<u8>(), any::<u8>())
-                .prop_map(|(op, a, b)| Step::Arith { op, a, b }),
-            any::<u8>().prop_map(|recent_ptr| Step::Load { recent_ptr }),
-            (any::<u8>(), any::<u8>())
-                .prop_map(|(recent_ptr, value)| Step::Store { recent_ptr, value }),
-        ],
-        1..30,
-    )
+fn steps(rng: &mut SplitMix64) -> Vec<Step> {
+    let count = rng.range(1, 30) as usize;
+    (0..count)
+        .map(|_| match rng.below(5) {
+            0 => Step::Gep {
+                ptr: rng.next_u32() as u8,
+                idx: rng.next_u32() as u8,
+                scale: *rng.choose(&[1u8, 2, 4, 8, 12]),
+            },
+            1 => Step::PtrAdd {
+                ptr: rng.next_u32() as u8,
+                scalar: rng.next_u32() as u8,
+                swapped: rng.chance(0.5),
+            },
+            2 => Step::Arith {
+                op: rng.next_u32() as u8,
+                a: rng.next_u32() as u8,
+                b: rng.next_u32() as u8,
+            },
+            3 => Step::Load { recent_ptr: rng.next_u32() as u8 },
+            _ => Step::Store { recent_ptr: rng.next_u32() as u8, value: rng.next_u32() as u8 },
+        })
+        .collect()
 }
 
 fn build(steps: &[Step]) -> Function {
@@ -52,11 +61,7 @@ fn build(steps: &[Step]) -> Function {
             Step::PtrAdd { ptr, scalar, swapped } => {
                 let p = pointers[ptr as usize % pointers.len()];
                 let s = scalars[scalar as usize % scalars.len()];
-                let q = if swapped {
-                    b.ibin(IBinOp::Add, s, p)
-                } else {
-                    b.ibin(IBinOp::Add, p, s)
-                };
+                let q = if swapped { b.ibin(IBinOp::Add, s, p) } else { b.ibin(IBinOp::Add, p, s) };
                 pointers.push(q);
             }
             Step::Arith { op, a, b: rhs } => {
@@ -93,9 +98,7 @@ fn expected_marks(func: &Function) -> Vec<usize> {
         .filter(|(_, i)| match i.kind {
             InstKind::Gep { .. } => true,
             InstKind::IBin { a, b, .. } => {
-                let is_ptr = |v: usize| {
-                    func.insts[v].ty.map(|t| t.is_ptr()).unwrap_or(false)
-                };
+                let is_ptr = |v: usize| func.insts[v].ty.map(|t| t.is_ptr()).unwrap_or(false);
                 is_ptr(a) || is_ptr(b)
             }
             _ => false,
@@ -104,45 +107,51 @@ fn expected_marks(func: &Function) -> Vec<usize> {
         .collect()
 }
 
-proptest! {
-    #[test]
-    fn analysis_marks_exactly_the_pointer_ops(steps in arb_steps()) {
-        let func = build(&steps);
+#[test]
+fn analysis_marks_exactly_the_pointer_ops() {
+    let mut rng = SplitMix64::new(0xAA1);
+    for case in 0..200 {
+        let func = build(&steps(&mut rng));
         let analysis = analyze(&func).unwrap();
         let expected = expected_marks(&func);
         for (v, inst) in func.insts.iter().enumerate() {
             let should = expected.contains(&v);
-            prop_assert_eq!(
+            assert_eq!(
                 analysis.pointer_operand(v).is_some(),
                 should,
-                "value %{} ({:?})",
-                v,
+                "case {case}: value %{v} ({:?})",
                 inst.kind
             );
         }
-        prop_assert_eq!(analysis.marked_count(), expected.len());
+        assert_eq!(analysis.marked_count(), expected.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn s_bit_points_at_the_pointer_side(steps in arb_steps()) {
-        let func = build(&steps);
+#[test]
+fn s_bit_points_at_the_pointer_side() {
+    let mut rng = SplitMix64::new(0x5B17);
+    for case in 0..200 {
+        let func = build(&steps(&mut rng));
         let analysis = analyze(&func).unwrap();
         for (v, inst) in func.insts.iter().enumerate() {
             if let InstKind::IBin { a, b, .. } = inst.kind {
                 if let Some(side) = analysis.pointer_operand(v) {
                     let chosen = if side == 0 { a } else { b };
-                    prop_assert!(
+                    assert!(
                         analysis.is_pointer(chosen),
-                        "%{v}: S={side} selects a non-pointer"
+                        "case {case}: %{v}: S={side} selects a non-pointer"
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn optimizer_preserves_side_effects(steps in arb_steps()) {
-        let mut func = build(&steps);
+#[test]
+fn optimizer_preserves_side_effects() {
+    let mut rng = SplitMix64::new(0x0B7);
+    for case in 0..200 {
+        let mut func = build(&steps(&mut rng));
         let count_effects = |f: &Function| {
             f.iter_insts()
                 .filter(|&(_, _, v)| {
@@ -155,15 +164,20 @@ proptest! {
         };
         let before = count_effects(&func);
         optimize(&mut func);
-        prop_assert_eq!(count_effects(&func), before);
+        assert_eq!(count_effects(&func), before, "case {case}");
         // The optimized function still analyzes and compiles.
-        prop_assert!(analyze(&func).is_ok());
+        assert!(analyze(&func).is_ok(), "case {case}");
     }
+}
 
-    #[test]
-    fn compile_is_total_over_wellformed_ir(steps in arb_steps()) {
-        let func = build(&steps);
-        for opts in [CompileOptions::default(), CompileOptions::baseline(), CompileOptions::optimized()] {
+#[test]
+fn compile_is_total_over_wellformed_ir() {
+    let mut rng = SplitMix64::new(0xC0141);
+    for case in 0..150 {
+        let func = build(&steps(&mut rng));
+        for opts in
+            [CompileOptions::default(), CompileOptions::baseline(), CompileOptions::optimized()]
+        {
             match compile(&func, opts) {
                 Ok(kernel) => {
                     // Everything the backend emits is microcode-encodable.
@@ -172,18 +186,21 @@ proptest! {
                 Err(lmi_compiler::CompileError::OutOfRegisters) => {
                     // Acceptable for large random kernels (no spilling).
                 }
-                Err(e) => prop_assert!(false, "unexpected error {e}"),
+                Err(e) => panic!("case {case}: unexpected error {e}"),
             }
         }
     }
+}
 
-    #[test]
-    fn lmi_build_marks_no_fpu_or_mem_instruction(steps in arb_steps()) {
-        let func = build(&steps);
+#[test]
+fn lmi_build_marks_no_fpu_or_mem_instruction() {
+    let mut rng = SplitMix64::new(0x1F9);
+    for _ in 0..200 {
+        let func = build(&steps(&mut rng));
         if let Ok(kernel) = compile(&func, CompileOptions::default()) {
             for ins in &kernel.program.instructions {
                 if ins.hints.activate {
-                    prop_assert!(ins.opcode.can_carry_hints(), "{} marked", ins.opcode);
+                    assert!(ins.opcode.can_carry_hints(), "{} marked", ins.opcode);
                 }
             }
         }

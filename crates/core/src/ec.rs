@@ -72,10 +72,7 @@ mod tests {
         let cfg = PtrConfig::default();
         let ec = ExtentChecker::new(cfg);
         let dead = DevicePtr::encode(0x8000, 512, &cfg).unwrap().invalidated();
-        assert_eq!(
-            ec.check_access(dead.raw()),
-            Err(Violation::InvalidPointer { raw: dead.raw() })
-        );
+        assert_eq!(ec.check_access(dead.raw()), Err(Violation::InvalidPointer { raw: dead.raw() }));
     }
 
     #[test]

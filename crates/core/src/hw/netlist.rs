@@ -98,8 +98,8 @@ impl OcuNetlist {
             Stage {
                 name: "mask generator (subtract + shift)",
                 cells: vec![
-                    (CellKind::Xor2, 5),  // 5-bit extent subtractor sum
-                    (CellKind::And2, 4),  // carry chain (carry-select trimmed)
+                    (CellKind::Xor2, 5), // 5-bit extent subtractor sum
+                    (CellKind::And2, 4), // carry chain (carry-select trimmed)
                     (CellKind::Nor2, thermometer_bits),
                 ],
                 path: vec![
@@ -204,10 +204,7 @@ mod tests {
     fn w32_area_matches_table6_within_tolerance() {
         let n = OcuNetlist::new(DatapathWidth::W32);
         let ge = n.area_ge();
-        assert!(
-            (140.0..=165.0).contains(&ge),
-            "expected ≈153 GE per thread, got {ge:.1}"
-        );
+        assert!((140.0..=165.0).contains(&ge), "expected ≈153 GE per thread, got {ge:.1}");
     }
 
     #[test]
@@ -221,10 +218,7 @@ mod tests {
     fn critical_path_matches_sec11c_within_tolerance() {
         let n = OcuNetlist::new(DatapathWidth::W32);
         let ps = n.critical_path_ps();
-        assert!(
-            (560.0..=700.0).contains(&ps),
-            "expected ≈630 ps critical path, got {ps:.0}"
-        );
+        assert!((560.0..=700.0).contains(&ps), "expected ≈630 ps critical path, got {ps:.0}");
         let fmax = n.fmax_ghz();
         assert!((1.4..=1.8).contains(&fmax), "expected ≈1.587 GHz, got {fmax:.3}");
     }

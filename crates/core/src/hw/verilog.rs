@@ -56,10 +56,7 @@ pub fn emit_verilog(netlist: &OcuNetlist) -> String {
     ));
     let bit_base = if w == 64 { 0 } else { 32 };
     for i in 0..w {
-        v.push_str(&format!(
-            "  assign modifiable[{i}] = (6'd{} < n);\n",
-            i + bit_base
-        ));
+        v.push_str(&format!("  assign modifiable[{i}] = (6'd{} < n);\n", i + bit_base));
     }
 
     v.push_str(&format!(

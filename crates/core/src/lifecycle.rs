@@ -97,9 +97,7 @@ impl LifeCycle {
     /// returns the poisoned pointer (delayed termination: no error yet).
     pub fn update(&mut self, p: TrackedPtr, delta: i64) -> Result<TrackedPtr, TrackedPtr> {
         self.bump(Stage::Update);
-        let (raw, outcome) = self
-            .ocu
-            .check_marked(p.0.raw(), p.0.raw().wrapping_add(delta as u64));
+        let (raw, outcome) = self.ocu.check_marked(p.0.raw(), p.0.raw().wrapping_add(delta as u64));
         let next = TrackedPtr(DevicePtr::from_raw(raw));
         if outcome == OcuOutcome::Poisoned {
             Err(next)
@@ -159,9 +157,7 @@ mod tests {
         let dead = lc.destroy(p);
         // `destroy` consumed the TrackedPtr; only the dead DevicePtr
         // remains, and the EC rejects it.
-        assert!(ExtentChecker::new(PtrConfig::default())
-            .check_access(dead.raw())
-            .is_err());
+        assert!(ExtentChecker::new(PtrConfig::default()).check_access(dead.raw()).is_err());
     }
 
     #[test]

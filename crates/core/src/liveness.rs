@@ -187,10 +187,7 @@ mod tests {
         assert!(t.check_live(copy).is_ok());
         t.on_free(a).unwrap();
         // The base mechanism misses this; the tracker catches it.
-        assert_eq!(
-            t.check_live(copy),
-            Err(Violation::Temporal(TemporalKind::UseAfterFree))
-        );
+        assert_eq!(t.check_live(copy), Err(Violation::Temporal(TemporalKind::UseAfterFree)));
     }
 
     #[test]

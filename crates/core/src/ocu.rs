@@ -37,6 +37,16 @@ impl OcuOutcome {
     pub fn passed(self) -> bool {
         !matches!(self, OcuOutcome::Poisoned)
     }
+
+    /// Stable snake_case label, used by telemetry and forensics reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            OcuOutcome::NotChecked => "not_checked",
+            OcuOutcome::Pass => "pass",
+            OcuOutcome::PropagateInvalid => "propagate_invalid",
+            OcuOutcome::Poisoned => "poisoned",
+        }
+    }
 }
 
 /// The hardware OCU model.
@@ -81,10 +91,7 @@ impl Ocu {
         }
         // Mask generator: modifiable bits are the low `extent + log2 K - 1`
         // bits (size = 2^(E - 1 + log2 K)).
-        let size = self
-            .cfg
-            .size_for_extent(extent)
-            .expect("extent validated as size");
+        let size = self.cfg.size_for_extent(extent).expect("extent validated as size");
         let modifiable = size - 1;
         // XOR stage + AND stage: any changed bit above the modifiable region
         // (including the extent field itself) is a violation.
@@ -92,9 +99,8 @@ impl Ocu {
         if changed & !modifiable == 0 {
             (result, OcuOutcome::Pass)
         } else {
-            let poisoned = DevicePtr::from_raw(result)
-                .poisoned(PoisonKind::SpatialViolation, &self.cfg)
-                .raw();
+            let poisoned =
+                DevicePtr::from_raw(result).poisoned(PoisonKind::SpatialViolation, &self.cfg).raw();
             (poisoned, OcuOutcome::Poisoned)
         }
     }

@@ -41,9 +41,7 @@ impl PairOcu {
     }
 
     fn size_log2(&self, extent: u8) -> Option<u32> {
-        self.cfg
-            .size_for_extent(extent)
-            .map(|s| s.trailing_zeros())
+        self.cfg.size_for_extent(extent).map(|s| s.trailing_zeros())
     }
 
     /// Checks the low-word `IADD`: `in_lo` is the selected input's low
@@ -183,8 +181,7 @@ mod tests {
         let pair = PairOcu::new(cfg);
         let p = ptr(0x10_0000, 4096);
         for delta in (-10_000i64..10_000).step_by(37) {
-            let (fused_out, fused_outcome) =
-                fused.check_marked(p, p.wrapping_add(delta as u64));
+            let (fused_out, fused_outcome) = fused.check_marked(p, p.wrapping_add(delta as u64));
             let (pair_out, pair_outcome) = pair.check_update(p, delta);
             assert_eq!(pair_outcome, fused_outcome, "delta {delta}");
             assert_eq!(pair_out, fused_out, "delta {delta}");

@@ -1,133 +1,172 @@
-//! Property tests for the pointer codec and the OCU.
+//! Randomized property tests for the pointer codec and the OCU.
 //!
 //! The central soundness claim of LMI is *correct by construction*: any
 //! pointer update that stays inside the 2ⁿ-aligned region passes the OCU,
 //! and any update that leaves it (or tampers with the metadata) poisons the
 //! pointer so the EC faults the next dereference.
+//!
+//! Seeded SplitMix64 (from `lmi-telemetry`) replaces the external property
+//! framework; failures print the case inputs and reproduce exactly.
 
 use lmi_core::ocu::reference_in_region;
 use lmi_core::ptr::EXTENT_SHIFT;
 use lmi_core::{DevicePtr, ExtentChecker, Ocu, OcuOutcome, PairOcu, PtrConfig};
-use proptest::prelude::*;
+use lmi_telemetry::SplitMix64;
 
 fn cfg() -> PtrConfig {
     PtrConfig::default()
 }
 
 /// An arbitrary valid allocation: aligned base + size class.
-fn arb_alloc() -> impl Strategy<Value = (u64, u64)> {
-    // Extents 1..=20 keep sizes ≤ 128 MiB so address math stays easy.
-    (1u8..=20, 0u64..(1 << 30)).prop_map(move |(extent, slot)| {
-        let size = cfg().size_for_extent(extent).unwrap();
-        let base = (slot % 1024) * (1u64 << 28) + (slot / 1024) * size;
-        let base = base & !(size - 1);
-        (base, size)
-    })
+/// Extents 1..=20 keep sizes ≤ 128 MiB so address math stays easy.
+fn alloc(rng: &mut SplitMix64) -> (u64, u64) {
+    let extent = rng.range(1, 21) as u8;
+    let slot = rng.below(1 << 30);
+    let size = cfg().size_for_extent(extent).unwrap();
+    let base = (slot % 1024) * (1u64 << 28) + (slot / 1024) * size;
+    let base = base & !(size - 1);
+    (base, size)
 }
 
-proptest! {
-    #[test]
-    fn encode_preserves_address_and_size((base, size) in arb_alloc()) {
+#[test]
+fn encode_preserves_address_and_size() {
+    let mut rng = SplitMix64::new(0xE4C0DE);
+    for _ in 0..1000 {
+        let (base, size) = alloc(&mut rng);
         let c = cfg();
         let p = DevicePtr::encode(base, size, &c).unwrap();
-        prop_assert_eq!(p.addr(), base);
-        prop_assert_eq!(p.size(&c), Some(size));
-        prop_assert_eq!(p.base(&c), Some(base));
+        assert_eq!(p.addr(), base);
+        assert_eq!(p.size(&c), Some(size));
+        assert_eq!(p.base(&c), Some(base));
     }
+}
 
-    #[test]
-    fn in_bounds_offsets_always_pass((base, size) in arb_alloc(), frac in 0.0f64..1.0) {
+#[test]
+fn in_bounds_offsets_always_pass() {
+    let mut rng = SplitMix64::new(0x1B0);
+    for _ in 0..1000 {
+        let (base, size) = alloc(&mut rng);
         let c = cfg();
         let ocu = Ocu::new(c);
         let p = DevicePtr::encode(base, size, &c).unwrap().raw();
-        let delta = (frac * size as f64) as u64 % size;
+        let delta = rng.below(size);
         let (out, outcome) = ocu.check_marked(p, p + delta);
-        prop_assert_eq!(outcome, OcuOutcome::Pass);
-        prop_assert_eq!(out, p + delta);
-        prop_assert!(ExtentChecker::new(c).check_access(out).is_ok());
+        assert_eq!(outcome, OcuOutcome::Pass, "base={base:#x} size={size} delta={delta}");
+        assert_eq!(out, p + delta);
+        assert!(ExtentChecker::new(c).check_access(out).is_ok());
     }
+}
 
-    #[test]
-    fn escapes_always_poison((base, size) in arb_alloc(), extra in 1u64..(1 << 20)) {
+#[test]
+fn escapes_always_poison() {
+    let mut rng = SplitMix64::new(0xE5CA);
+    for _ in 0..1000 {
+        let (base, size) = alloc(&mut rng);
+        let extra = rng.range(1, 1 << 20);
         let c = cfg();
         let ocu = Ocu::new(c);
         let p = DevicePtr::encode(base, size, &c).unwrap().raw();
         let (out, outcome) = ocu.check_marked(p, p + size + extra - 1);
-        prop_assert_eq!(outcome, OcuOutcome::Poisoned);
-        prop_assert!(ExtentChecker::new(c).check_access(out).is_err());
+        assert_eq!(outcome, OcuOutcome::Poisoned, "base={base:#x} size={size} extra={extra}");
+        assert!(ExtentChecker::new(c).check_access(out).is_err());
     }
+}
 
-    #[test]
-    fn ocu_matches_reference_judgment((base, size) in arb_alloc(), delta in -(1i64 << 22)..(1i64 << 22)) {
+#[test]
+fn ocu_matches_reference_judgment() {
+    let mut rng = SplitMix64::new(0x0C0);
+    for _ in 0..2000 {
+        let (base, size) = alloc(&mut rng);
+        let delta = rng.range_i64(-(1i64 << 22), 1i64 << 22);
         let c = cfg();
         let ocu = Ocu::new(c);
         let p = DevicePtr::encode(base, size, &c).unwrap().raw();
         let result = p.wrapping_add(delta as u64);
         let (_, outcome) = ocu.check_marked(p, result);
         let reference = reference_in_region(p, result, &c);
-        prop_assert_eq!(outcome == OcuOutcome::Pass, reference,
-            "base={:#x} size={} delta={}", base, size, delta);
+        assert_eq!(
+            outcome == OcuOutcome::Pass,
+            reference,
+            "base={base:#x} size={size} delta={delta}"
+        );
     }
+}
 
-    #[test]
-    fn base_recovery_is_stable_under_in_bounds_walks(
-        (base, size) in arb_alloc(),
-        steps in proptest::collection::vec(0u64..4096, 1..20),
-    ) {
+#[test]
+fn base_recovery_is_stable_under_in_bounds_walks() {
+    let mut rng = SplitMix64::new(0xBA5E);
+    for _ in 0..300 {
+        let (base, size) = alloc(&mut rng);
         let c = cfg();
         let ocu = Ocu::new(c);
         let mut p = DevicePtr::encode(base, size, &c).unwrap().raw();
-        for step in steps {
+        for _ in 0..rng.range(1, 20) {
+            let step = rng.below(4096);
             let target = base + (step % size);
             let (next, outcome) = ocu.check_marked(p, (p & !(size - 1)) + (target - base));
-            prop_assert!(outcome.passed());
+            assert!(outcome.passed(), "base={base:#x} size={size} step={step}");
             p = next;
-            prop_assert_eq!(DevicePtr::from_raw(p).base(&c), Some(base));
+            assert_eq!(DevicePtr::from_raw(p).base(&c), Some(base));
         }
     }
+}
 
-    #[test]
-    fn extent_tampering_is_always_poisoned((base, size) in arb_alloc(), bit in 0u32..5) {
+#[test]
+fn extent_tampering_is_always_poisoned() {
+    let mut rng = SplitMix64::new(0x7A3);
+    for _ in 0..1000 {
+        let (base, size) = alloc(&mut rng);
+        let bit = rng.below(5) as u32;
         let c = cfg();
         let ocu = Ocu::new(c);
         let p = DevicePtr::encode(base, size, &c).unwrap().raw();
         let forged = p ^ (1u64 << (EXTENT_SHIFT + bit));
         let (_, outcome) = ocu.check_marked(p, forged);
-        prop_assert_eq!(outcome, OcuOutcome::Poisoned);
+        assert_eq!(outcome, OcuOutcome::Poisoned, "base={base:#x} size={size} bit={bit}");
     }
+}
 
-    #[test]
-    fn pair_ocu_is_equivalent_to_the_fused_ocu(
-        (base, size) in arb_alloc(),
-        delta in -(1i64 << 34)..(1i64 << 34),
-    ) {
-        // The two-physical-register datapath (Fig. 6) must reach the same
-        // verdict and write back the same pointer as the fused 64-bit model.
+#[test]
+fn pair_ocu_is_equivalent_to_the_fused_ocu() {
+    // The two-physical-register datapath (Fig. 6) must reach the same
+    // verdict and write back the same pointer as the fused 64-bit model.
+    let mut rng = SplitMix64::new(0xFA12);
+    for _ in 0..2000 {
+        let (base, size) = alloc(&mut rng);
+        let delta = rng.range_i64(-(1i64 << 34), 1i64 << 34);
         let c = cfg();
         let fused = Ocu::new(c);
         let pair = PairOcu::new(c);
         let p = DevicePtr::encode(base, size, &c).unwrap().raw();
         let (fused_out, fused_outcome) = fused.check_marked(p, p.wrapping_add(delta as u64));
         let (pair_out, pair_outcome) = pair.check_update(p, delta);
-        prop_assert_eq!(pair_outcome, fused_outcome, "delta {}", delta);
-        prop_assert_eq!(pair_out, fused_out, "delta {}", delta);
+        assert_eq!(pair_outcome, fused_outcome, "base={base:#x} size={size} delta={delta}");
+        assert_eq!(pair_out, fused_out, "base={base:#x} size={size} delta={delta}");
     }
+}
 
-    #[test]
-    fn split_round_trips(raw in any::<u64>()) {
+#[test]
+fn split_round_trips() {
+    let mut rng = SplitMix64::new(0x5EC7);
+    for _ in 0..2000 {
+        let raw = rng.next_u64();
         let p = DevicePtr::from_raw(raw);
         let (lo, hi) = p.split();
-        prop_assert_eq!(DevicePtr::from_parts(lo, hi), p);
+        assert_eq!(DevicePtr::from_parts(lo, hi), p, "raw={raw:#x}");
     }
+}
 
-    #[test]
-    fn round_up_is_minimal_power_of_two(size in 1u64..(1 << 30)) {
+#[test]
+fn round_up_is_minimal_power_of_two() {
+    let mut rng = SplitMix64::new(0x20);
+    for _ in 0..2000 {
+        let size = rng.range(1, 1 << 30);
         let c = cfg();
         let rounded = c.round_up(size).unwrap();
-        prop_assert!(rounded.is_power_of_two());
-        prop_assert!(rounded >= size.max(c.min_align()));
+        assert!(rounded.is_power_of_two());
+        assert!(rounded >= size.max(c.min_align()));
         if rounded > c.min_align() {
-            prop_assert!(rounded / 2 < size, "not minimal: {size} -> {rounded}");
+            assert!(rounded / 2 < size, "not minimal: {size} -> {rounded}");
         }
     }
 }

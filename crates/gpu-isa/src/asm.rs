@@ -193,11 +193,7 @@ fn parse_instruction(s: &str, line: usize) -> Result<Instruction, AsmError> {
         _ => (mnemonic, HintBits::NONE),
     };
 
-    let args: Vec<&str> = if rest.is_empty() {
-        Vec::new()
-    } else {
-        split_args(rest)
-    };
+    let args: Vec<&str> = if rest.is_empty() { Vec::new() } else { split_args(rest) };
     let need = |n: usize| -> Result<(), AsmError> {
         if args.len() == n {
             Ok(())
@@ -219,11 +215,8 @@ fn parse_instruction(s: &str, line: usize) -> Result<Instruction, AsmError> {
                 parse_operand(args[1], line)?,
                 parse_operand(args[2], line)?,
             );
-            i.srcs[2] = if args.len() == 4 {
-                parse_operand(args[3], line)?
-            } else {
-                Operand::Reg(Reg::RZ)
-            };
+            i.srcs[2] =
+                if args.len() == 4 { parse_operand(args[3], line)? } else { Operand::Reg(Reg::RZ) };
             i
         }
         "IMAD" => {

@@ -201,10 +201,7 @@ impl MemRef {
     ///
     /// Panics if `width` is not 1, 2, 4, or 8.
     pub fn new(addr: Reg, offset: i32, width: u8) -> MemRef {
-        assert!(
-            matches!(width, 1 | 2 | 4 | 8),
-            "unsupported access width {width}"
-        );
+        assert!(matches!(width, 1 | 2 | 4 | 8), "unsupported access width {width}");
         MemRef { addr, offset, width }
     }
 }
@@ -278,27 +275,36 @@ impl Instruction {
 
     /// `LEA64 dst:dst+1, base:base+1, idx, shift`.
     pub fn lea64(dst: Reg, base: Reg, idx: impl Into<Operand>, shift: u8) -> Instruction {
-        Self::op3(
-            Opcode::Lea64,
-            dst,
-            Operand::Reg(base),
-            idx.into(),
-            Operand::Imm(shift as i32),
-        )
+        Self::op3(Opcode::Lea64, dst, Operand::Reg(base), idx.into(), Operand::Imm(shift as i32))
     }
 
     /// `ISETP pN, a, cmp, b` — `dst.0` names the destination predicate.
-    pub fn isetp(dst: PredReg, a: impl Into<Operand>, cmp: CmpOp, b: impl Into<Operand>) -> Instruction {
+    pub fn isetp(
+        dst: PredReg,
+        a: impl Into<Operand>,
+        cmp: CmpOp,
+        b: impl Into<Operand>,
+    ) -> Instruction {
         Self::op3(Opcode::Isetp, Reg(dst.0), a.into(), b.into(), Operand::Imm(cmp.encode()))
     }
 
     /// Generic binary integer op (`SHL`, `SHR`, `AND`, `OR`, `XOR`, …).
-    pub fn int2(opcode: Opcode, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> Instruction {
+    pub fn int2(
+        opcode: Opcode,
+        dst: Reg,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> Instruction {
         Self::op3(opcode, dst, a.into(), b.into(), Operand::None)
     }
 
     /// Generic binary float op (`FADD`, `FMUL`).
-    pub fn float2(opcode: Opcode, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> Instruction {
+    pub fn float2(
+        opcode: Opcode,
+        dst: Reg,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> Instruction {
         Self::op3(opcode, dst, a.into(), b.into(), Operand::None)
     }
 
@@ -530,7 +536,13 @@ impl fmt::Display for Instruction {
                     Some(CmpOp::Ge) => "GE",
                     None => "??",
                 };
-                write!(f, " {}, {}, {name}, {}", PredReg(self.dst.0 & 7), self.srcs[0], self.srcs[1])?;
+                write!(
+                    f,
+                    " {}, {}, {name}, {}",
+                    PredReg(self.dst.0 & 7),
+                    self.srcs[0],
+                    self.srcs[1]
+                )?;
             }
             _ => {
                 // Control ops and FREE have no architectural destination.

@@ -355,7 +355,9 @@ mod tests {
         round_trip(&Instruction::iadd3(Reg(0), Reg(1), -64));
         round_trip(&Instruction::imad(Reg(3), Reg(4), 12, Reg(5)));
         round_trip(&Instruction::mov(Reg(1), Operand::Const { bank: 0, offset: 0x28 }));
-        round_trip(&Instruction::iadd64(Reg(4), Reg(4), 256).with_hints(HintBits::check_operand(0)));
+        round_trip(
+            &Instruction::iadd64(Reg(4), Reg(4), 256).with_hints(HintBits::check_operand(0)),
+        );
         round_trip(&Instruction::mov64(Reg(8), Reg(4)).with_hints(HintBits::check_operand(0)));
         round_trip(&Instruction::lea64(Reg(6), Reg(4), Reg(0), 2));
         round_trip(&Instruction::isetp(PredReg(0), Reg(0), CmpOp::Lt, Reg(1)));
@@ -406,10 +408,7 @@ mod tests {
         let ins = Instruction::nop();
         let mut word = Microcode::encode(&ins, ComputeCapability::Cc80).unwrap();
         word.0 |= 1 << 30; // a reserved bit that is not A or S
-        assert_eq!(
-            word.check_reserved(ComputeCapability::Cc80),
-            Err(CodecError::ReservedBitSet)
-        );
+        assert_eq!(word.check_reserved(ComputeCapability::Cc80), Err(CodecError::ReservedBitSet));
     }
 
     #[test]
@@ -450,9 +449,6 @@ mod tests {
     #[test]
     fn bad_opcode_field_detected() {
         let word = Microcode(99u128 << OPCODE_LSB);
-        assert_eq!(
-            word.decode(ComputeCapability::Cc80),
-            Err(CodecError::BadOpcode(99))
-        );
+        assert_eq!(word.decode(ComputeCapability::Cc80), Err(CodecError::BadOpcode(99)));
     }
 }

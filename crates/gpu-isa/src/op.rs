@@ -234,10 +234,9 @@ impl Opcode {
         match self {
             Opcode::Exit => 40,
             Opcode::Nop => 41,
-            other => Opcode::ALL
-                .iter()
-                .position(|&op| op == other)
-                .expect("opcode present in ALL") as u8,
+            other => {
+                Opcode::ALL.iter().position(|&op| op == other).expect("opcode present in ALL") as u8
+            }
         }
     }
 

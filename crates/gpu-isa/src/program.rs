@@ -123,10 +123,8 @@ impl ProgramBuilder {
 
     /// Emits a predicated backward/forward branch to `label`.
     pub fn branch_if(&mut self, label: Label, pred: crate::PredReg, negated: bool) -> &mut Self {
-        let ins = Instruction::bra(label.0 as i32).with_pred(crate::Predicate {
-            reg: pred,
-            negated,
-        });
+        let ins =
+            Instruction::bra(label.0 as i32).with_pred(crate::Predicate { reg: pred, negated });
         self.push(ins)
     }
 
@@ -215,8 +213,7 @@ mod tests {
     fn counters_count_hints_and_mem() {
         let mut b = ProgramBuilder::new("t");
         b.push(
-            Instruction::iadd64(Reg(4), Reg(4), 4)
-                .with_hints(crate::HintBits::check_operand(0)),
+            Instruction::iadd64(Reg(4), Reg(4), 4).with_hints(crate::HintBits::check_operand(0)),
         );
         b.push(Instruction::ldg(Reg(8), MemRef::new(Reg(4), 0, 4)));
         b.push(Instruction::exit());
@@ -229,7 +226,9 @@ mod tests {
     fn assemble_round_trips_all_instructions() {
         let mut b = ProgramBuilder::new("t");
         b.push(Instruction::mov(Reg(0), 7));
-        b.push(Instruction::iadd64(Reg(2), Reg(2), 8).with_hints(crate::HintBits::check_operand(0)));
+        b.push(
+            Instruction::iadd64(Reg(2), Reg(2), 8).with_hints(crate::HintBits::check_operand(0)),
+        );
         b.push(Instruction::exit());
         let p = b.build();
         let words = p.assemble(crate::ComputeCapability::Cc80).unwrap();

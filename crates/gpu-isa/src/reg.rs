@@ -42,10 +42,7 @@ impl Reg {
     ///
     /// Panics if `self` is `RZ` or the last usable register (no pair exists).
     pub fn pair_high(self) -> Reg {
-        assert!(
-            self.0 < MAX_GPR,
-            "register {self} has no pair high register"
-        );
+        assert!(self.0 < MAX_GPR, "register {self} has no pair high register");
         Reg(self.0 + 1)
     }
 

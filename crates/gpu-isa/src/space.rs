@@ -24,12 +24,8 @@ pub enum MemSpace {
 
 impl MemSpace {
     /// All load/store-addressable spaces, in a stable order.
-    pub const ALL: [MemSpace; 4] = [
-        MemSpace::Global,
-        MemSpace::Shared,
-        MemSpace::Local,
-        MemSpace::Const,
-    ];
+    pub const ALL: [MemSpace; 4] =
+        [MemSpace::Global, MemSpace::Shared, MemSpace::Local, MemSpace::Const];
 
     /// Short mnemonic suffix used in disassembly (`G`, `S`, `L`, `C`).
     pub fn suffix(self) -> &'static str {

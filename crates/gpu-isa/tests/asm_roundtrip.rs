@@ -1,102 +1,102 @@
-//! Property test: the assembler parses the disassembler's output back to
-//! the identical instruction, for every syntax the toolchain emits.
+//! Randomized property test: the assembler parses the disassembler's
+//! output back to the identical instruction, for every syntax the
+//! toolchain emits. Seeded SplitMix64 keeps failures reproducible.
 
 use lmi_isa::asm::assemble;
 use lmi_isa::instr::CmpOp;
 use lmi_isa::op::SpecialReg;
 use lmi_isa::reg::PredReg;
 use lmi_isa::{HintBits, Instruction, MemRef, Operand, Predicate, Reg};
-use proptest::prelude::*;
+use lmi_telemetry::SplitMix64;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..=126).prop_map(Reg)
+fn reg(rng: &mut SplitMix64) -> Reg {
+    Reg(rng.below(127) as u8)
 }
 
-fn arb_pair() -> impl Strategy<Value = Reg> {
-    (0u8..=124).prop_map(Reg)
+fn pair(rng: &mut SplitMix64) -> Reg {
+    Reg(rng.below(125) as u8)
 }
 
-fn arb_src() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        arb_reg().prop_map(Operand::Reg),
-        any::<i32>().prop_map(Operand::Imm),
-        ((0u8..8), any::<u16>()).prop_map(|(bank, offset)| Operand::Const { bank, offset }),
-    ]
+fn src(rng: &mut SplitMix64) -> Operand {
+    match rng.below(3) {
+        0 => Operand::Reg(reg(rng)),
+        1 => Operand::Imm(rng.next_u32() as i32),
+        _ => Operand::Const { bank: rng.below(8) as u8, offset: rng.next_u32() as u16 },
+    }
 }
 
 /// Instructions in the assembler-supported subset, via the constructors.
-fn arb_instruction() -> impl Strategy<Value = Instruction> {
-    prop_oneof![
-        (arb_reg(), arb_src(), arb_src()).prop_map(|(d, a, b)| Instruction::iadd3(d, a, b)),
-        (arb_reg(), arb_src()).prop_map(|(d, a)| Instruction::mov(d, a)),
-        (arb_pair(), arb_pair()).prop_map(|(d, a)| Instruction::mov64(d, a)),
-        (arb_pair(), arb_pair(), any::<i32>(), any::<bool>(), 0u8..=1).prop_map(
-            |(d, a, off, marked, sel)| {
-                let mut i = Instruction::iadd64(d, a, off);
-                if marked {
-                    i = i.with_hints(HintBits::check_operand(sel));
-                }
-                i
+fn instruction(rng: &mut SplitMix64) -> Instruction {
+    match rng.below(15) {
+        0 => Instruction::iadd3(reg(rng), src(rng), src(rng)),
+        1 => Instruction::mov(reg(rng), src(rng)),
+        2 => Instruction::mov64(pair(rng), pair(rng)),
+        3 => {
+            let mut i = Instruction::iadd64(pair(rng), pair(rng), rng.next_u32() as i32);
+            if rng.chance(0.5) {
+                i = i.with_hints(HintBits::check_operand(rng.below(2) as u8));
             }
-        ),
-        (arb_pair(), arb_pair(), arb_reg(), 0u8..8).prop_map(|(d, a, idx, sh)| {
-            Instruction::lea64(d, a, idx, sh)
-        }),
-        (arb_reg(), arb_pair(), any::<i32>(), any::<bool>()).prop_map(|(d, a, off, load)| {
-            let mem = MemRef::new(a, off, 4);
-            if load {
+            i
+        }
+        4 => Instruction::lea64(pair(rng), pair(rng), reg(rng), rng.below(8) as u8),
+        5 => {
+            let mem = MemRef::new(pair(rng), rng.next_u32() as i32, 4);
+            let d = reg(rng);
+            if rng.chance(0.5) {
                 Instruction::ldg(d, mem)
             } else {
                 Instruction::stg(mem, d)
             }
-        }),
-        (arb_reg(), arb_pair(), any::<i32>()).prop_map(|(d, a, off)| {
-            Instruction::lds(d, MemRef::new(a, off, 4))
-        }),
-        (arb_reg(), arb_pair(), any::<i32>()).prop_map(|(d, a, off)| {
-            Instruction::stl(MemRef::new(a, off, 4), d)
-        }),
-        (arb_pair(), arb_reg()).prop_map(|(d, s)| Instruction::malloc(d, s)),
-        arb_pair().prop_map(Instruction::free),
-        (arb_reg(), 0i64..=4)
-            .prop_map(|(d, s)| Instruction::s2r(d, SpecialReg::from_selector(s).unwrap())),
-        (0i32..10_000, (0u8..=7), any::<bool>()).prop_map(|(t, p, n)| {
-            Instruction::bra(t).with_pred(Predicate { reg: PredReg(p), negated: n })
-        }),
-        Just(Instruction::bar()),
-        Just(Instruction::exit()),
-        Just(Instruction::nop()),
-    ]
+        }
+        6 => Instruction::lds(reg(rng), MemRef::new(pair(rng), rng.next_u32() as i32, 4)),
+        7 => Instruction::stl(MemRef::new(pair(rng), rng.next_u32() as i32, 4), reg(rng)),
+        8 => Instruction::malloc(pair(rng), reg(rng)),
+        9 => Instruction::free(pair(rng)),
+        10 => Instruction::s2r(reg(rng), SpecialReg::from_selector(rng.below(5) as i64).unwrap()),
+        11 => Instruction::bra(rng.below(10_000) as i32)
+            .with_pred(Predicate { reg: PredReg(rng.below(8) as u8), negated: rng.chance(0.5) }),
+        12 => Instruction::bar(),
+        13 => Instruction::exit(),
+        _ => Instruction::nop(),
+    }
 }
 
-proptest! {
-    #[test]
-    fn disassembly_reassembles_identically(instrs in proptest::collection::vec(arb_instruction(), 1..20)) {
+#[test]
+fn disassembly_reassembles_identically() {
+    let mut rng = SplitMix64::new(0xA53);
+    for case in 0..300 {
+        let count = rng.range(1, 20) as usize;
+        let instrs: Vec<Instruction> = (0..count).map(|_| instruction(&mut rng)).collect();
         let mut text = String::new();
         for (pc, ins) in instrs.iter().enumerate() {
             text.push_str(&format!("/*{pc:04}*/  {ins} ;\n"));
         }
-        let program = assemble("rt", &text).unwrap_or_else(|e| panic!("{e}\n{text}"));
-        prop_assert_eq!(program.len(), instrs.len());
+        let program = assemble("rt", &text).unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+        assert_eq!(program.len(), instrs.len(), "case {case}");
         for (parsed, original) in program.instructions.iter().zip(&instrs) {
-            prop_assert_eq!(parsed, original, "text: {}", original);
+            assert_eq!(parsed, original, "case {case}, text: {original}");
         }
     }
+}
 
-    #[test]
-    fn isetp_round_trips_structurally(
-        p in 0u8..=7,
-        a in arb_reg(),
-        b in arb_reg(),
-        cmp_code in 0i32..=5,
-    ) {
-        let cmp = CmpOp::decode(cmp_code).unwrap();
+#[test]
+fn isetp_round_trips_structurally() {
+    let mut rng = SplitMix64::new(0x15E7);
+    for _ in 0..200 {
+        let p = rng.below(8) as u8;
+        let a = reg(&mut rng);
+        let b = reg(&mut rng);
+        let cmp = CmpOp::decode(rng.below(6) as i32).unwrap();
         let name = match cmp {
-            CmpOp::Eq => "EQ", CmpOp::Ne => "NE", CmpOp::Lt => "LT",
-            CmpOp::Le => "LE", CmpOp::Gt => "GT", CmpOp::Ge => "GE",
+            CmpOp::Eq => "EQ",
+            CmpOp::Ne => "NE",
+            CmpOp::Lt => "LT",
+            CmpOp::Le => "LE",
+            CmpOp::Gt => "GT",
+            CmpOp::Ge => "GE",
         };
         let text = format!("ISETP P{p}, {a}, {name}, {b}");
         let program = assemble("t", &text).unwrap();
-        prop_assert_eq!(&program.instructions[0], &Instruction::isetp(PredReg(p), a, cmp, b));
+        assert_eq!(&program.instructions[0], &Instruction::isetp(PredReg(p), a, cmp, b));
     }
 }

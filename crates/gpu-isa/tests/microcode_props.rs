@@ -1,5 +1,9 @@
-//! Property tests: microcode encode/decode is lossless for every valid
-//! instruction shape, on every compute capability.
+//! Randomized property tests: microcode encode/decode is lossless for
+//! every valid instruction shape, on every compute capability.
+//!
+//! Driven by `lmi-telemetry`'s deterministic SplitMix64 instead of an
+//! external property-testing framework, so the workspace builds offline;
+//! fixed seeds keep failures reproducible.
 
 use lmi_isa::instr::CmpOp;
 use lmi_isa::op::SpecialReg;
@@ -7,74 +11,73 @@ use lmi_isa::reg::PredReg;
 use lmi_isa::{
     ComputeCapability, HintBits, Instruction, MemRef, Microcode, Opcode, Operand, Predicate, Reg,
 };
-use proptest::prelude::*;
+use lmi_telemetry::SplitMix64;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..=127).prop_map(Reg)
+const CCS: [ComputeCapability; 4] = [
+    ComputeCapability::Cc70,
+    ComputeCapability::Cc75,
+    ComputeCapability::Cc80,
+    ComputeCapability::Cc90,
+];
+
+fn reg(rng: &mut SplitMix64) -> Reg {
+    Reg(rng.below(128) as u8)
 }
 
-fn arb_pair_base() -> impl Strategy<Value = Reg> {
-    (0u8..=125).prop_map(Reg)
+fn pair_base(rng: &mut SplitMix64) -> Reg {
+    Reg(rng.below(126) as u8)
 }
 
-fn arb_operand() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        Just(Operand::None),
-        arb_reg().prop_map(Operand::Reg),
-        any::<i32>().prop_map(Operand::Imm),
-        ((0u8..=127), any::<u16>()).prop_map(|(bank, offset)| Operand::Const { bank, offset }),
-    ]
+fn operand(rng: &mut SplitMix64) -> Operand {
+    match rng.below(4) {
+        0 => Operand::None,
+        1 => Operand::Reg(reg(rng)),
+        2 => Operand::Imm(rng.next_u32() as i32),
+        _ => Operand::Const { bank: rng.below(128) as u8, offset: rng.next_u32() as u16 },
+    }
 }
 
-fn arb_pred() -> impl Strategy<Value = Option<Predicate>> {
-    prop_oneof![
-        Just(None),
-        ((0u8..=7), any::<bool>())
-            .prop_map(|(r, negated)| Some(Predicate { reg: PredReg(r), negated })),
-    ]
+fn pred(rng: &mut SplitMix64) -> Option<Predicate> {
+    if rng.chance(0.5) {
+        Some(Predicate { reg: PredReg(rng.below(8) as u8), negated: rng.chance(0.5) })
+    } else {
+        None
+    }
 }
 
-fn arb_cc() -> impl Strategy<Value = ComputeCapability> {
-    prop_oneof![
-        Just(ComputeCapability::Cc70),
-        Just(ComputeCapability::Cc75),
-        Just(ComputeCapability::Cc80),
-        Just(ComputeCapability::Cc90),
-    ]
-}
-
-fn arb_width() -> impl Strategy<Value = u8> {
-    prop_oneof![Just(1u8), Just(2), Just(4), Just(8)]
+fn width(rng: &mut SplitMix64) -> u8 {
+    *rng.choose(&[1u8, 2, 4, 8])
 }
 
 /// Arbitrary *valid* instructions: built through the typed constructors so
 /// operand shapes match what the compiler can emit.
-fn arb_instruction() -> impl Strategy<Value = Instruction> {
-    let alu3 = (arb_reg(), arb_operand(), arb_operand(), arb_pred(), any::<bool>(), 0u8..=1).prop_map(
-        |(dst, a, b, pred, activate, select)| {
-            let mut ins = Instruction::iadd3(dst, a, b);
-            if activate {
-                ins = ins.with_hints(HintBits::check_operand(select));
+fn instruction(rng: &mut SplitMix64) -> Instruction {
+    match rng.below(4) {
+        // 3-operand integer ALU.
+        0 => {
+            let mut ins = Instruction::iadd3(reg(rng), operand(rng), operand(rng));
+            if rng.chance(0.5) {
+                ins = ins.with_hints(HintBits::check_operand(rng.below(2) as u8));
             }
-            if let Some(p) = pred {
+            if let Some(p) = pred(rng) {
                 ins = ins.with_pred(p);
             }
             ins
-        },
-    );
-    let wide = (arb_pair_base(), arb_pair_base(), any::<i32>(), any::<bool>(), 0u8..=1).prop_map(
-        |(dst, a, off, activate, select)| {
-            let mut ins = Instruction::iadd64(dst, a, off);
-            if activate {
-                ins = ins.with_hints(HintBits::check_operand(select));
+        }
+        // Wide (64-bit) pointer arithmetic.
+        1 => {
+            let mut ins =
+                Instruction::iadd64(pair_base(rng), pair_base(rng), rng.next_u32() as i32);
+            if rng.chance(0.5) {
+                ins = ins.with_hints(HintBits::check_operand(rng.below(2) as u8));
             }
             ins
-        },
-    );
-    let mem = (arb_pair_base(), arb_pair_base(), any::<i32>(), arb_width(), 0usize..=5).prop_map(
-        |(addr, data, off, width, which)| {
-            let mem = MemRef::new(addr, off, width);
-            match which {
+        }
+        // Loads/stores across the three spaces.
+        2 => {
+            let mem = MemRef::new(pair_base(rng), rng.next_u32() as i32, width(rng));
+            let data = pair_base(rng);
+            match rng.below(6) {
                 0 => Instruction::ldg(data, mem),
                 1 => Instruction::stg(mem, data),
                 2 => Instruction::lds(data, mem),
@@ -82,70 +85,81 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
                 4 => Instruction::ldl(data, mem),
                 _ => Instruction::stl(mem, data),
             }
+        }
+        // Everything else.
+        _ => match rng.below(8) {
+            0 => {
+                Instruction::s2r(reg(rng), SpecialReg::from_selector(rng.below(5) as i64).unwrap())
+            }
+            1 => Instruction::isetp(
+                PredReg(rng.below(8) as u8),
+                reg(rng),
+                CmpOp::decode(rng.below(6) as i32).unwrap(),
+                reg(rng),
+            ),
+            2 => Instruction::bra(rng.next_u32() as i32),
+            3 => Instruction::bar(),
+            4 => Instruction::exit(),
+            5 => Instruction::nop(),
+            6 => Instruction::ffma(reg(rng), reg(rng), reg(rng), reg(rng)),
+            _ => {
+                Instruction::ldc(reg(rng), rng.below(128) as u8, rng.next_u32() as u16, width(rng))
+            }
         },
-    );
-    let misc = prop_oneof![
-        (arb_reg(), 0i64..=4)
-            .prop_map(|(d, s)| Instruction::s2r(d, SpecialReg::from_selector(s).unwrap())),
-        (0u8..=7, arb_reg(), any::<i32>(), 0i32..=5).prop_map(|(p, a, b, c)| {
-            Instruction::isetp(PredReg(p), a, CmpOp::decode(c).unwrap(), b)
-        }),
-        any::<i32>().prop_map(Instruction::bra),
-        Just(Instruction::bar()),
-        Just(Instruction::exit()),
-        Just(Instruction::nop()),
-        (arb_reg(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(d, a, b, c)| Instruction::ffma(d, a, b, c)),
-        (arb_reg(), 0u8..=127, any::<u16>(), arb_width())
-            .prop_map(|(d, bank, off, w)| Instruction::ldc(d, bank, off, w)),
-    ];
-    prop_oneof![alu3, wide, mem, misc]
+    }
 }
 
 fn needs_two_imm_slots(ins: &Instruction) -> bool {
-    let imm_like = ins
-        .srcs
-        .iter()
-        .filter(|s| matches!(s, Operand::Imm(_) | Operand::Const { .. }))
-        .count();
+    let imm_like =
+        ins.srcs.iter().filter(|s| matches!(s, Operand::Imm(_) | Operand::Const { .. })).count();
     let mem_imm = usize::from(ins.mem.is_some() && ins.opcode != Opcode::Ldc);
     imm_like + mem_imm > 1
 }
 
-proptest! {
-    #[test]
-    fn encode_decode_round_trips(ins in arb_instruction(), cc in arb_cc()) {
+#[test]
+fn encode_decode_round_trips() {
+    let mut rng = SplitMix64::new(0xC0DEC);
+    for case in 0..2000 {
+        let ins = instruction(&mut rng);
+        let cc = *rng.choose(&CCS);
         match Microcode::encode(&ins, cc) {
             Ok(word) => {
                 let back = word.decode(cc).expect("decode of valid encode");
-                prop_assert_eq!(back, ins);
+                assert_eq!(back, ins, "case {case}");
             }
             Err(lmi_isa::CodecError::ImmediateFieldConflict) => {
-                prop_assert!(needs_two_imm_slots(&ins));
+                assert!(needs_two_imm_slots(&ins), "case {case}: spurious conflict for {ins}");
             }
-            Err(e) => prop_assert!(false, "unexpected encode error {e} for {ins}"),
+            Err(e) => panic!("case {case}: unexpected encode error {e} for {ins}"),
         }
     }
+}
 
-    #[test]
-    fn hint_bits_never_leak_into_other_fields(
-        dst in arb_pair_base(),
-        src in arb_pair_base(),
-        off in any::<i32>(),
-        cc in arb_cc(),
-    ) {
+#[test]
+fn hint_bits_never_leak_into_other_fields() {
+    let mut rng = SplitMix64::new(0x41B175);
+    for case in 0..500 {
+        let dst = pair_base(&mut rng);
+        let src = pair_base(&mut rng);
+        let off = rng.next_u32() as i32;
+        let cc = *rng.choose(&CCS);
         let plain = Instruction::iadd64(dst, src, off);
         let marked = plain.clone().with_hints(HintBits::check_operand(1));
         let w_plain = Microcode::encode(&plain, cc).unwrap();
         let w_marked = Microcode::encode(&marked, cc).unwrap();
         // The encodings differ exactly in bits 27/28.
-        prop_assert_eq!(w_plain.0 ^ w_marked.0, (1u128 << 27) | (1u128 << 28));
-        prop_assert!(w_plain.check_reserved(cc).is_ok());
-        prop_assert!(w_marked.check_reserved(cc).is_ok());
+        assert_eq!(w_plain.0 ^ w_marked.0, (1u128 << 27) | (1u128 << 28), "case {case}");
+        assert!(w_plain.check_reserved(cc).is_ok(), "case {case}");
+        assert!(w_marked.check_reserved(cc).is_ok(), "case {case}");
     }
+}
 
-    #[test]
-    fn decode_of_arbitrary_bits_never_panics(raw in any::<u128>(), cc in arb_cc()) {
+#[test]
+fn decode_of_arbitrary_bits_never_panics() {
+    let mut rng = SplitMix64::new(0xDEC0DE);
+    for _ in 0..5000 {
+        let raw = (rng.next_u64() as u128) << 64 | rng.next_u64() as u128;
+        let cc = *rng.choose(&CCS);
         let _ = Microcode(raw).decode(cc);
     }
 }

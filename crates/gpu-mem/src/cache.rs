@@ -120,10 +120,8 @@ impl Cache {
             return true;
         }
         self.stats.misses += 1;
-        let victim = set
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.last_used } else { 0 })
-            .expect("ways > 0");
+        let victim =
+            set.iter_mut().min_by_key(|l| if l.valid { l.last_used } else { 0 }).expect("ways > 0");
         *victim = Line { tag, last_used: tick, valid: true };
         false
     }

@@ -52,8 +52,7 @@ impl Dram {
     /// data is available. Channels interleave on transaction granularity.
     pub fn access(&mut self, addr: u64, now: u64) -> u64 {
         self.transactions += 1;
-        let channel =
-            ((addr / self.cfg.transaction_bytes) % self.cfg.channels as u64) as usize;
+        let channel = ((addr / self.cfg.transaction_bytes) % self.cfg.channels as u64) as usize;
         let issue = self.channel_free_at[channel].max(now);
         self.channel_free_at[channel] = issue + self.cfg.channel_interval as u64;
         issue + self.cfg.access_latency as u64

@@ -1,90 +1,105 @@
-//! Property tests for the memory substrate: cache capacity/LRU invariants,
-//! DRAM queue monotonicity, and backing-store read-your-writes.
+//! Randomized property tests for the memory substrate: cache
+//! capacity/LRU invariants, DRAM queue monotonicity, and backing-store
+//! read-your-writes. Seeded SplitMix64 keeps failures reproducible.
 
 use lmi_mem::{Cache, CacheConfig, Dram, DramConfig, SparseMemory};
-use proptest::prelude::*;
+use lmi_telemetry::SplitMix64;
 
-proptest! {
-    #[test]
-    fn cache_never_exceeds_capacity(
-        addrs in proptest::collection::vec(0u64..(1 << 20), 1..300),
-    ) {
+#[test]
+fn cache_never_exceeds_capacity() {
+    let mut rng = SplitMix64::new(0xCAC4E);
+    for _ in 0..200 {
         let cfg = CacheConfig { capacity_bytes: 4096, line_bytes: 128, ways: 4, hit_latency: 1 };
         let mut cache = Cache::new(cfg);
+        let count = rng.range(1, 300) as usize;
+        let addrs: Vec<u64> = (0..count).map(|_| rng.below(1 << 20)).collect();
         for &a in &addrs {
             cache.access(a);
         }
-        let lines: std::collections::HashSet<u64> =
-            addrs.iter().map(|a| a / 128).collect();
+        let lines: std::collections::HashSet<u64> = addrs.iter().map(|a| a / 128).collect();
         let resident = lines.iter().filter(|&&l| cache.probe(l * 128)).count();
-        prop_assert!(resident as u64 <= cfg.capacity_bytes / cfg.line_bytes);
+        assert!(resident as u64 <= cfg.capacity_bytes / cfg.line_bytes);
     }
+}
 
-    #[test]
-    fn repeated_accesses_eventually_hit(addr in 0u64..(1 << 30)) {
+#[test]
+fn repeated_accesses_eventually_hit() {
+    let mut rng = SplitMix64::new(0x417);
+    for _ in 0..500 {
+        let addr = rng.below(1 << 30);
         let mut cache = Cache::new(CacheConfig::l1_default());
         cache.access(addr);
-        prop_assert!(cache.access(addr), "immediate re-access hits");
-        prop_assert!(cache.probe(addr));
+        assert!(cache.access(addr), "immediate re-access hits: addr={addr:#x}");
+        assert!(cache.probe(addr));
     }
+}
 
-    #[test]
-    fn mru_line_survives_any_single_fill(
-        addr in 0u64..(1 << 20),
-        other in 0u64..(1 << 20),
-    ) {
-        // With associativity >= 2, touching one other line never evicts the
-        // most recently used line.
+#[test]
+fn mru_line_survives_any_single_fill() {
+    // With associativity >= 2, touching one other line never evicts the
+    // most recently used line.
+    let mut rng = SplitMix64::new(0x324);
+    for _ in 0..500 {
+        let addr = rng.below(1 << 20);
+        let other = rng.below(1 << 20);
         let mut cache = Cache::new(CacheConfig::l1_default());
         cache.access(addr);
         cache.access(other);
-        prop_assert!(cache.probe(addr));
+        assert!(cache.probe(addr), "addr={addr:#x} other={other:#x}");
     }
+}
 
-    #[test]
-    fn dram_completion_is_monotone_in_issue_time(
-        addr in 0u64..(1 << 24),
-        t1 in 0u64..10_000,
-        dt in 0u64..10_000,
-    ) {
+#[test]
+fn dram_completion_is_monotone_in_issue_time() {
+    let mut rng = SplitMix64::new(0xD4A);
+    for _ in 0..500 {
+        let addr = rng.below(1 << 24);
+        let t1 = rng.below(10_000);
+        let dt = rng.below(10_000);
         let mut d1 = Dram::new(DramConfig::default());
         let mut d2 = Dram::new(DramConfig::default());
         let r1 = d1.access(addr, t1);
         let r2 = d2.access(addr, t1 + dt);
-        prop_assert!(r2 >= r1, "later issue never completes earlier");
-        prop_assert!(r1 >= t1 + DramConfig::default().access_latency as u64);
+        assert!(r2 >= r1, "later issue never completes earlier: addr={addr:#x} t1={t1} dt={dt}");
+        assert!(r1 >= t1 + DramConfig::default().access_latency as u64);
     }
+}
 
-    #[test]
-    fn dram_queue_orders_same_channel_requests(
-        addr in 0u64..(1 << 16),
-        n in 1usize..50,
-    ) {
+#[test]
+fn dram_queue_orders_same_channel_requests() {
+    let mut rng = SplitMix64::new(0x90E);
+    for _ in 0..200 {
+        let addr = rng.below(1 << 16);
+        let n = rng.range(1, 50) as usize;
         let cfg = DramConfig { channels: 1, channel_interval: 3, ..DramConfig::default() };
         let mut d = Dram::new(cfg);
         let mut last = 0;
         for _ in 0..n {
             let r = d.access(addr, 0);
-            prop_assert!(r > last, "strictly increasing under a busy channel");
+            assert!(r > last, "strictly increasing under a busy channel: addr={addr:#x}");
             last = r;
         }
     }
+}
 
-    #[test]
-    fn backing_store_read_your_writes(
-        writes in proptest::collection::vec((0u64..(1 << 16), any::<u64>(), 1u8..=8), 1..60),
-    ) {
+#[test]
+fn backing_store_read_your_writes() {
+    let mut rng = SplitMix64::new(0xBACC);
+    for _ in 0..200 {
         let mut m = SparseMemory::new();
         let mut model: std::collections::HashMap<u64, u8> = Default::default();
-        for &(addr, value, width) in &writes {
-            let width = match width { 1 | 2 | 4 | 8 => width, w => (w % 8).max(1) };
+        let count = rng.range(1, 60) as usize;
+        for _ in 0..count {
+            let addr = rng.below(1 << 16);
+            let value = rng.next_u64();
+            let width = *rng.choose(&[1u8, 2, 4, 8]);
             m.write(addr, value, width);
             for i in 0..width as u64 {
                 model.insert(addr + i, (value >> (8 * i)) as u8);
             }
         }
         for (&addr, &byte) in &model {
-            prop_assert_eq!(m.read_u8(addr), byte);
+            assert_eq!(m.read_u8(addr), byte, "addr={addr:#x}");
         }
     }
 }

@@ -5,7 +5,8 @@ use std::sync::Arc;
 
 use lmi_alloc::{AlignmentPolicy, DeviceHeap};
 use lmi_core::PtrConfig;
-use lmi_mem::{layout, MemoryHierarchy, SparseMemory};
+use lmi_mem::{layout, CacheStats, MemoryHierarchy, SparseMemory};
+use lmi_telemetry::{Scope, TelemetrySink};
 
 use crate::config::GpuConfig;
 use crate::launch::Launch;
@@ -80,6 +81,29 @@ impl Gpu {
     ///
     /// Panics if the launch would exceed the per-SM warp capacity.
     pub fn run(&mut self, launch: &Launch, mechanism: &mut dyn Mechanism) -> SimStats {
+        // Forensics still flow into `SimStats::forensics` (they only cost
+        // time on violations); counters and the tracer stay off.
+        let mut sink = TelemetrySink::disabled();
+        self.run_with_telemetry(launch, mechanism, &mut sink)
+    }
+
+    /// Runs one kernel like [`Gpu::run`], additionally recording scoped
+    /// counters, timeline events and forensics into `sink`.
+    ///
+    /// The hierarchy's cache/DRAM counters persist across launches (the
+    /// host may launch several kernels against the same GPU), so the
+    /// returned [`SimStats`] carries the per-run *delta*, snapshotted
+    /// around the run loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the launch would exceed the per-SM warp capacity.
+    pub fn run_with_telemetry(
+        &mut self,
+        launch: &Launch,
+        mechanism: &mut dyn Mechanism,
+        sink: &mut TelemetrySink,
+    ) -> SimStats {
         let program = Arc::new(launch.program.clone());
         let ctx = Arc::new(LaunchCtx {
             params: launch.params.clone(),
@@ -103,6 +127,14 @@ impl Gpu {
             );
         }
 
+        // Snapshot the persistent hierarchy counters so the stats report
+        // this run's delta, not the GPU's lifetime totals.
+        let l1_before: Vec<CacheStats> =
+            (0..self.cfg.num_sms).map(|sm| self.hierarchy.l1_stats(sm)).collect();
+        let l2_before = self.hierarchy.l2_stats();
+        let mshr_before = self.hierarchy.mshr_merges();
+        let dram_before = self.hierarchy.dram_transactions();
+
         let mut stats = SimStats::default();
         let mut cycle: u64 = 0;
         loop {
@@ -116,6 +148,7 @@ impl Gpu {
                     mechanism,
                     stats: &mut stats,
                     cfg: &self.cfg,
+                    sink: &mut *sink,
                 };
                 let outcome = sm.step(cycle, &mut res);
                 issued_any |= outcome.issued_any;
@@ -133,6 +166,29 @@ impl Gpu {
             debug_assert!(cycle < 1_000_000_000, "runaway simulation");
         }
         stats.cycles = cycle.max(1);
+
+        let delta = |after: CacheStats, before: CacheStats| CacheStats {
+            hits: after.hits - before.hits,
+            misses: after.misses - before.misses,
+        };
+        stats.l1_per_sm = (0..self.cfg.num_sms)
+            .map(|sm| delta(self.hierarchy.l1_stats(sm), l1_before[sm]))
+            .collect();
+        stats.l2 = delta(self.hierarchy.l2_stats(), l2_before);
+        stats.mshr_merges = self.hierarchy.mshr_merges() - mshr_before;
+        stats.dram_transactions = self.hierarchy.dram_transactions() - dram_before;
+
+        if sink.counters.is_enabled() {
+            sink.counters.add(Scope::Gpu, "cycles", stats.cycles);
+            sink.counters.add(Scope::Gpu, "mshr_merges", stats.mshr_merges);
+            sink.counters.add(Scope::Gpu, "dram_transactions", stats.dram_transactions);
+            sink.counters.add(Scope::Gpu, "l2.hits", stats.l2.hits);
+            sink.counters.add(Scope::Gpu, "l2.misses", stats.l2.misses);
+            for (sm, l1) in stats.l1_per_sm.iter().enumerate() {
+                sink.counters.add(Scope::Sm(sm), "l1.hits", l1.hits);
+                sink.counters.add(Scope::Sm(sm), "l1.misses", l1.misses);
+            }
+        }
         stats
     }
 }
@@ -245,14 +301,11 @@ mod tests {
     fn ocu_poisons_and_ec_faults_an_escaping_pointer() {
         // p = param0 (256 B buffer); p += 256 (marked); *p = 1 -> fault.
         let cfg = PtrConfig::default();
-        let buf = lmi_core::DevicePtr::encode(layout::GLOBAL_BASE + 0x10000, 256, &cfg)
-            .unwrap()
-            .raw();
+        let buf =
+            lmi_core::DevicePtr::encode(layout::GLOBAL_BASE + 0x10000, 256, &cfg).unwrap().raw();
         let mut b = ProgramBuilder::new("oob");
         b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
-        b.push(
-            Instruction::iadd64(Reg(4), Reg(4), 256).with_hints(HintBits::check_operand(0)),
-        );
+        b.push(Instruction::iadd64(Reg(4), Reg(4), 256).with_hints(HintBits::check_operand(0)));
         b.push(Instruction::mov(Reg(0), 1));
         b.push(Instruction::stg(MemRef::new(Reg(4), 0, 4), Reg(0)));
         b.push(Instruction::exit());
@@ -264,20 +317,75 @@ mod tests {
         assert_eq!(mech.poisoned_count, 1);
         // The OOB store must not have landed.
         assert_eq!(gpu.memory.read(layout::GLOBAL_BASE + 0x10000 + 256, 4), 0);
+        // Forensics: the poison (IADD64 at pc 1) is matched to the fault
+        // (STG at pc 3) with its latency, even on the untelemetered path.
+        assert_eq!(stats.forensics.len(), 1);
+        let rec = &stats.forensics[0];
+        assert_eq!(rec.poison.pc, 1);
+        assert_eq!(rec.poison.op, "IADD64");
+        assert_eq!(rec.fault.pc, 3);
+        assert_eq!(rec.fault.lane, 0);
+        assert!(rec.latency_cycles() > 0, "poison precedes the fault");
+        assert!(rec.latency_instructions() > 0);
+    }
+
+    #[test]
+    fn telemetry_counters_agree_with_sim_stats() {
+        use lmi_telemetry::Scope;
+        let base = layout::GLOBAL_BASE + 0x40000;
+        let mut b = ProgramBuilder::new("tc");
+        b.push(Instruction::s2r(Reg(0), lmi_isa::op::SpecialReg::TidX));
+        b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
+        b.push(Instruction::lea64(Reg(6), Reg(4), Reg(0), 2));
+        b.push(Instruction::ldg(Reg(8), MemRef::new(Reg(6), 0, 4)));
+        b.push(Instruction::ffma(Reg(9), Reg(8), Reg(8), Reg(8)));
+        b.push(Instruction::stg(MemRef::new(Reg(6), 0, 4), Reg(9)));
+        b.push(Instruction::exit());
+        let launch = Launch::new(b.build()).grid(4).block(64).param(base);
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let mut sink = TelemetrySink::counters_only();
+        let stats = gpu.run_with_telemetry(&launch, &mut NullMechanism, &mut sink);
+        assert_eq!(sink.counters.sum_sms("issued"), stats.issued);
+        assert_eq!(sink.counters.sum_sms("transactions"), stats.transactions);
+        assert_eq!(sink.counters.get(Scope::Gpu, "cycles"), stats.cycles);
+        assert_eq!(sink.counters.sum_sms("stall.scoreboard"), stats.stalls.scoreboard);
+        assert_eq!(sink.counters.sum_sms("stall.lsu_busy"), stats.stalls.lsu_busy);
+        assert_eq!(sink.counters.sum_sms("stall.no_ready_warp"), stats.stalls.no_ready_warp);
+        let l1 = stats.l1_total();
+        assert_eq!(sink.counters.sum_sms("l1.hits"), l1.hits);
+        assert_eq!(sink.counters.sum_sms("l1.misses"), l1.misses);
+        assert!(stats.l1_hit_rate() >= 0.0 && stats.l1_hit_rate() <= 1.0);
+    }
+
+    #[test]
+    fn traced_run_emits_warp_spans_and_memory_transactions() {
+        let base = layout::GLOBAL_BASE + 0x50000;
+        let mut b = ProgramBuilder::new("spans");
+        b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
+        b.push(Instruction::ldg(Reg(8), MemRef::new(Reg(4), 0, 4)));
+        b.push(Instruction::exit());
+        let launch = Launch::new(b.build()).grid(2).block(64).param(base);
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let mut sink = TelemetrySink::with_trace_capacity(1024);
+        gpu.run_with_telemetry(&launch, &mut NullMechanism, &mut sink);
+        use lmi_telemetry::TraceEventKind;
+        let warps = sink.tracer.records().filter(|r| r.kind == TraceEventKind::WarpSpan).count();
+        assert_eq!(warps, 4, "one residency span per retired warp");
+        assert!(
+            sink.tracer.records().any(|r| r.kind == TraceEventKind::MemTransaction),
+            "the LDG produced a transaction span"
+        );
     }
 
     #[test]
     fn delayed_termination_no_fault_without_dereference() {
         // p += huge (marked) but never dereferenced: no violation (Fig. 14).
         let cfg = PtrConfig::default();
-        let buf = lmi_core::DevicePtr::encode(layout::GLOBAL_BASE + 0x20000, 256, &cfg)
-            .unwrap()
-            .raw();
+        let buf =
+            lmi_core::DevicePtr::encode(layout::GLOBAL_BASE + 0x20000, 256, &cfg).unwrap().raw();
         let mut b = ProgramBuilder::new("fp");
         b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
-        b.push(
-            Instruction::iadd64(Reg(4), Reg(4), 4096).with_hints(HintBits::check_operand(0)),
-        );
+        b.push(Instruction::iadd64(Reg(4), Reg(4), 4096).with_hints(HintBits::check_operand(0)));
         b.push(Instruction::exit());
         let launch = Launch::new(b.build()).grid(1).block(1).param(buf);
         let mut gpu = Gpu::new(GpuConfig::security());
@@ -309,9 +417,7 @@ mod tests {
             for _ in 0..8 {
                 b.push(Instruction::ffma(Reg(8), Reg(8), Reg(9), Reg(10)));
             }
-            b.push(
-                Instruction::iadd64(Reg(4), Reg(4), 4).with_hints(HintBits::check_operand(0)),
-            );
+            b.push(Instruction::iadd64(Reg(4), Reg(4), 4).with_hints(HintBits::check_operand(0)));
             b.push(Instruction::iadd3(Reg(2), Reg(2), 1));
             b.push(Instruction::isetp(PredReg(0), Reg(2), CmpOp::Lt, 32));
             b.branch_if(top, PredReg(0), false);
@@ -319,9 +425,8 @@ mod tests {
             b.build()
         }
         let cfg = PtrConfig::default();
-        let buf = lmi_core::DevicePtr::encode(layout::GLOBAL_BASE + 0x30000, 4096, &cfg)
-            .unwrap()
-            .raw();
+        let buf =
+            lmi_core::DevicePtr::encode(layout::GLOBAL_BASE + 0x30000, 4096, &cfg).unwrap().raw();
         let launch = Launch::new(build()).grid(8).block(128).param(buf);
         let mut base_gpu = Gpu::new(GpuConfig::small());
         let base = base_gpu.run(&launch, &mut NullMechanism);

@@ -103,7 +103,13 @@ impl HostContext {
 
     /// Launches `program` over `grid` blocks of `block` threads with the
     /// given parameters; returns the run's statistics.
-    pub fn launch(&mut self, program: &Program, grid: usize, block: usize, params: &[u64]) -> SimStats {
+    pub fn launch(
+        &mut self,
+        program: &Program,
+        grid: usize,
+        block: usize,
+        params: &[u64],
+    ) -> SimStats {
         let mut launch = Launch::new(program.clone()).grid(grid).block(block);
         for &p in params {
             launch = launch.param(p);
@@ -138,9 +144,7 @@ impl HostContext {
 
     /// Writes device memory (like `cudaMemcpy` H→D of one word).
     pub fn write(&mut self, ptr: u64, offset: u64, value: u64, width: u8) {
-        self.gpu
-            .memory
-            .write(DevicePtr::from_raw(ptr).addr() + offset, value, width);
+        self.gpu.memory.write(DevicePtr::from_raw(ptr).addr() + offset, value, width);
     }
 
     /// Device-memory RSS statistics (the Fig. 4 metric for this context).

@@ -51,7 +51,5 @@ pub use config::GpuConfig;
 pub use gpu::Gpu;
 pub use host::HostContext;
 pub use launch::Launch;
-pub use mechanism::{
-    IntCheck, LmiMechanism, MemAccessCtx, MemCheck, Mechanism, NullMechanism,
-};
-pub use stats::{SimStats, ViolationEvent};
+pub use mechanism::{IntCheck, LmiMechanism, Mechanism, MemAccessCtx, MemCheck, NullMechanism};
+pub use stats::{SimStats, StallBreakdown, ViolationEvent};

@@ -35,6 +35,14 @@ pub struct MemAccessCtx {
     pub is_store: bool,
     /// Flat global thread id of the accessing lane.
     pub global_tid: u64,
+    /// Program counter of the issuing instruction.
+    pub pc: usize,
+    /// Lane index within the warp.
+    pub lane: usize,
+    /// Global warp-level issue sequence number of the instruction this lane
+    /// belongs to. All lanes of one issue share it, so per-pc attribution
+    /// can count warp-level issues exactly (see `trace::CountingTap`).
+    pub issue_index: u64,
 }
 
 /// Result of a memory-access check ([`Mechanism::on_mem_access`]).
@@ -110,7 +118,12 @@ pub struct LmiMechanism {
 impl LmiMechanism {
     /// LMI with the given pointer format.
     pub fn new(cfg: PtrConfig) -> LmiMechanism {
-        LmiMechanism { ocu: Ocu::new(cfg), ec: ExtentChecker::new(cfg), poisoned_count: 0, faults: 0 }
+        LmiMechanism {
+            ocu: Ocu::new(cfg),
+            ec: ExtentChecker::new(cfg),
+            poisoned_count: 0,
+            faults: 0,
+        }
     }
 
     /// LMI with the default pointer format (K = 256, 256 GiB limit).
@@ -190,6 +203,9 @@ mod tests {
             width: 4,
             is_store: false,
             global_tid: 0,
+            pc: 0,
+            lane: 0,
+            issue_index: 0,
         };
         let mem = m.on_mem_access(&ctx);
         assert!(mem.violation.is_some());
@@ -206,6 +222,9 @@ mod tests {
             width: 8,
             is_store: false,
             global_tid: 0,
+            pc: 0,
+            lane: 0,
+            issue_index: 0,
         };
         assert_eq!(m.on_mem_access(&ctx), MemCheck::allow());
     }

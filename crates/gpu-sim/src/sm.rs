@@ -10,12 +10,13 @@ use lmi_core::Violation;
 use lmi_isa::op::SpecialReg;
 use lmi_isa::{abi, Instruction, MemSpace, Opcode, OpcodeClass, Operand, Program, Reg};
 use lmi_mem::{layout, MemoryHierarchy, SparseMemory};
+use lmi_telemetry::{FaultEvent, PoisonEvent, Scope, TelemetrySink, TraceEventKind};
 
 use crate::config::{GpuConfig, WARP_SIZE};
 use crate::exec;
 use crate::launch::Launch;
 use crate::lsu::coalesce;
-use crate::mechanism::{MemAccessCtx, Mechanism};
+use crate::mechanism::{Mechanism, MemAccessCtx};
 use crate::stats::{SimStats, ViolationEvent};
 use crate::warp::{LaneMask, Warp};
 
@@ -67,6 +68,21 @@ pub(crate) struct StepResources<'a> {
     pub mechanism: &'a mut dyn Mechanism,
     pub stats: &'a mut SimStats,
     pub cfg: &'a GpuConfig,
+    pub sink: &'a mut TelemetrySink,
+}
+
+/// Why a warp could not issue this cycle (the binding constraint of its
+/// next instruction). Feeds [`crate::stats::StallBreakdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StallReason {
+    /// Launch-ramp delay, fell off the program, or no candidate at all.
+    NoReadyWarp,
+    /// Waiting on an ALU-produced register or predicate.
+    Scoreboard,
+    /// Waiting on an in-flight memory result.
+    LsuBusy,
+    /// Waiting on a pending OCU verdict (paper §XI-C pipeline delay).
+    OcuVerdict,
 }
 
 pub(crate) struct StepOutcome {
@@ -122,6 +138,14 @@ impl Sm {
                 .filter(|&w| !self.warps[w].done && !self.warps[w].at_barrier)
                 .collect();
             if candidates.is_empty() {
+                // At a barrier (or between blocks): the slot idles with no
+                // candidate, but only count it while work remains.
+                let any_live = (sched..self.warps.len())
+                    .step_by(res.cfg.schedulers_per_sm)
+                    .any(|w| !self.warps[w].done);
+                if any_live {
+                    self.record_stall(StallReason::NoReadyWarp, res);
+                }
                 continue;
             }
             // GTO: greedy warp first, then oldest.
@@ -133,25 +157,46 @@ impl Sm {
                 }
             }
             let mut picked = None;
+            // Stall attribution: the binding constraint of the candidate
+            // that would issue soonest.
+            let mut soonest: Option<(u64, StallReason)> = None;
             for &w in &order {
-                match self.ready_at(w, res.cfg.lsu_verdict_overlap) {
-                    r if r <= now => {
-                        picked = Some(w);
-                        break;
-                    }
-                    r => next_ready = next_ready.min(r),
+                let (r, reason) = self.ready_info(w, res.cfg.lsu_verdict_overlap);
+                if r <= now {
+                    picked = Some(w);
+                    break;
+                }
+                next_ready = next_ready.min(r);
+                if soonest.is_none_or(|(s, _)| r < s) {
+                    soonest = Some((r, reason));
                 }
             }
             match picked {
                 Some(w) => {
                     self.issue(w, now, res);
+                    res.sink.counters.inc(Scope::Sm(self.id), "issued");
+                    res.sink.counters.inc(Scope::Warp { sm: self.id, warp: w }, "issued");
+                    if self.warps[w].done && res.sink.tracer.is_enabled() {
+                        // The warp just retired: emit its residency span.
+                        let start = self.warps[w].start_cycle;
+                        res.sink.tracer.complete_with(
+                            "warp",
+                            TraceEventKind::WarpSpan,
+                            self.id,
+                            w,
+                            start,
+                            (now + 1).saturating_sub(start),
+                            &[("block", self.warps[w].block as u64)],
+                        );
+                    }
                     self.greedy[sched] = Some(w);
                     issued_any = true;
                     // The warp can issue again next cycle (in-order).
                     next_ready = next_ready.min(now + 1);
                 }
                 None => {
-                    res.stats.idle_scheduler_cycles += 1;
+                    let reason = soonest.map(|(_, r)| r).unwrap_or(StallReason::NoReadyWarp);
+                    self.record_stall(reason, res);
                 }
             }
         }
@@ -160,16 +205,43 @@ impl Sm {
         StepOutcome { issued_any, next_ready }
     }
 
-    /// Earliest cycle at which warp `w`'s next instruction can issue.
-    fn ready_at(&self, w: usize, verdict_overlap: u32) -> u64 {
+    /// Bumps the stall counters for one idle scheduler-slot cycle.
+    fn record_stall(&self, reason: StallReason, res: &mut StepResources<'_>) {
+        let (field, name) = match reason {
+            StallReason::Scoreboard => (&mut res.stats.stalls.scoreboard, "stall.scoreboard"),
+            StallReason::LsuBusy => (&mut res.stats.stalls.lsu_busy, "stall.lsu_busy"),
+            StallReason::OcuVerdict => (&mut res.stats.stalls.ocu_verdict, "stall.ocu_verdict"),
+            StallReason::NoReadyWarp => {
+                (&mut res.stats.stalls.no_ready_warp, "stall.no_ready_warp")
+            }
+        };
+        *field += 1;
+        res.sink.counters.inc(Scope::Sm(self.id), name);
+    }
+
+    /// Earliest cycle at which warp `w`'s next instruction can issue, and
+    /// the constraint that binds (for stall attribution when it is in the
+    /// future).
+    fn ready_info(&self, w: usize, verdict_overlap: u32) -> (u64, StallReason) {
         let warp = &self.warps[w];
         let ins = match self.program.instructions.get(warp.pc) {
             Some(i) => i,
-            None => return u64::MAX, // fell off the program: treated as exit at issue
+            // Fell off the program: treated as exit at issue.
+            None => return (u64::MAX, StallReason::NoReadyWarp),
         };
+        // The launch/dispatch ramp: not a pipeline hazard.
         let mut ready = warp.start_cycle;
+        let mut reason = StallReason::NoReadyWarp;
         for r in ins.source_regs() {
-            ready = ready.max(warp.ready_at(r));
+            let t = warp.ready_at(r);
+            if t > ready {
+                ready = t;
+                reason = if warp.mem_pending_at(r, t) {
+                    StallReason::LsuBusy
+                } else {
+                    StallReason::Scoreboard
+                };
+            }
         }
         if ins.opcode.is_mem() && ins.opcode != Opcode::Ldc {
             // The LSU's EC consumes the final (possibly poisoned) extent, so
@@ -179,17 +251,29 @@ impl Sm {
                 if mem.addr.is_valid_pair_base() {
                     verdict = verdict.max(warp.verdict_at(mem.addr.pair_high()));
                 }
-                ready = ready.max(verdict.saturating_sub(verdict_overlap as u64));
+                let v = verdict.saturating_sub(verdict_overlap as u64);
+                if v > ready {
+                    ready = v;
+                    reason = StallReason::OcuVerdict;
+                }
             }
         }
         if let Some(p) = &ins.pred {
-            ready = ready.max(warp.pred_ready_at(p.reg));
+            let t = warp.pred_ready_at(p.reg);
+            if t > ready {
+                ready = t;
+                reason = StallReason::Scoreboard;
+            }
         }
         if ins.opcode == Opcode::Isetp {
             // WAW on the destination predicate.
-            ready = ready.max(warp.pred_ready_at(lmi_isa::PredReg(ins.dst.0 & 7)));
+            let t = warp.pred_ready_at(lmi_isa::PredReg(ins.dst.0 & 7));
+            if t > ready {
+                ready = t;
+                reason = StallReason::Scoreboard;
+            }
         }
-        ready
+        (ready, reason)
     }
 
     fn issue(&mut self, w: usize, now: u64, res: &mut StepResources<'_>) {
@@ -280,8 +364,9 @@ impl Sm {
             Opcode::Isetp => {
                 let pred = lmi_isa::PredReg(ins.dst.0 & 7);
                 let cmp = match ins.srcs[2] {
-                    Operand::Imm(v) => lmi_isa::instr::CmpOp::decode(v)
-                        .unwrap_or(lmi_isa::instr::CmpOp::Eq),
+                    Operand::Imm(v) => {
+                        lmi_isa::instr::CmpOp::decode(v).unwrap_or(lmi_isa::instr::CmpOp::Eq)
+                    }
                     _ => lmi_isa::instr::CmpOp::Eq,
                 };
                 let lanes: Vec<usize> = warp.active_lanes().collect();
@@ -365,8 +450,10 @@ impl Sm {
         res: &mut StepResources<'_>,
     ) {
         let wide = ins.opcode.is_wide();
+        let pc = self.warps[w].pc;
         let lanes: Vec<usize> = self.warps[w].active_lanes().collect();
         let mut extra_delay = 0u32;
+        let mut checked_any = false;
         for l in lanes {
             if exec_mask & (1 << l) == 0 {
                 continue;
@@ -384,6 +471,31 @@ impl Sm {
                     let check = res.mechanism.on_marked_int(input, v);
                     v = check.value;
                     extra_delay = extra_delay.max(res.mechanism.marked_int_delay());
+                    checked_any = true;
+                    if check.poisoned {
+                        // Delayed termination (§XII-A): remember where the
+                        // pointer died so a later EC fault can report it.
+                        res.sink.forensics.record_poison(PoisonEvent {
+                            sm: self.id,
+                            warp: w,
+                            lane: l,
+                            pc,
+                            op: ins.opcode.mnemonic(),
+                            cycle: now,
+                            instr_index: res.stats.issued,
+                        });
+                        res.sink.counters.inc(Scope::Mechanism(res.mechanism.name()), "poisoned");
+                        if res.sink.tracer.is_enabled() {
+                            res.sink.tracer.instant(
+                                "poison",
+                                TraceEventKind::OcuPoison,
+                                self.id,
+                                w,
+                                now,
+                                &[("pc", pc as u64), ("lane", l as u64)],
+                            );
+                        }
+                    }
                 }
                 self.warps[w].write64(l, ins.dst, v);
             } else {
@@ -395,6 +507,20 @@ impl Sm {
                 // word only — the compiler marks wide ops exclusively, so
                 // the OCU path above is the one that matters.
                 self.warps[w].write(l, ins.dst, v);
+            }
+        }
+        if checked_any {
+            res.sink.counters.inc(Scope::Mechanism(res.mechanism.name()), "checks");
+            if res.sink.tracer.is_enabled() {
+                res.sink.tracer.complete_with(
+                    ins.opcode.mnemonic(),
+                    TraceEventKind::OcuCheck,
+                    self.id,
+                    w,
+                    now,
+                    extra_delay as u64,
+                    &[("pc", pc as u64)],
+                );
             }
         }
         let warp = &mut self.warps[w];
@@ -446,12 +572,25 @@ impl Sm {
             }
         }
         let warp = &mut self.warps[w];
+        let pc = warp.pc;
         if ins.opcode == Opcode::Malloc {
             let done_at = now + res.cfg.heap_call_latency as u64;
-            warp.set_ready_at(ins.dst, done_at);
+            warp.set_ready_at_mem(ins.dst, done_at);
             if ins.dst.is_valid_pair_base() {
-                warp.set_ready_at(ins.dst.pair_high(), done_at);
+                warp.set_ready_at_mem(ins.dst.pair_high(), done_at);
             }
+        }
+        res.sink.counters.inc(Scope::Sm(self.id), "heap_calls");
+        if res.sink.tracer.is_enabled() {
+            res.sink.tracer.complete_with(
+                ins.opcode.mnemonic(),
+                TraceEventKind::HeapCall,
+                self.id,
+                w,
+                now,
+                res.cfg.heap_call_latency as u64,
+                &[("pc", pc as u64)],
+            );
         }
         warp.pc += 1;
         if let Some((lane, v)) = violation {
@@ -481,6 +620,11 @@ impl Sm {
         let mem = ins.mem.expect("memory instruction carries a MemRef");
         let space = ins.opcode.mem_space().unwrap_or(MemSpace::Global);
         res.stats.record_mem(space);
+        let pc = self.warps[w].pc;
+        // `stats.issued` was already bumped for this instruction, so it is a
+        // unique id shared by every lane of this warp-level issue.
+        let issue_index = res.stats.issued;
+        res.sink.counters.inc(Scope::Sm(self.id), "mem_insts");
 
         // Constant loads resolve against the launch context.
         if ins.opcode == Opcode::Ldc {
@@ -505,9 +649,9 @@ impl Sm {
             }
             let warp = &mut self.warps[w];
             let done_at = now + res.cfg.const_latency as u64;
-            warp.set_ready_at(ins.dst, done_at);
+            warp.set_ready_at_mem(ins.dst, done_at);
             if mem.width == 8 && ins.dst.is_valid_pair_base() {
-                warp.set_ready_at(ins.dst.pair_high(), done_at);
+                warp.set_ready_at_mem(ins.dst.pair_high(), done_at);
             }
             warp.pc += 1;
             return;
@@ -533,6 +677,9 @@ impl Sm {
                 width: mem.width,
                 is_store: ins.opcode.is_store(),
                 global_tid: warp.base_tid + l as u64,
+                pc,
+                lane: l,
+                issue_index,
             };
             let check = res.mechanism.on_mem_access(&ctx);
             extra_cycles = extra_cycles.max(check.extra_cycles);
@@ -545,10 +692,34 @@ impl Sm {
                     res.stats.violations.push(ViolationEvent {
                         sm: self.id,
                         warp: w,
-                        pc: self.warps[w].pc,
+                        pc,
                         global_tid: ctx.global_tid,
                         violation: v,
                     });
+                    res.sink.counters.inc(Scope::Mechanism(res.mechanism.name()), "faults");
+                    if res.sink.tracer.is_enabled() {
+                        res.sink.tracer.instant(
+                            "fault",
+                            TraceEventKind::EcFault,
+                            self.id,
+                            w,
+                            now,
+                            &[("pc", pc as u64), ("lane", l as u64)],
+                        );
+                    }
+                    // Close the poison→fault provenance loop (§XII-A): if
+                    // this lane's pointer was poisoned earlier, report the
+                    // latency between poisoning and detection.
+                    if let Some(record) = res.sink.forensics.record_fault(FaultEvent {
+                        sm: self.id,
+                        warp: w,
+                        lane: l,
+                        pc,
+                        cycle: now,
+                        instr_index: issue_index,
+                    }) {
+                        res.stats.forensics.push(record);
+                    }
                 }
                 None => ok_lanes.push((l, vaddr)),
             }
@@ -566,12 +737,14 @@ impl Sm {
         // coalesced transactions (or the fixed shared-memory path).
         metadata_addrs.sort_unstable();
         metadata_addrs.dedup();
+        let issued_at = now;
         let mut access_start = now;
         for addr in &metadata_addrs {
             access_start = access_start.max(res.hierarchy.metadata_fetch(*addr, now));
         }
         let now = access_start;
         let mut done_at = now;
+        let mut line_count = 1u64;
         if space == MemSpace::Shared {
             done_at = res.hierarchy.access_shared(now);
             res.stats.transactions += 1;
@@ -591,7 +764,9 @@ impl Sm {
                 if offset >= stack_bytes {
                     return vaddr; // escaped the window: keep the flat address
                 }
-                lmi_mem::layout::LOCAL_BASE + (warp_base * stack_bytes) + offset * 32
+                lmi_mem::layout::LOCAL_BASE
+                    + (warp_base * stack_bytes)
+                    + offset * 32
                     + lane as u64 * 4
             };
             let lines = coalesce(
@@ -599,11 +774,24 @@ impl Sm {
                 res.cfg.hierarchy.l1.line_bytes,
             );
             res.stats.transactions += lines.len() as u64;
+            line_count = lines.len() as u64;
             for line in lines {
                 done_at = done_at.max(res.hierarchy.access_dram_backed(self.id, line, now));
             }
         }
         done_at += extra_cycles as u64;
+        res.sink.counters.add(Scope::Sm(self.id), "transactions", line_count);
+        if res.sink.tracer.is_enabled() && !ok_lanes.is_empty() {
+            res.sink.tracer.complete_with(
+                ins.opcode.mnemonic(),
+                TraceEventKind::MemTransaction,
+                self.id,
+                w,
+                issued_at,
+                done_at.saturating_sub(issued_at).max(1),
+                &[("pc", pc as u64), ("lines", line_count), ("lanes", ok_lanes.len() as u64)],
+            );
+        }
 
         // Data movement.
         if ins.opcode.is_store() {
@@ -630,9 +818,9 @@ impl Sm {
                 }
             }
             let warp = &mut self.warps[w];
-            warp.set_ready_at(ins.dst, done_at);
+            warp.set_ready_at_mem(ins.dst, done_at);
             if mem.width == 8 && ins.dst.is_valid_pair_base() {
-                warp.set_ready_at(ins.dst.pair_high(), done_at);
+                warp.set_ready_at_mem(ins.dst.pair_high(), done_at);
             }
         }
         self.warps[w].pc += 1;
@@ -647,11 +835,7 @@ impl Sm {
         }
         for (block, count) in waiting {
             let resident = self.block_warps.get(&block).copied().unwrap_or(0);
-            let done = self
-                .warps
-                .iter()
-                .filter(|w| w.block == block && w.done)
-                .count();
+            let done = self.warps.iter().filter(|w| w.block == block && w.done).count();
             if count + done >= resident {
                 for warp in &mut self.warps {
                     if warp.block == block {

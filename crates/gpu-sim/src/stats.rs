@@ -4,6 +4,8 @@ use std::collections::BTreeMap;
 
 use lmi_core::Violation;
 use lmi_isa::MemSpace;
+use lmi_mem::CacheStats;
+use lmi_telemetry::{ForensicsRecord, Json};
 
 /// A recorded memory-safety violation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,6 +20,43 @@ pub struct ViolationEvent {
     pub global_tid: u64,
     /// The violation.
     pub violation: Violation,
+}
+
+/// Why a warp scheduler could not issue on a given cycle, broken out per
+/// scheduler slot (the seed's single `idle_scheduler_cycles` counter hid
+/// *why* slots went idle; the breakdown is what Fig. 12-style analysis
+/// needs to attribute LMI's slowdown).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// A candidate existed, but a source/predicate register written by a
+    /// non-memory producer was not ready yet.
+    pub scoreboard: u64,
+    /// A candidate existed, but its binding wait was an in-flight memory
+    /// result (the LSU had not delivered the load yet).
+    pub lsu_busy: u64,
+    /// A candidate existed, but the OCU verdict of an earlier marked
+    /// instruction had not resolved (LMI's §XI-C pipeline delay).
+    pub ocu_verdict: u64,
+    /// No candidate at all: every warp on the slot was retired, not yet
+    /// dispatched, or past the program end.
+    pub no_ready_warp: u64,
+}
+
+impl StallBreakdown {
+    /// Total stalled scheduler-slot cycles.
+    pub fn total(&self) -> u64 {
+        self.scoreboard + self.lsu_busy + self.ocu_verdict + self.no_ready_warp
+    }
+
+    /// JSON export with one field per reason plus the total.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("scoreboard", self.scoreboard)
+            .with("lsu_busy", self.lsu_busy)
+            .with("ocu_verdict", self.ocu_verdict)
+            .with("no_ready_warp", self.no_ready_warp)
+            .with("total", self.total())
+    }
 }
 
 /// Aggregate statistics of one kernel run.
@@ -41,10 +80,21 @@ pub struct SimStats {
     pub mallocs: u64,
     /// Device-heap `free` calls executed (thread-level).
     pub frees: u64,
-    /// Cycles a scheduler found no ready warp.
-    pub idle_scheduler_cycles: u64,
+    /// Scheduler-slot stall cycles, by reason.
+    pub stalls: StallBreakdown,
+    /// Per-SM L1 data-cache hits/misses during this run.
+    pub l1_per_sm: Vec<CacheStats>,
+    /// Shared L2 hits/misses during this run.
+    pub l2: CacheStats,
+    /// L2 MSHR merges (requests absorbed into an in-flight miss).
+    pub mshr_merges: u64,
+    /// DRAM transactions issued during this run.
+    pub dram_transactions: u64,
     /// Detected violations.
     pub violations: Vec<ViolationEvent>,
+    /// Poison-to-fault provenance for each violation whose pointer was
+    /// poisoned by the OCU earlier in the run (delayed termination, §XII-A).
+    pub forensics: Vec<ForensicsRecord>,
 }
 
 impl SimStats {
@@ -100,6 +150,85 @@ impl SimStats {
             self.issued as f64 / self.cycles as f64
         }
     }
+
+    /// L1 hits/misses summed over every SM.
+    pub fn l1_total(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.l1_per_sm {
+            total.hits += s.hits;
+            total.misses += s.misses;
+        }
+        total
+    }
+
+    /// Aggregate L1 hit rate across all SMs; 0 when nothing was accessed.
+    pub fn l1_hit_rate(&self) -> f64 {
+        self.l1_total().hit_rate()
+    }
+
+    /// L2 hit rate; 0 when nothing was accessed.
+    pub fn l2_hit_rate(&self) -> f64 {
+        self.l2.hit_rate()
+    }
+
+    /// Machine-readable export of the whole record (the body of the bench
+    /// binaries' `--json` reports).
+    pub fn to_json(&self) -> Json {
+        let mut mem = Json::obj();
+        for (&space, &n) in &self.mem_by_space {
+            mem.set(space, n);
+        }
+        let mut l1_per_sm = Vec::with_capacity(self.l1_per_sm.len());
+        for s in &self.l1_per_sm {
+            l1_per_sm.push(Json::obj().with("hits", s.hits).with("misses", s.misses));
+        }
+        let l1 = self.l1_total();
+        let mut violations = Vec::with_capacity(self.violations.len());
+        for v in &self.violations {
+            violations.push(
+                Json::obj()
+                    .with("sm", v.sm as u64)
+                    .with("warp", v.warp as u64)
+                    .with("pc", v.pc as u64)
+                    .with("global_tid", v.global_tid)
+                    .with("kind", format!("{:?}", v.violation)),
+            );
+        }
+        Json::obj()
+            .with("cycles", self.cycles)
+            .with("issued", self.issued)
+            .with("ipc", self.ipc())
+            .with("int_issued", self.int_issued)
+            .with("fpu_issued", self.fpu_issued)
+            .with("marked_issued", self.marked_issued)
+            .with("mem_by_space", mem)
+            .with("transactions", self.transactions)
+            .with("mallocs", self.mallocs)
+            .with("frees", self.frees)
+            .with("stalls", self.stalls.to_json())
+            .with(
+                "l1",
+                Json::obj()
+                    .with("hits", l1.hits)
+                    .with("misses", l1.misses)
+                    .with("hit_rate", l1.hit_rate())
+                    .with("per_sm", Json::Arr(l1_per_sm)),
+            )
+            .with(
+                "l2",
+                Json::obj()
+                    .with("hits", self.l2.hits)
+                    .with("misses", self.l2.misses)
+                    .with("hit_rate", self.l2.hit_rate()),
+            )
+            .with("mshr_merges", self.mshr_merges)
+            .with("dram_transactions", self.dram_transactions)
+            .with("violations", Json::Arr(violations))
+            .with(
+                "forensics",
+                Json::Arr(self.forensics.iter().map(ForensicsRecord::to_json).collect()),
+            )
+    }
 }
 
 impl std::fmt::Display for SimStats {
@@ -119,7 +248,40 @@ impl std::fmt::Display for SimStats {
         )?;
         writeln!(f, "transactions      {:>12}", self.transactions)?;
         writeln!(f, "heap malloc/free  {:>12}  / {}", self.mallocs, self.frees)?;
-        write!(f, "violations        {:>12}", self.violations.len())
+        writeln!(
+            f,
+            "stalls            {:>12}  (sb {} / lsu {} / ocu {} / idle {})",
+            self.stalls.total(),
+            self.stalls.scoreboard,
+            self.stalls.lsu_busy,
+            self.stalls.ocu_verdict,
+            self.stalls.no_ready_warp
+        )?;
+        let l1 = self.l1_total();
+        if l1.accesses() + self.l2.accesses() > 0 {
+            writeln!(
+                f,
+                "L1 / L2 hit rate  {:>11.1}% / {:.1}%  (MSHR merges {}, DRAM {})",
+                100.0 * l1.hit_rate(),
+                100.0 * self.l2.hit_rate(),
+                self.mshr_merges,
+                self.dram_transactions
+            )?;
+        }
+        write!(f, "violations        {:>12}", self.violations.len())?;
+        for rec in &self.forensics {
+            write!(
+                f,
+                "\n  poisoned at pc {} ({}) -> faulted at pc {} lane {}: {} cycles, {} instrs",
+                rec.poison.pc,
+                rec.poison.op,
+                rec.fault.pc,
+                rec.fault.lane,
+                rec.latency_cycles(),
+                rec.latency_instructions()
+            )?;
+        }
+        Ok(())
     }
 }
 

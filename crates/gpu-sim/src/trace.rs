@@ -14,7 +14,7 @@ use lmi_isa::{MemSpace, Opcode, OpcodeClass, Program};
 
 use crate::config::GpuConfig;
 use crate::launch::Launch;
-use crate::mechanism::{MemAccessCtx, MemCheck, Mechanism};
+use crate::mechanism::{Mechanism, MemAccessCtx, MemCheck};
 use crate::stats::SimStats;
 use crate::Gpu;
 
@@ -34,7 +34,10 @@ pub struct TraceEvent {
 /// A dynamic execution profile: per-pc issue counts plus derived metrics.
 #[derive(Debug, Clone, Default)]
 pub struct DynamicProfile {
-    /// Warp-level issue count per program counter.
+    /// Exact warp-level memory-issue count per program counter. `LDC`
+    /// resolves against the launch constant bank without consulting the
+    /// mechanism, so constant loads do not appear here — matching
+    /// [`SimStats::mem_total`], which also excludes them.
     pub issues_by_pc: BTreeMap<usize, u64>,
     /// The traced program's instructions (for classification).
     events: Vec<TraceEvent>,
@@ -44,12 +47,6 @@ impl DynamicProfile {
     /// Builds the profile by running `launch` on a fresh GPU with the
     /// statistics tap enabled.
     pub fn collect(cfg: GpuConfig, launch: &Launch) -> (DynamicProfile, SimStats) {
-        // The simulator already counts warp-level issues; per-pc attribution
-        // comes from re-walking the program against the issue totals per
-        // opcode. For exactness we run with a mechanism that observes every
-        // memory access and rebuild per-pc counts from the program text and
-        // control-flow-free segments — but since programs may branch, we
-        // instead derive the profile analytically: execute and attribute.
         let mut tap = CountingTap::default();
         let mut gpu = Gpu::new(cfg);
         let stats = gpu.run(launch, &mut tap);
@@ -62,7 +59,7 @@ impl DynamicProfile {
                 space: ins.opcode.mem_space(),
             });
         }
-        profile.issues_by_pc = tap.mem_by_pc_estimate(&launch.program, &stats);
+        profile.issues_by_pc = tap.issues_by_pc;
         (profile, stats)
     }
 
@@ -96,33 +93,17 @@ impl DynamicProfile {
 
 /// A mechanism tap that counts per-space memory events without altering
 /// timing or checking anything.
+///
+/// Per-pc counts are *exact*: every lane of one warp-level issue shares a
+/// [`MemAccessCtx::issue_index`], so the tap counts each issue once at its
+/// actual pc. (An earlier version distributed the total uniformly across
+/// the program's memory pcs, which misattributed loops and divergent
+/// kernels — see the regression tests below.)
 #[derive(Debug, Default)]
 struct CountingTap {
     by_space: BTreeMap<&'static str, u64>,
-}
-
-impl CountingTap {
-    fn mem_by_pc_estimate(&self, program: &Program, stats: &SimStats) -> BTreeMap<usize, u64> {
-        // Uniform attribution across pcs of each class; exact for the
-        // straight-line kernels the workload generator emits.
-        let mut out = BTreeMap::new();
-        let mem_pcs: Vec<usize> = program
-            .instructions
-            .iter()
-            .enumerate()
-            .filter(|(_, i)| i.opcode.is_mem())
-            .map(|(pc, _)| pc)
-            .collect();
-        if mem_pcs.is_empty() {
-            return out;
-        }
-        let total: u64 = stats.mem_by_space.values().sum();
-        let per = total / mem_pcs.len() as u64;
-        for pc in mem_pcs {
-            out.insert(pc, per);
-        }
-        out
-    }
+    issues_by_pc: BTreeMap<usize, u64>,
+    last_issue: Option<u64>,
 }
 
 impl Mechanism for CountingTap {
@@ -138,6 +119,12 @@ impl Mechanism for CountingTap {
             MemSpace::Const => "const",
         };
         *self.by_space.entry(key).or_insert(0) += 1;
+        // Lanes of one issue arrive back-to-back with the same index;
+        // count the warp-level issue once, at the pc that really executed.
+        if self.last_issue != Some(ctx.issue_index) {
+            self.last_issue = Some(ctx.issue_index);
+            *self.issues_by_pc.entry(ctx.pc).or_insert(0) += 1;
+        }
         MemCheck::allow()
     }
 }
@@ -184,7 +171,9 @@ mod tests {
     fn program() -> Program {
         let mut b = ProgramBuilder::new("t");
         b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
-        b.push(Instruction::lea64(Reg(6), Reg(4), Reg(0), 2).with_hints(HintBits::check_operand(0)));
+        b.push(
+            Instruction::lea64(Reg(6), Reg(4), Reg(0), 2).with_hints(HintBits::check_operand(0)),
+        );
         b.push(Instruction::ldg(Reg(8), MemRef::new(Reg(6), 0, 4)));
         b.push(Instruction::stg(MemRef::new(Reg(6), 4, 4), Reg(8)));
         b.push(Instruction::ffma(Reg(9), Reg(9), Reg(9), Reg(8)));
@@ -204,14 +193,64 @@ mod tests {
 
     #[test]
     fn dynamic_profile_counts_issues() {
-        let launch = Launch::new(program())
-            .grid(1)
-            .block(32)
-            .param(layout::GLOBAL_BASE);
+        let launch = Launch::new(program()).grid(1).block(32).param(layout::GLOBAL_BASE);
         let (profile, stats) = DynamicProfile::collect(GpuConfig::small(), &launch);
         assert_eq!(DynamicProfile::dynamic_checks(&stats), 1);
         assert_eq!(DynamicProfile::dynamic_ldst(&stats), 2, "LDG + STG (LDC excluded)");
         assert!(DynamicProfile::check_to_ldst_ratio(&stats) >= 1.0);
-        assert!(!profile.issues_by_pc.is_empty());
+        assert_eq!(profile.issues_by_pc.get(&2), Some(&1), "the LDG");
+        assert_eq!(profile.issues_by_pc.get(&3), Some(&1), "the STG");
+    }
+
+    #[test]
+    fn per_pc_attribution_is_exact_in_loops() {
+        // A loop issuing the LDG four times per warp, with a single STG
+        // after it. Uniform attribution would claim 2.5 issues at each
+        // memory pc; the exact profile must report 4 and 1.
+        use lmi_isa::instr::CmpOp;
+        use lmi_isa::PredReg;
+        let mut b = ProgramBuilder::new("loopy");
+        b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
+        b.push(Instruction::mov(Reg(2), 0));
+        let top = b.label();
+        let ldg_pc = 2usize;
+        b.push(Instruction::ldg(Reg(8), MemRef::new(Reg(4), 0, 4)));
+        b.push(Instruction::iadd3(Reg(2), Reg(2), 1));
+        b.push(Instruction::isetp(PredReg(0), Reg(2), CmpOp::Lt, 4));
+        b.branch_if(top, PredReg(0), false);
+        let stg_pc = 6usize;
+        b.push(Instruction::stg(MemRef::new(Reg(4), 0, 4), Reg(8)));
+        b.push(Instruction::exit());
+        let launch = Launch::new(b.build()).grid(1).block(32).param(layout::GLOBAL_BASE);
+        let (profile, _) = DynamicProfile::collect(GpuConfig::small(), &launch);
+        assert_eq!(profile.issues_by_pc.get(&ldg_pc), Some(&4), "LDG issues 4x per warp");
+        assert_eq!(profile.issues_by_pc.get(&stg_pc), Some(&1), "STG issues once");
+    }
+
+    #[test]
+    fn per_pc_attribution_is_exact_under_divergence() {
+        // if (tid < 16) store at pc A else store at pc B: each store pc
+        // issues exactly once per warp, with a partial mask.
+        use lmi_isa::instr::CmpOp;
+        use lmi_isa::PredReg;
+        let mut b = ProgramBuilder::new("divergent");
+        b.push(Instruction::s2r(Reg(0), lmi_isa::op::SpecialReg::TidX));
+        b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
+        b.push(Instruction::lea64(Reg(6), Reg(4), Reg(0), 2));
+        b.push(Instruction::isetp(PredReg(0), Reg(0), CmpOp::Lt, 16));
+        let taken = b.forward_branch_if(PredReg(0), false);
+        let else_stg = 5usize;
+        b.push(Instruction::stg(MemRef::new(Reg(6), 0, 4), Reg(0)));
+        b.push(Instruction::exit());
+        b.bind(taken);
+        let then_stg = 7usize;
+        b.push(Instruction::stg(MemRef::new(Reg(6), 0, 4), Reg(0)));
+        b.push(Instruction::exit());
+        let launch = Launch::new(b.build()).grid(1).block(32).param(layout::GLOBAL_BASE);
+        let (profile, stats) = DynamicProfile::collect(GpuConfig::small(), &launch);
+        assert_eq!(profile.issues_by_pc.get(&else_stg), Some(&1));
+        assert_eq!(profile.issues_by_pc.get(&then_stg), Some(&1));
+        let counted: u64 = profile.issues_by_pc.values().sum();
+        assert_eq!(counted, stats.mem_total(), "every issue attributed exactly once");
     }
 }

@@ -40,6 +40,11 @@ pub struct Warp {
     verdict_ready: Vec<u64>,
     /// Cycle at which each predicate register becomes readable.
     pred_ready: [u64; 8],
+    /// Cycle until which each register is waiting on an in-flight *memory*
+    /// result. A register whose `ready_at` equals its `mem_pending_until`
+    /// is blocked by the LSU, not the ALU scoreboard — the distinction the
+    /// scheduler's stall-reason breakdown reports.
+    mem_pending: Vec<u64>,
     /// Set when the warp has exited.
     pub done: bool,
     /// Set while the warp waits at a block barrier.
@@ -75,6 +80,7 @@ impl Warp {
             reg_ready: vec![0; regs_per_thread.max(1)],
             verdict_ready: vec![0; regs_per_thread.max(1)],
             pred_ready: [0; 8],
+            mem_pending: vec![0; regs_per_thread.max(1)],
             done: false,
             at_barrier: false,
             last_issue: 0,
@@ -154,6 +160,28 @@ impl Warp {
         *slot = (*slot).max(cycle);
         let v = &mut self.verdict_ready[reg.0 as usize];
         *v = (*v).max(cycle);
+    }
+
+    /// Marks `reg` busy until `cycle` with an in-flight memory result as
+    /// the producer (a load destination or a heap-call return value), so a
+    /// later wait on it classifies as an LSU stall rather than a
+    /// scoreboard stall.
+    pub fn set_ready_at_mem(&mut self, reg: Reg, cycle: u64) {
+        self.set_ready_at(reg, cycle);
+        if reg.is_zero_reg() || reg.0 as usize >= self.regs_per_thread {
+            return;
+        }
+        let slot = &mut self.mem_pending[reg.0 as usize];
+        *slot = (*slot).max(cycle);
+    }
+
+    /// `true` if waiting on `reg` at `cycle` is waiting on the LSU: an
+    /// in-flight memory result covers that cycle.
+    pub fn mem_pending_at(&self, reg: Reg, cycle: u64) -> bool {
+        if reg.is_zero_reg() || reg.0 as usize >= self.regs_per_thread {
+            return false;
+        }
+        self.mem_pending[reg.0 as usize] >= cycle
     }
 
     /// The cycle at which `reg`'s OCU verdict is final (≥ `ready_at`).

@@ -166,12 +166,7 @@ impl LmiDefense {
                 layout::HEAP_BASE,
                 1 << 30,
             ),
-            stack: ThreadStack::new(
-                cfg,
-                AlignmentPolicy::PowerOfTwo,
-                layout::LOCAL_BASE,
-                1 << 20,
-            ),
+            stack: ThreadStack::new(cfg, AlignmentPolicy::PowerOfTwo, layout::LOCAL_BASE, 1 << 20),
             shared: SharedLayout::new(
                 cfg,
                 AlignmentPolicy::PowerOfTwo,
@@ -407,12 +402,7 @@ impl GpuShieldDefense {
     }
 
     fn region_index(&self, owner: usize) -> usize {
-        self.book
-            .allocs
-            .iter()
-            .take(owner)
-            .filter(|a| a.region == Region::Global)
-            .count()
+        self.book.allocs.iter().take(owner).filter(|a| a.region == Region::Global).count()
     }
 }
 

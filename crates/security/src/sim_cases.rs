@@ -41,9 +41,7 @@ fn run_lmi(kernel: &lmi_compiler::Function, params: &[u64]) -> AttackOutcome {
 
 fn global_buffer(offset: u64, size: u64) -> u64 {
     let cfg = PtrConfig::default();
-    DevicePtr::encode(layout::GLOBAL_BASE + offset, size, &cfg)
-        .expect("aligned test buffers")
-        .raw()
+    DevicePtr::encode(layout::GLOBAL_BASE + offset, size, &cfg).expect("aligned test buffers").raw()
 }
 
 /// Global adjacent overflow: a copy loop runs one element too far.

@@ -101,11 +101,7 @@ mod tests {
         let check = |class: CaseClass, expect: [usize; 4]| {
             let r = row(&rows, class);
             let got = [r.detected[gmod], r.detected[gs], r.detected[cu], r.detected[lmi]];
-            assert_eq!(
-                got, expect,
-                "{}: [GMOD, GPUShield, cuCatch, LMI]",
-                class.label()
-            );
+            assert_eq!(got, expect, "{}: [GMOD, GPUShield, cuCatch, LMI]", class.label());
         };
 
         check(CaseClass::GlobalOob, [1, 2, 2, 2]);
@@ -127,8 +123,7 @@ mod tests {
         let uaf = row(&rows, CaseClass::Uaf);
         assert_eq!(uaf.detected[lmi], 4);
         assert_eq!(
-            uaf.detected[lml],
-            6,
+            uaf.detected[lml], 6,
             "liveness tracking adds the two immediate copied-pointer cases"
         );
         // Spatial coverage is unchanged.
@@ -140,11 +135,9 @@ mod tests {
     #[test]
     fn aggregate_coverage_matches_the_paper_ordering() {
         let rows = run_matrix();
-        let spatial: Vec<usize> =
-            (0..4).map(|m| coverage(&rows, m, true).0).collect();
+        let spatial: Vec<usize> = (0..4).map(|m| coverage(&rows, m, true).0).collect();
         assert_eq!(spatial, vec![1, 5, 13, 19]);
-        let temporal: Vec<usize> =
-            (0..4).map(|m| coverage(&rows, m, false).0).collect();
+        let temporal: Vec<usize> = (0..4).map(|m| coverage(&rows, m, false).0).collect();
         assert_eq!(temporal, vec![4, 4, 12, 12]);
     }
 }

@@ -123,9 +123,10 @@ fn every_case_runs_on_every_defense_without_panicking() {
 
 #[test]
 fn lmi_detects_every_non_intra_spatial_case() {
-    for case in all_cases().iter().filter(|c| {
-        c.class.is_spatial() && c.class != lmi_security::CaseClass::IntraOob
-    }) {
+    for case in all_cases()
+        .iter()
+        .filter(|c| c.class.is_spatial() && c.class != lmi_security::CaseClass::IntraOob)
+    {
         let mut d = LmiDefense::new();
         assert!((case.run)(&mut d), "LMI must protect against {}", case.name);
     }
@@ -142,12 +143,7 @@ fn no_mechanism_false_positives_on_benign_controls() {
                 3 => Box::new(LmiDefense::new()),
                 _ => Box::new(LmiDefense::with_liveness()),
             };
-            assert!(
-                (case.run)(d.as_mut()),
-                "{} false-positived on {}",
-                d.name(),
-                case.name
-            );
+            assert!((case.run)(d.as_mut()), "{} false-positived on {}", d.name(), case.name);
         }
     }
 }

@@ -1,0 +1,42 @@
+//! Validates JSON on stdin (or a file argument) with the crate's own
+//! parser. Exit 0 on valid input, 1 with a diagnostic otherwise. CI pipes
+//! the bench binaries' `--json` output through this to catch drift in the
+//! hand-rolled exporter.
+//!
+//! Usage: `probe --json | jsonlint`  or  `jsonlint trace.json`
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut text = String::new();
+    let source = match std::env::args().nth(1) {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(t) => {
+                text = t;
+                path
+            }
+            Err(e) => {
+                eprintln!("jsonlint: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+                eprintln!("jsonlint: cannot read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            "<stdin>".to_string()
+        }
+    };
+    match lmi_telemetry::json::parse(&text) {
+        Ok(_) => {
+            eprintln!("jsonlint: {source}: valid ({} bytes)", text.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("jsonlint: {source}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

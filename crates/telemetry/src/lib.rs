@@ -1,0 +1,101 @@
+//! # lmi-telemetry — observability for the LMI simulation pipeline
+//!
+//! The paper's evaluation (Figs. 1–13, Table II) is built from instruction,
+//! memory and check counters; this crate is where those measurements live
+//! once the simulator produces them:
+//!
+//! * [`CounterRegistry`] — structured counters with per-SM, per-warp and
+//!   per-mechanism scopes, absorbing what `SimStats` used to lump together;
+//! * [`EventTracer`] — a bounded ring buffer of kernel-timeline events
+//!   (warp launch/retire, memory transactions, OCU checks, EC faults) that
+//!   exports Chrome trace-event JSON loadable in Perfetto;
+//! * [`ForensicsLog`] — provenance for LMI's delayed termination (§XII-A):
+//!   when the OCU poisons a pointer the poisoning pc/op is recorded, and
+//!   when the EC later faults, the poison-to-fault latency in cycles and
+//!   instructions is reported alongside the faulting lane;
+//! * [`json`] — a hand-rolled JSON value, serializer and parser (no serde;
+//!   keeps the workspace buildable offline) used by the bench binaries'
+//!   `--json` reports and by CI's validity check;
+//! * [`prng`] — a tiny deterministic SplitMix64 generator used for trace
+//!   sampling and by the workspace's randomized property tests (replacing
+//!   the external `proptest`/`rand` dependencies).
+//!
+//! The crate depends only on `std`, so every other crate — including the
+//! leaf ISA crate — can use it from tests without dependency cycles.
+
+pub mod forensics;
+pub mod json;
+pub mod prng;
+pub mod registry;
+pub mod tracer;
+
+pub use forensics::{FaultEvent, ForensicsLog, ForensicsRecord, PoisonEvent};
+pub use json::Json;
+pub use prng::SplitMix64;
+pub use registry::{CounterRegistry, Scope};
+pub use tracer::{EventTracer, TraceEventKind, TraceRecord};
+
+/// Everything the simulator emits during one run, bundled so the pipeline
+/// threads a single `&mut TelemetrySink` instead of three references.
+#[derive(Debug)]
+pub struct TelemetrySink {
+    /// Scoped counters.
+    pub counters: CounterRegistry,
+    /// Kernel-timeline ring buffer.
+    pub tracer: EventTracer,
+    /// Poison-to-fault provenance.
+    pub forensics: ForensicsLog,
+}
+
+impl TelemetrySink {
+    /// A sink with timeline tracing enabled (ring capacity `trace_capacity`).
+    pub fn with_trace_capacity(trace_capacity: usize) -> TelemetrySink {
+        TelemetrySink {
+            counters: CounterRegistry::new(),
+            tracer: EventTracer::new(trace_capacity),
+            forensics: ForensicsLog::new(),
+        }
+    }
+
+    /// A sink that keeps counters and forensics but drops timeline events —
+    /// the default for untraced runs, where per-event recording would cost
+    /// more than the simulation itself.
+    pub fn counters_only() -> TelemetrySink {
+        TelemetrySink {
+            counters: CounterRegistry::new(),
+            tracer: EventTracer::disabled(),
+            forensics: ForensicsLog::new(),
+        }
+    }
+
+    /// A sink that drops counters and timeline events but still collects
+    /// forensics (poison/fault provenance is cheap — it only fires on
+    /// violations — and `SimStats` reports it even on untelemetered runs).
+    pub fn disabled() -> TelemetrySink {
+        TelemetrySink {
+            counters: CounterRegistry::disabled(),
+            tracer: EventTracer::disabled(),
+            forensics: ForensicsLog::new(),
+        }
+    }
+}
+
+impl Default for TelemetrySink {
+    fn default() -> TelemetrySink {
+        TelemetrySink::counters_only()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sink_keeps_counters_but_not_events() {
+        let mut sink = TelemetrySink::default();
+        sink.counters.add(Scope::Gpu, "cycles", 10);
+        sink.tracer.complete("x", TraceEventKind::MemTransaction, 0, 0, 0, 5);
+        assert_eq!(sink.counters.get(Scope::Gpu, "cycles"), 10);
+        assert_eq!(sink.tracer.len(), 0, "disabled tracer records nothing");
+    }
+}

@@ -1,0 +1,261 @@
+//! A bounded ring-buffer kernel-timeline tracer with Chrome trace-event
+//! export.
+//!
+//! The simulator reports spans (warp launch→retire, memory transactions
+//! with their latency, OCU checks, EC faults) as they complete. The ring
+//! keeps the most recent `capacity` records — long simulations cannot
+//! grow memory without bound — and [`EventTracer::chrome_trace`] renders
+//! whatever survived as Chrome trace-event JSON: load the file in
+//! [Perfetto](https://ui.perfetto.dev) (or `chrome://tracing`) and the
+//! timeline shows one process per SM and one thread per warp, with
+//! cycles as the time unit.
+
+use std::collections::VecDeque;
+
+use crate::json::Json;
+
+/// What a trace record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A warp's residency from launch to retire.
+    WarpSpan,
+    /// One coalesced memory transaction (span covers its latency).
+    MemTransaction,
+    /// An OCU check on a hint-marked integer instruction.
+    OcuCheck,
+    /// The OCU poisoned a pointer (instant).
+    OcuPoison,
+    /// The EC faulted a dereference (instant).
+    EcFault,
+    /// A device-heap malloc/free call.
+    HeapCall,
+    /// A scheduler stall sample (instant).
+    Stall,
+}
+
+impl TraceEventKind {
+    /// Chrome trace category string.
+    pub fn category(self) -> &'static str {
+        match self {
+            TraceEventKind::WarpSpan => "warp",
+            TraceEventKind::MemTransaction => "mem",
+            TraceEventKind::OcuCheck => "ocu",
+            TraceEventKind::OcuPoison => "ocu",
+            TraceEventKind::EcFault => "ec",
+            TraceEventKind::HeapCall => "heap",
+            TraceEventKind::Stall => "sched",
+        }
+    }
+
+    /// `true` for zero-duration (instant, phase `i`) events.
+    pub fn is_instant(self) -> bool {
+        matches!(self, TraceEventKind::OcuPoison | TraceEventKind::EcFault | TraceEventKind::Stall)
+    }
+}
+
+/// One record in the ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Display name.
+    pub name: &'static str,
+    /// Event kind (category + phase).
+    pub kind: TraceEventKind,
+    /// SM index (rendered as the Chrome `pid`).
+    pub sm: usize,
+    /// Warp index (rendered as the Chrome `tid`).
+    pub warp: usize,
+    /// Start cycle.
+    pub start: u64,
+    /// Duration in cycles (0 for instants).
+    pub dur: u64,
+    /// Optional key/value detail (pc, address, violation kind, …).
+    pub args: Vec<(&'static str, u64)>,
+}
+
+/// The bounded tracer.
+#[derive(Debug, Clone)]
+pub struct EventTracer {
+    ring: VecDeque<TraceRecord>,
+    capacity: usize,
+    /// Records evicted after the ring filled.
+    dropped: u64,
+    enabled: bool,
+}
+
+impl EventTracer {
+    /// A tracer retaining at most `capacity` records (at least 1).
+    pub fn new(capacity: usize) -> EventTracer {
+        EventTracer {
+            ring: VecDeque::with_capacity(capacity.clamp(1, 1 << 20)),
+            capacity: capacity.max(1),
+            dropped: 0,
+            enabled: true,
+        }
+    }
+
+    /// A tracer that records nothing (constant-time no-op on every hook).
+    pub fn disabled() -> EventTracer {
+        EventTracer { ring: VecDeque::new(), capacity: 0, dropped: 0, enabled: false }
+    }
+
+    /// `true` if recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a completed span.
+    pub fn complete(
+        &mut self,
+        name: &'static str,
+        kind: TraceEventKind,
+        sm: usize,
+        warp: usize,
+        start: u64,
+        dur: u64,
+    ) {
+        self.push(TraceRecord { name, kind, sm, warp, start, dur, args: Vec::new() });
+    }
+
+    /// Records a completed span with detail arguments.
+    #[allow(clippy::too_many_arguments)] // mirrors the trace-event tuple
+    pub fn complete_with(
+        &mut self,
+        name: &'static str,
+        kind: TraceEventKind,
+        sm: usize,
+        warp: usize,
+        start: u64,
+        dur: u64,
+        args: &[(&'static str, u64)],
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.push(TraceRecord { name, kind, sm, warp, start, dur, args: args.to_vec() });
+    }
+
+    /// Records an instant event.
+    pub fn instant(
+        &mut self,
+        name: &'static str,
+        kind: TraceEventKind,
+        sm: usize,
+        warp: usize,
+        at: u64,
+        args: &[(&'static str, u64)],
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.push(TraceRecord { name, kind, sm, warp, start: at, dur: 0, args: args.to_vec() });
+    }
+
+    fn push(&mut self, record: TraceRecord) {
+        if !self.enabled {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(record);
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Records evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained records in arrival order.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.ring.iter()
+    }
+
+    /// Renders the Chrome trace-event document:
+    /// `{"displayTimeUnit": "ms", "traceEvents": [...]}`, with events
+    /// sorted by timestamp (Perfetto tolerates unsorted input, but our
+    /// golden tests — and humans reading the raw file — should not have
+    /// to). One cycle maps to one microsecond of trace time.
+    pub fn chrome_trace(&self) -> Json {
+        let mut records: Vec<&TraceRecord> = self.ring.iter().collect();
+        records.sort_by_key(|r| (r.start, r.sm, r.warp));
+        let mut events = Vec::with_capacity(records.len());
+        for r in records {
+            let mut ev = Json::obj()
+                .with("name", r.name)
+                .with("cat", r.kind.category())
+                .with("ph", if r.kind.is_instant() { "i" } else { "X" })
+                .with("ts", r.start)
+                .with("pid", r.sm)
+                .with("tid", r.warp);
+            if r.kind.is_instant() {
+                ev.set("s", "t"); // instant scope: thread
+            } else {
+                ev.set("dur", r.dur);
+            }
+            if !r.args.is_empty() {
+                let mut args = Json::obj();
+                for (k, v) in &r.args {
+                    args.set(k, *v);
+                }
+                ev.set("args", args);
+            }
+            events.push(ev);
+        }
+        Json::obj()
+            .with("displayTimeUnit", "ms")
+            .with("traceEvents", Json::Arr(events))
+            .with("droppedEvents", self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut t = EventTracer::new(2);
+        for i in 0..5u64 {
+            t.complete("tx", TraceEventKind::MemTransaction, 0, 0, i * 10, 3);
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        let starts: Vec<u64> = t.records().map(|r| r.start).collect();
+        assert_eq!(starts, vec![30, 40], "latest records survive");
+    }
+
+    #[test]
+    fn chrome_trace_sorts_and_labels() {
+        let mut t = EventTracer::new(16);
+        t.complete("warp0", TraceEventKind::WarpSpan, 1, 0, 50, 100);
+        t.instant("poison", TraceEventKind::OcuPoison, 0, 3, 10, &[("pc", 7)]);
+        let doc = t.chrome_trace();
+        let events = doc.get("traceEvents").unwrap().items();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("ts").and_then(Json::as_u64), Some(10), "sorted by ts");
+        assert_eq!(events[0].get("ph").and_then(Json::as_str), Some("i"));
+        assert_eq!(events[0].get("args").and_then(|a| a.get("pc")).and_then(Json::as_u64), Some(7));
+        assert_eq!(events[1].get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(events[1].get("dur").and_then(Json::as_u64), Some(100));
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let mut t = EventTracer::disabled();
+        t.instant("x", TraceEventKind::EcFault, 0, 0, 1, &[]);
+        t.complete("y", TraceEventKind::WarpSpan, 0, 0, 0, 9);
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+}

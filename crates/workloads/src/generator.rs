@@ -145,8 +145,7 @@ pub fn generate_variant(spec: &WorkloadSpec, embed_extents: bool) -> Program {
             b.push(Instruction::malloc(HEAPPTR, HEAPSZ));
             b.push(Instruction::int2(Opcode::And, IDX, TID, 15));
             b.push(
-                Instruction::lea64(ADDR, HEAPPTR, IDX, 2)
-                    .with_hints(HintBits::check_operand(0)),
+                Instruction::lea64(ADDR, HEAPPTR, IDX, 2).with_hints(HintBits::check_operand(0)),
             );
             b.push(Instruction::stg(MemRef::new(ADDR, 0, 4), TID));
             b.push(Instruction::ldg(LOADED, MemRef::new(ADDR, 0, 4)));
@@ -157,12 +156,7 @@ pub fn generate_variant(spec: &WorkloadSpec, embed_extents: bool) -> Program {
                 Space::Global => {
                     let param = global_instance % spec.num_buffers.max(1);
                     global_instance += 1;
-                    b.push(Instruction::ldc(
-                        GBASE,
-                        abi::LAUNCH_BANK,
-                        abi::param_offset(param),
-                        8,
-                    ));
+                    b.push(Instruction::ldc(GBASE, abi::LAUNCH_BANK, abi::param_offset(param), 8));
                     (GBASE, (PERF_BUF_BYTES / 4 - 1) as i32)
                 }
                 Space::Shared => (SBASE, (SHARED_BYTES / 4 - 1) as i32),
@@ -194,9 +188,7 @@ pub fn generate_variant(spec: &WorkloadSpec, embed_extents: bool) -> Program {
             b.push(Instruction::int2(Opcode::And, IDX, IDX, elem_mask));
 
             // The hint-marked pointer arithmetic (LMI's OCU check site).
-            b.push(
-                Instruction::lea64(ADDR, base, IDX, 2).with_hints(HintBits::check_operand(0)),
-            );
+            b.push(Instruction::lea64(ADDR, base, IDX, 2).with_hints(HintBits::check_operand(0)));
             for e in 0..extra_marked {
                 b.push(
                     Instruction::iadd64(PSCRATCH, base, (e as i32 + 1) * 4)

@@ -46,9 +46,7 @@ pub fn prepare(spec: &WorkloadSpec, policy: AlignmentPolicy) -> PreparedWorkload
     let cfg = PtrConfig::default();
     let mut alloc = GlobalAllocator::new(cfg, policy, layout::GLOBAL_BASE, 8 << 30);
     let program = generator::generate_variant(spec, policy == AlignmentPolicy::PowerOfTwo);
-    let mut launch = Launch::new(program)
-        .grid(spec.blocks)
-        .block(spec.threads_per_block);
+    let mut launch = Launch::new(program).grid(spec.blocks).block(spec.threads_per_block);
     let mut buffers = Vec::with_capacity(spec.num_buffers);
     for _ in 0..spec.num_buffers {
         let raw = alloc.alloc(PERF_BUF_BYTES).expect("perf arena is large enough");
@@ -118,14 +116,8 @@ mod tests {
     #[test]
     fn fig4_geomean_is_near_18_73_percent() {
         let rodinia = rodinia_workloads();
-        let lnsum: f64 = rodinia
-            .iter()
-            .map(|w| (1.0 + fragmentation_overhead(w)).ln())
-            .sum();
+        let lnsum: f64 = rodinia.iter().map(|w| (1.0 + fragmentation_overhead(w)).ln()).sum();
         let geomean = (lnsum / rodinia.len() as f64).exp() - 1.0;
-        assert!(
-            (geomean - 0.1873).abs() < 0.02,
-            "geomean fragmentation {geomean} vs paper 0.1873"
-        );
+        assert!((geomean - 0.1873).abs() < 0.02, "geomean fragmentation {geomean} vs paper 0.1873");
     }
 }

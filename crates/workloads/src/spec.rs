@@ -138,65 +138,373 @@ pub fn all_workloads() -> Vec<WorkloadSpec> {
     use profiles::*;
     use Suite::*;
     let mut all = vec![
-        spec!("backprop", Rodinia, g = 0.55, s = 0.40, l = 0.05, cpm = 2, ppm2 = 2,
-              unco = false, bufs = 4, hostile = false, profile = BACKPROP),
-        spec!("bfs", Rodinia, g = 0.90, s = 0.05, l = 0.05, cpm = 1, ppm2 = 4,
-              unco = true, bufs = 4, hostile = false, profile = BFS),
-        spec!("dwt2d", Rodinia, g = 0.60, s = 0.35, l = 0.05, cpm = 3, ppm2 = 2,
-              unco = false, bufs = 4, hostile = false, profile = DWT2D),
-        spec!("gaussian", Rodinia, g = 0.85, s = 0.10, l = 0.05, cpm = 1, ppm2 = 12,
-              unco = false, bufs = 4, hostile = false, profile = GAUSSIAN),
-        spec!("hotspot", Rodinia, g = 0.45, s = 0.50, l = 0.05, cpm = 4, ppm2 = 2,
-              unco = false, bufs = 4, hostile = false, profile = HOTSPOT),
-        spec!("lavaMD", Rodinia, g = 0.40, s = 0.55, l = 0.05, cpm = 6, ppm2 = 2,
-              unco = false, bufs = 4, hostile = false, profile = LAVAMD),
-        spec!("lud_cuda", Rodinia, g = 0.15, s = 0.85, l = 0.00, cpm = 2, ppm2 = 2,
-              unco = false, bufs = 4, hostile = false, profile = LUD),
-        spec!("needle", Rodinia, g = 0.12, s = 0.85, l = 0.03, cpm = 1, ppm2 = 2,
-              unco = true, bufs = 32, hostile = true, profile = NEEDLE),
-        spec!("nn", Rodinia, g = 0.95, s = 0.00, l = 0.05, cpm = 1, ppm2 = 2,
-              unco = false, bufs = 4, hostile = false, profile = NN),
-        spec!("particlefilter_float", Rodinia, g = 0.70, s = 0.20, l = 0.10, cpm = 2, ppm2 = 2,
-              unco = false, bufs = 4, hostile = false, profile = PF_FLOAT),
-        spec!("particlefilter_naive", Rodinia, g = 0.85, s = 0.05, l = 0.10, cpm = 1, ppm2 = 2,
-              unco = false, bufs = 4, hostile = false, profile = PF_NAIVE),
-        spec!("pathfinder", Rodinia, g = 0.30, s = 0.65, l = 0.05, cpm = 2, ppm2 = 2,
-              unco = false, bufs = 4, hostile = false, profile = PATHFINDER),
-        spec!("sc_gpu", Rodinia, g = 0.80, s = 0.15, l = 0.05, cpm = 2, ppm2 = 2,
-              unco = false, bufs = 4, hostile = false, profile = SC_GPU),
-        spec!("srad_v1", Rodinia, g = 0.70, s = 0.25, l = 0.05, cpm = 3, ppm2 = 2,
-              unco = false, bufs = 4, hostile = false, profile = SRAD1),
-        spec!("srad_v2", Rodinia, g = 0.65, s = 0.30, l = 0.05, cpm = 3, ppm2 = 2,
-              unco = false, bufs = 4, hostile = false, profile = SRAD2),
+        spec!(
+            "backprop",
+            Rodinia,
+            g = 0.55,
+            s = 0.40,
+            l = 0.05,
+            cpm = 2,
+            ppm2 = 2,
+            unco = false,
+            bufs = 4,
+            hostile = false,
+            profile = BACKPROP
+        ),
+        spec!(
+            "bfs",
+            Rodinia,
+            g = 0.90,
+            s = 0.05,
+            l = 0.05,
+            cpm = 1,
+            ppm2 = 4,
+            unco = true,
+            bufs = 4,
+            hostile = false,
+            profile = BFS
+        ),
+        spec!(
+            "dwt2d",
+            Rodinia,
+            g = 0.60,
+            s = 0.35,
+            l = 0.05,
+            cpm = 3,
+            ppm2 = 2,
+            unco = false,
+            bufs = 4,
+            hostile = false,
+            profile = DWT2D
+        ),
+        spec!(
+            "gaussian",
+            Rodinia,
+            g = 0.85,
+            s = 0.10,
+            l = 0.05,
+            cpm = 1,
+            ppm2 = 12,
+            unco = false,
+            bufs = 4,
+            hostile = false,
+            profile = GAUSSIAN
+        ),
+        spec!(
+            "hotspot",
+            Rodinia,
+            g = 0.45,
+            s = 0.50,
+            l = 0.05,
+            cpm = 4,
+            ppm2 = 2,
+            unco = false,
+            bufs = 4,
+            hostile = false,
+            profile = HOTSPOT
+        ),
+        spec!(
+            "lavaMD",
+            Rodinia,
+            g = 0.40,
+            s = 0.55,
+            l = 0.05,
+            cpm = 6,
+            ppm2 = 2,
+            unco = false,
+            bufs = 4,
+            hostile = false,
+            profile = LAVAMD
+        ),
+        spec!(
+            "lud_cuda",
+            Rodinia,
+            g = 0.15,
+            s = 0.85,
+            l = 0.00,
+            cpm = 2,
+            ppm2 = 2,
+            unco = false,
+            bufs = 4,
+            hostile = false,
+            profile = LUD
+        ),
+        spec!(
+            "needle",
+            Rodinia,
+            g = 0.12,
+            s = 0.85,
+            l = 0.03,
+            cpm = 1,
+            ppm2 = 2,
+            unco = true,
+            bufs = 32,
+            hostile = true,
+            profile = NEEDLE
+        ),
+        spec!(
+            "nn",
+            Rodinia,
+            g = 0.95,
+            s = 0.00,
+            l = 0.05,
+            cpm = 1,
+            ppm2 = 2,
+            unco = false,
+            bufs = 4,
+            hostile = false,
+            profile = NN
+        ),
+        spec!(
+            "particlefilter_float",
+            Rodinia,
+            g = 0.70,
+            s = 0.20,
+            l = 0.10,
+            cpm = 2,
+            ppm2 = 2,
+            unco = false,
+            bufs = 4,
+            hostile = false,
+            profile = PF_FLOAT
+        ),
+        spec!(
+            "particlefilter_naive",
+            Rodinia,
+            g = 0.85,
+            s = 0.05,
+            l = 0.10,
+            cpm = 1,
+            ppm2 = 2,
+            unco = false,
+            bufs = 4,
+            hostile = false,
+            profile = PF_NAIVE
+        ),
+        spec!(
+            "pathfinder",
+            Rodinia,
+            g = 0.30,
+            s = 0.65,
+            l = 0.05,
+            cpm = 2,
+            ppm2 = 2,
+            unco = false,
+            bufs = 4,
+            hostile = false,
+            profile = PATHFINDER
+        ),
+        spec!(
+            "sc_gpu",
+            Rodinia,
+            g = 0.80,
+            s = 0.15,
+            l = 0.05,
+            cpm = 2,
+            ppm2 = 2,
+            unco = false,
+            bufs = 4,
+            hostile = false,
+            profile = SC_GPU
+        ),
+        spec!(
+            "srad_v1",
+            Rodinia,
+            g = 0.70,
+            s = 0.25,
+            l = 0.05,
+            cpm = 3,
+            ppm2 = 2,
+            unco = false,
+            bufs = 4,
+            hostile = false,
+            profile = SRAD1
+        ),
+        spec!(
+            "srad_v2",
+            Rodinia,
+            g = 0.65,
+            s = 0.30,
+            l = 0.05,
+            cpm = 3,
+            ppm2 = 2,
+            unco = false,
+            bufs = 4,
+            hostile = false,
+            profile = SRAD2
+        ),
         // Tango
-        spec!("AlexNet", Tango, g = 0.70, s = 0.25, l = 0.05, cpm = 8, ppm2 = 2,
-              unco = false, bufs = 4, hostile = false, profile = MODEL),
-        spec!("CifarNet", Tango, g = 0.75, s = 0.20, l = 0.05, cpm = 6, ppm2 = 2,
-              unco = false, bufs = 4, hostile = false, profile = MODEL),
-        spec!("GRU", Tango, g = 0.80, s = 0.15, l = 0.05, cpm = 4, ppm2 = 2,
-              unco = false, bufs = 4, hostile = false, profile = MODEL),
-        spec!("LSTM", Tango, g = 0.55, s = 0.40, l = 0.05, cpm = 4, ppm2 = 2,
-              unco = true, bufs = 33, hostile = true, profile = MODEL),
+        spec!(
+            "AlexNet",
+            Tango,
+            g = 0.70,
+            s = 0.25,
+            l = 0.05,
+            cpm = 8,
+            ppm2 = 2,
+            unco = false,
+            bufs = 4,
+            hostile = false,
+            profile = MODEL
+        ),
+        spec!(
+            "CifarNet",
+            Tango,
+            g = 0.75,
+            s = 0.20,
+            l = 0.05,
+            cpm = 6,
+            ppm2 = 2,
+            unco = false,
+            bufs = 4,
+            hostile = false,
+            profile = MODEL
+        ),
+        spec!(
+            "GRU",
+            Tango,
+            g = 0.80,
+            s = 0.15,
+            l = 0.05,
+            cpm = 4,
+            ppm2 = 2,
+            unco = false,
+            bufs = 4,
+            hostile = false,
+            profile = MODEL
+        ),
+        spec!(
+            "LSTM",
+            Tango,
+            g = 0.55,
+            s = 0.40,
+            l = 0.05,
+            cpm = 4,
+            ppm2 = 2,
+            unco = true,
+            bufs = 33,
+            hostile = true,
+            profile = MODEL
+        ),
         // FasterTransformer
-        spec!("bert", FasterTransformer, g = 0.97, s = 0.02, l = 0.01, cpm = 10, ppm2 = 2,
-              unco = false, bufs = 6, hostile = false, profile = MODEL),
-        spec!("decoding", FasterTransformer, g = 0.96, s = 0.03, l = 0.01, cpm = 8, ppm2 = 2,
-              unco = false, bufs = 6, hostile = false, profile = MODEL),
-        spec!("swin", FasterTransformer, g = 0.85, s = 0.12, l = 0.03, cpm = 12, ppm2 = 1,
-              unco = false, bufs = 6, hostile = false, profile = MODEL),
-        spec!("wenet_decoder", FasterTransformer, g = 0.90, s = 0.08, l = 0.02, cpm = 8, ppm2 = 2,
-              unco = false, bufs = 6, hostile = false, profile = MODEL),
-        spec!("wenet_encoder", FasterTransformer, g = 0.90, s = 0.08, l = 0.02, cpm = 9, ppm2 = 2,
-              unco = false, bufs = 6, hostile = false, profile = MODEL),
+        spec!(
+            "bert",
+            FasterTransformer,
+            g = 0.97,
+            s = 0.02,
+            l = 0.01,
+            cpm = 10,
+            ppm2 = 2,
+            unco = false,
+            bufs = 6,
+            hostile = false,
+            profile = MODEL
+        ),
+        spec!(
+            "decoding",
+            FasterTransformer,
+            g = 0.96,
+            s = 0.03,
+            l = 0.01,
+            cpm = 8,
+            ppm2 = 2,
+            unco = false,
+            bufs = 6,
+            hostile = false,
+            profile = MODEL
+        ),
+        spec!(
+            "swin",
+            FasterTransformer,
+            g = 0.85,
+            s = 0.12,
+            l = 0.03,
+            cpm = 12,
+            ppm2 = 1,
+            unco = false,
+            bufs = 6,
+            hostile = false,
+            profile = MODEL
+        ),
+        spec!(
+            "wenet_decoder",
+            FasterTransformer,
+            g = 0.90,
+            s = 0.08,
+            l = 0.02,
+            cpm = 8,
+            ppm2 = 2,
+            unco = false,
+            bufs = 6,
+            hostile = false,
+            profile = MODEL
+        ),
+        spec!(
+            "wenet_encoder",
+            FasterTransformer,
+            g = 0.90,
+            s = 0.08,
+            l = 0.02,
+            cpm = 9,
+            ppm2 = 2,
+            unco = false,
+            bufs = 6,
+            hostile = false,
+            profile = MODEL
+        ),
         // Autonomous driving
-        spec!("BEVerse", Ad, g = 0.88, s = 0.10, l = 0.02, cpm = 10, ppm2 = 2,
-              unco = false, bufs = 6, hostile = false, profile = MODEL),
-        spec!("DETR", Ad, g = 0.90, s = 0.08, l = 0.02, cpm = 10, ppm2 = 2,
-              unco = false, bufs = 6, hostile = false, profile = MODEL),
-        spec!("MOTR", Ad, g = 0.88, s = 0.10, l = 0.02, cpm = 9, ppm2 = 2,
-              unco = false, bufs = 6, hostile = false, profile = MODEL),
-        spec!("segformer", Ad, g = 0.90, s = 0.08, l = 0.02, cpm = 11, ppm2 = 2,
-              unco = false, bufs = 6, hostile = false, profile = MODEL),
+        spec!(
+            "BEVerse",
+            Ad,
+            g = 0.88,
+            s = 0.10,
+            l = 0.02,
+            cpm = 10,
+            ppm2 = 2,
+            unco = false,
+            bufs = 6,
+            hostile = false,
+            profile = MODEL
+        ),
+        spec!(
+            "DETR",
+            Ad,
+            g = 0.90,
+            s = 0.08,
+            l = 0.02,
+            cpm = 10,
+            ppm2 = 2,
+            unco = false,
+            bufs = 6,
+            hostile = false,
+            profile = MODEL
+        ),
+        spec!(
+            "MOTR",
+            Ad,
+            g = 0.88,
+            s = 0.10,
+            l = 0.02,
+            cpm = 9,
+            ppm2 = 2,
+            unco = false,
+            bufs = 6,
+            hostile = false,
+            profile = MODEL
+        ),
+        spec!(
+            "segformer",
+            Ad,
+            g = 0.90,
+            s = 0.08,
+            l = 0.02,
+            cpm = 11,
+            ppm2 = 2,
+            unco = false,
+            bufs = 6,
+            hostile = false,
+            profile = MODEL
+        ),
     ];
     // needle issues few global ops per iteration; lengthen it so the
     // RCache-hostile cycle covers more distinct buffers than the RCache
@@ -232,10 +540,7 @@ mod tests {
         assert_eq!(all.len(), 28);
         assert_eq!(all.iter().filter(|w| w.suite == Suite::Rodinia).count(), 15);
         assert_eq!(all.iter().filter(|w| w.suite == Suite::Tango).count(), 4);
-        assert_eq!(
-            all.iter().filter(|w| w.suite == Suite::FasterTransformer).count(),
-            5
-        );
+        assert_eq!(all.iter().filter(|w| w.suite == Suite::FasterTransformer).count(), 5);
         assert_eq!(all.iter().filter(|w| w.suite == Suite::Ad).count(), 4);
     }
 
@@ -259,11 +564,8 @@ mod tests {
 
     #[test]
     fn rcache_hostile_benchmarks_are_needle_and_lstm() {
-        let hostile: Vec<&str> = all_workloads()
-            .iter()
-            .filter(|w| w.rcache_hostile)
-            .map(|w| w.name)
-            .collect();
+        let hostile: Vec<&str> =
+            all_workloads().iter().filter(|w| w.rcache_hostile).map(|w| w.name).collect();
         assert_eq!(hostile, vec!["needle", "LSTM"]);
     }
 
@@ -282,10 +584,7 @@ mod tests {
 /// the "thousands of concurrent threads perform memory operations across
 /// buffers in heap and local memory" scenario of the paper's abstract.
 pub fn malloc_stress_workload() -> WorkloadSpec {
-    let mut spec = all_workloads()
-        .into_iter()
-        .find(|w| w.name == "bfs")
-        .expect("bfs exists");
+    let mut spec = all_workloads().into_iter().find(|w| w.name == "bfs").expect("bfs exists");
     spec.name = "malloc_stress";
     spec.uses_kernel_malloc = true;
     spec.iters = 6;
@@ -301,7 +600,9 @@ mod stress_tests {
     fn stress_spec_enables_kernel_malloc() {
         let s = malloc_stress_workload();
         assert!(s.uses_kernel_malloc);
-        assert!(all_workloads().iter().all(|w| !w.uses_kernel_malloc),
-            "Table V workloads stay faithful to their host-allocated form");
+        assert!(
+            all_workloads().iter().all(|w| !w.uses_kernel_malloc),
+            "Table V workloads stay faithful to their host-allocated form"
+        );
     }
 }

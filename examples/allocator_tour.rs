@@ -30,10 +30,7 @@ fn main() {
         DeviceHeap::new(cfg, AlignmentPolicy::CudaDefault, layout::HEAP_BASE, 8, 1 << 20);
     for size in [64u64, 500, 1104, 4000] {
         base_heap.malloc(0, size).unwrap();
-        println!(
-            "  malloc({size:>4}) uses {:>4}-byte chunks",
-            DeviceHeap::chunk_unit(size)
-        );
+        println!("  malloc({size:>4}) uses {:>4}-byte chunks", DeviceHeap::chunk_unit(size));
     }
     let stats = base_heap.stats();
     println!(
@@ -45,12 +42,8 @@ fn main() {
 
     // --- Fig. 7: aligned stack frames -------------------------------------
     println!("\n== Fig. 7: power-of-two stack allocation ==");
-    let mut stack = ThreadStack::new(
-        cfg,
-        AlignmentPolicy::PowerOfTwo,
-        layout::LOCAL_BASE,
-        64 * 1024,
-    );
+    let mut stack =
+        ThreadStack::new(cfg, AlignmentPolicy::PowerOfTwo, layout::LOCAL_BASE, 64 * 1024);
     let sp0 = stack.sp();
     let buf = DevicePtr::from_raw(stack.push(96).unwrap());
     println!("  stack top {sp0:#x}; alloca(96) -> {buf} (frame reserves 256 B)");

@@ -25,11 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Show the encoded microcode with its hint bits.
     println!("microcode (A/S bits live at positions 28/27):");
-    for (ins, word) in program
-        .instructions
-        .iter()
-        .zip(program.assemble(ComputeCapability::Cc80)?)
-    {
+    for (ins, word) in program.instructions.iter().zip(program.assemble(ComputeCapability::Cc80)?) {
         println!("  {word}  {ins}");
     }
 

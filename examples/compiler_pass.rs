@@ -28,10 +28,7 @@ fn main() {
 
     // --- Fig. 8: the pointer-operand analysis ----------------------------
     let analysis = analyze(&func).expect("no forbidden casts");
-    println!(
-        "analysis: {} instructions marked as pointer arithmetic",
-        analysis.marked_count()
-    );
+    println!("analysis: {} instructions marked as pointer arithmetic", analysis.marked_count());
 
     // --- codegen with hint bits (Fig. 9) ----------------------------------
     let compiled = compile(&func, CompileOptions::default()).expect("compiles");
@@ -42,11 +39,7 @@ fn main() {
     for ins in &compiled.program.instructions {
         if ins.hints.activate {
             let word = Microcode::encode(ins, ComputeCapability::Cc80).unwrap();
-            println!(
-                "  {ins:<32} -> {word}  (A={} S={})",
-                word.activate_bit(),
-                word.select_bit()
-            );
+            println!("  {ins:<32} -> {word}  (A={} S={})", word.activate_bit(), word.select_bit());
         }
     }
 
@@ -65,11 +58,6 @@ fn main() {
     let _q = b.ibin(IBinOp::Add, four, p); // int + ptr
     b.ret();
     let compiled = compile(&b.build(), CompileOptions::default()).unwrap();
-    let marked = compiled
-        .program
-        .instructions
-        .iter()
-        .find(|i| i.hints.activate)
-        .unwrap();
+    let marked = compiled.program.instructions.iter().find(|i| i.hints.activate).unwrap();
     println!("\n`4 + p` compiles to `{marked}` with S = {}", marked.hints.select);
 }

@@ -32,7 +32,8 @@ fn add_kernel(name: &str) -> lmi::compiler::Function {
 fn main() {
     let cfg = PtrConfig::default();
     // The host side: an LMI-aware cudaMalloc.
-    let mut cuda = GlobalAllocator::new(cfg, AlignmentPolicy::PowerOfTwo, layout::GLOBAL_BASE, 1 << 30);
+    let mut cuda =
+        GlobalAllocator::new(cfg, AlignmentPolicy::PowerOfTwo, layout::GLOBAL_BASE, 1 << 30);
     let a = cuda.alloc(4096).unwrap();
     let b_buf = cuda.alloc(4096).unwrap();
     let c_buf = cuda.alloc(4096).unwrap();
@@ -48,26 +49,29 @@ fn main() {
     }
 
     // Launch 1: B = A + 1.
-    let launch = Launch::new(kernel.program.clone()).grid(1).block(64)
-        .param(a).param(b_buf).param(1);
+    let launch =
+        Launch::new(kernel.program.clone()).grid(1).block(64).param(a).param(b_buf).param(1);
     let s1 = gpu.run(&launch, &mut mech);
     assert!(!s1.violated());
 
     // Launch 2: C = B + 100. Memory persisted between launches.
-    let launch = Launch::new(kernel.program.clone()).grid(1).block(64)
-        .param(b_buf).param(c_buf).param(100);
+    let launch =
+        Launch::new(kernel.program.clone()).grid(1).block(64).param(b_buf).param(c_buf).param(100);
     let s2 = gpu.run(&launch, &mut mech);
     assert!(!s2.violated());
     let c_addr = lmi::core::DevicePtr::from_raw(c_buf).addr();
-    println!("pipeline result: C[5] = {} (expected {})", gpu.memory.read(c_addr + 20, 4), 5 * 10 + 101);
+    println!(
+        "pipeline result: C[5] = {} (expected {})",
+        gpu.memory.read(c_addr + 20, 4),
+        5 * 10 + 101
+    );
 
     // Host frees B; the runtime nullifies the pointer's extent (§VIII).
     cuda.free(b_buf).unwrap();
     let stale_b = invalidate_extent(b_buf);
 
     // Launch 3: a buggy kernel still reads through the stale B pointer.
-    let launch = Launch::new(kernel.program).grid(1).block(64)
-        .param(stale_b).param(c_buf).param(0);
+    let launch = Launch::new(kernel.program).grid(1).block(64).param(stale_b).param(c_buf).param(0);
     let s3 = gpu.run(&launch, &mut mech);
     let event = s3.violations.first().expect("cross-kernel UAF is caught");
     println!("cross-kernel UAF detected: {} (thread {})", event.violation, event.global_tid);

@@ -46,9 +46,6 @@ fn main() {
     let stats = gpu.run(&launch, &mut mech);
     let event = stats.violations.first().expect("the OOB store faults");
     assert!(matches!(event.violation, Violation::InvalidPointer { .. }));
-    println!(
-        "simulator:   warp {} at pc {} -> {}",
-        event.warp, event.pc, event.violation
-    );
+    println!("simulator:   warp {} at pc {} -> {}", event.warp, event.pc, event.violation);
     println!("simulated cycles: {}", stats.cycles);
 }

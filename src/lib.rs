@@ -53,4 +53,5 @@ pub use lmi_isa as isa;
 pub use lmi_mem as mem;
 pub use lmi_security as security;
 pub use lmi_sim as sim;
+pub use lmi_telemetry as telemetry;
 pub use lmi_workloads as workloads;

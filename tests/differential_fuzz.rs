@@ -6,13 +6,16 @@
 //!   (correct-by-construction, delayed termination).
 //! * **Semantic transparency**: both builds produce identical memory
 //!   contents — LMI's instrumentation never changes program results.
+//!
+//! Driven by `lmi-telemetry`'s seeded SplitMix64 so failures reproduce
+//! exactly and the workspace builds offline.
 
 use lmi::compiler::ir::{CmpKind, Function, FunctionBuilder, IBinOp, Region, Ty};
 use lmi::compiler::{compile, CompileOptions};
 use lmi::core::{DevicePtr, PtrConfig};
 use lmi::mem::layout;
 use lmi::sim::{Gpu, GpuConfig, Launch, LmiMechanism, NullMechanism};
-use proptest::prelude::*;
+use lmi::telemetry::SplitMix64;
 
 /// A recipe for one random-but-safe kernel.
 #[derive(Debug, Clone)]
@@ -27,19 +30,15 @@ struct KernelRecipe {
     trips: u8,
 }
 
-fn arb_recipe() -> impl Strategy<Value = KernelRecipe> {
-    (
-        proptest::collection::vec(((0u16..900), any::<bool>()), 1..8),
-        proptest::collection::vec(((0u8..64), any::<bool>()), 0..4),
-        proptest::collection::vec(any::<u8>(), 0..6),
-        0u8..4,
-    )
-        .prop_map(|(global_ops, local_ops, arith, trips)| KernelRecipe {
-            global_ops,
-            local_ops,
-            arith,
-            trips,
-        })
+fn recipe(rng: &mut SplitMix64) -> KernelRecipe {
+    KernelRecipe {
+        global_ops: (0..rng.range(1, 8))
+            .map(|_| (rng.below(900) as u16, rng.chance(0.5)))
+            .collect(),
+        local_ops: (0..rng.below(4)).map(|_| (rng.below(64) as u8, rng.chance(0.5))).collect(),
+        arith: (0..rng.below(6)).map(|_| rng.next_u32() as u8).collect(),
+        trips: rng.below(4) as u8,
+    }
 }
 
 /// Expands a recipe into a well-typed, memory-safe kernel.
@@ -121,27 +120,24 @@ fn snapshot(gpu: &Gpu, base: u64) -> Vec<u64> {
 }
 
 // Quieter-than-default case count: each case runs four simulations.
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn lmi_is_transparent_and_false_positive_free(recipe in arb_recipe()) {
+#[test]
+fn lmi_is_transparent_and_false_positive_free() {
+    let mut rng = SplitMix64::new(0xD1FF);
+    for case in 0..48 {
+        let recipe = recipe(&mut rng);
         let cfg = PtrConfig::default();
         let kernel = build_kernel(&recipe);
 
         // Unprotected build + bare pointer.
         let base_bin = compile(&kernel, CompileOptions::baseline()).unwrap();
         let base_addr = layout::GLOBAL_BASE + 0x100000;
-        let launch = Launch::new(base_bin.program)
-            .grid(1)
-            .block(64)
-            .param(base_addr);
+        let launch = Launch::new(base_bin.program).grid(1).block(64).param(base_addr);
         let mut gpu_base = Gpu::new(GpuConfig::security());
         for i in 0..1024u64 {
             gpu_base.memory.write(base_addr + i * 4, i.wrapping_mul(2654435761), 4);
         }
         let stats = gpu_base.run(&launch, &mut NullMechanism);
-        prop_assert!(!stats.violated());
+        assert!(!stats.violated(), "case {case}");
 
         // LMI build + extent-carrying pointer.
         let lmi_bin = compile(&kernel, CompileOptions::default()).unwrap();
@@ -155,20 +151,28 @@ proptest! {
         let stats = gpu_lmi.run(&launch, &mut mech);
 
         // No false positives on a memory-safe kernel.
-        prop_assert!(
+        assert!(
             !stats.violated(),
-            "false positive: {:?} (recipe {:?})",
-            stats.violations.first(),
-            recipe
+            "case {case}: false positive: {:?} (recipe {recipe:?})",
+            stats.violations.first()
         );
         // Bit-identical results.
-        prop_assert_eq!(snapshot(&gpu_base, base_addr), snapshot(&gpu_lmi, base_addr));
+        assert_eq!(
+            snapshot(&gpu_base, base_addr),
+            snapshot(&gpu_lmi, base_addr),
+            "case {case}: results diverge (recipe {recipe:?})"
+        );
     }
+}
 
-    /// Injecting a single OOB global access into any safe recipe makes the
-    /// LMI build fault (soundness under arbitrary surrounding code).
-    #[test]
-    fn injected_oob_is_always_caught(recipe in arb_recipe(), escape in 1024u32..50_000) {
+/// Injecting a single OOB global access into any safe recipe makes the
+/// LMI build fault (soundness under arbitrary surrounding code).
+#[test]
+fn injected_oob_is_always_caught() {
+    let mut rng = SplitMix64::new(0x00B);
+    for case in 0..48 {
+        let recipe = recipe(&mut rng);
+        let escape = rng.range(1024, 50_000) as u32;
         let cfg = PtrConfig::default();
         // Rebuild the kernel with one extra far-OOB store at the end.
         let mut b = FunctionBuilder::new("fuzz_oob");
@@ -193,6 +197,6 @@ proptest! {
         let mut gpu = Gpu::new(GpuConfig::security());
         let mut mech = LmiMechanism::default_config();
         let stats = gpu.run(&launch, &mut mech);
-        prop_assert!(stats.violated(), "escape to element {} undetected", escape);
+        assert!(stats.violated(), "case {case}: escape to element {escape} undetected");
     }
 }

@@ -125,12 +125,8 @@ fn compiled_use_after_scope_nullification() {
     b.store(e, tid, 4);
     b.ret();
     let kernel = compile(&b.build(), CompileOptions::default()).unwrap();
-    let and_count = kernel
-        .program
-        .instructions
-        .iter()
-        .filter(|i| i.opcode == lmi::isa::Opcode::And)
-        .count();
+    let and_count =
+        kernel.program.instructions.iter().filter(|i| i.opcode == lmi::isa::Opcode::And).count();
     assert!(and_count >= 1, "scope-exit nullification emitted");
     let launch = Launch::new(kernel.program).grid(1).block(32);
     let mut gpu = Gpu::new(GpuConfig::security());

@@ -1,0 +1,151 @@
+//! Observability contract tests.
+//!
+//! * **Golden trace export**: a traced simulation's Chrome trace document
+//!   round-trips through the crate's own JSON parser, and its events obey
+//!   the trace-event format (monotonically non-decreasing timestamps,
+//!   `ph`/`ts`/`pid`/`tid` on every event, `dur` on complete spans).
+//! * **Counter/stats consistency**: across random well-typed kernels
+//!   (seeded SplitMix64, as in `differential_fuzz`), the scoped counter
+//!   registry always agrees with the `SimStats` totals the same run
+//!   reports — the two observability paths cannot drift apart.
+
+use lmi::compiler::ir::{Function, FunctionBuilder, IBinOp, Region, Ty};
+use lmi::compiler::{compile, CompileOptions};
+use lmi::core::{DevicePtr, PtrConfig};
+use lmi::mem::layout;
+use lmi::sim::{Gpu, GpuConfig, Launch, LmiMechanism};
+use lmi::telemetry::{json, Scope, SplitMix64, TelemetrySink};
+
+/// A random-but-safe straight-line kernel: a few strided global accesses,
+/// some arithmetic, one published result per thread.
+fn random_kernel(rng: &mut SplitMix64) -> Function {
+    let mut b = FunctionBuilder::new("obs");
+    let data = b.param(Ty::Ptr(Region::Global));
+    let tid = b.tid();
+    let zero = b.const_i32(0);
+    let acc = b.var(zero);
+    for _ in 0..rng.range(1, 6) {
+        let off_v = b.const_i32(rng.below(900) as i32);
+        let idx = b.ibin(IBinOp::Add, tid, off_v);
+        let e = b.gep(data, idx, 4);
+        if rng.chance(0.5) {
+            let v = b.read_var(acc);
+            b.store(e, v, 4);
+        } else {
+            let v = b.load_i32(e);
+            let cur = b.read_var(acc);
+            let next = b.ibin(IBinOp::Add, cur, v);
+            b.write_var(acc, next);
+        }
+    }
+    for _ in 0..rng.below(4) {
+        let c = b.const_i32(rng.below(100) as i32 + 1);
+        let cur = b.read_var(acc);
+        let next = b.ibin(IBinOp::Mul, cur, c);
+        b.write_var(acc, next);
+    }
+    let out = b.gep(data, tid, 4);
+    let v = b.read_var(acc);
+    b.store(out, v, 4);
+    b.ret();
+    b.build()
+}
+
+fn run_telemetered(kernel: &Function, sink: &mut TelemetrySink) -> lmi::sim::SimStats {
+    let cfg = PtrConfig::default();
+    let bin = compile(kernel, CompileOptions::default()).unwrap();
+    let base_addr = layout::GLOBAL_BASE + 0x300000;
+    let ptr = DevicePtr::encode(base_addr, 4096, &cfg).unwrap();
+    let launch = Launch::new(bin.program).grid(2).block(64).param(ptr.raw());
+    let mut gpu = Gpu::new(GpuConfig::small());
+    for i in 0..1024u64 {
+        gpu.memory.write(base_addr + i * 4, i.wrapping_mul(2654435761), 4);
+    }
+    gpu.run_with_telemetry(&launch, &mut LmiMechanism::default_config(), sink)
+}
+
+#[test]
+fn chrome_trace_export_is_valid_json_with_monotonic_timestamps() {
+    let mut rng = SplitMix64::new(0x7ACE);
+    let kernel = random_kernel(&mut rng);
+    let mut sink = TelemetrySink::with_trace_capacity(1 << 14);
+    let stats = run_telemetered(&kernel, &mut sink);
+    assert!(!stats.violated());
+    assert!(!sink.tracer.is_empty(), "traced run produced no events");
+
+    // The golden property: the serialized document parses with the crate's
+    // own parser (compact and pretty forms agree), and the events are
+    // well-formed trace events in non-decreasing timestamp order.
+    let doc = sink.tracer.chrome_trace();
+    let reparsed = json::parse(&doc.to_compact()).expect("compact trace must be valid JSON");
+    let reparsed_pretty = json::parse(&doc.to_pretty()).expect("pretty trace must be valid JSON");
+    assert_eq!(reparsed.to_compact(), reparsed_pretty.to_compact());
+
+    let events = reparsed.get("traceEvents").expect("traceEvents").items();
+    assert_eq!(events.len(), sink.tracer.len());
+    let mut last_ts = 0u64;
+    for ev in events {
+        let ts = ev.get("ts").and_then(|t| t.as_u64()).expect("every event has ts");
+        assert!(ts >= last_ts, "timestamps must be non-decreasing ({ts} < {last_ts})");
+        last_ts = ts;
+        assert!(ev.get("name").and_then(|n| n.as_str()).is_some());
+        assert!(ev.get("pid").and_then(|p| p.as_u64()).is_some());
+        assert!(ev.get("tid").and_then(|t| t.as_u64()).is_some());
+        match ev.get("ph").and_then(|p| p.as_str()).expect("every event has ph") {
+            "X" => assert!(ev.get("dur").and_then(|d| d.as_u64()).is_some()),
+            "i" => assert_eq!(ev.get("s").and_then(|s| s.as_str()), Some("t")),
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert!(reparsed.get("droppedEvents").and_then(|d| d.as_u64()).is_some());
+}
+
+#[test]
+fn registry_counters_agree_with_sim_stats_on_random_kernels() {
+    let mut rng = SplitMix64::new(0x0B5E);
+    for case in 0..16 {
+        let kernel = random_kernel(&mut rng);
+        let mut sink = TelemetrySink::counters_only();
+        let stats = run_telemetered(&kernel, &mut sink);
+        assert!(!stats.violated(), "case {case}");
+
+        let c = &sink.counters;
+        assert_eq!(c.sum_sms("issued"), stats.issued, "case {case}: issued");
+        assert_eq!(c.sum_sms("transactions"), stats.transactions, "case {case}: transactions");
+        assert_eq!(c.get(Scope::Gpu, "cycles"), stats.cycles, "case {case}: cycles");
+        assert_eq!(
+            c.sum_sms("stall.scoreboard"),
+            stats.stalls.scoreboard,
+            "case {case}: scoreboard stalls"
+        );
+        assert_eq!(c.sum_sms("stall.lsu_busy"), stats.stalls.lsu_busy, "case {case}: lsu stalls");
+        assert_eq!(
+            c.sum_sms("stall.ocu_verdict"),
+            stats.stalls.ocu_verdict,
+            "case {case}: ocu stalls"
+        );
+        assert_eq!(
+            c.sum_sms("stall.no_ready_warp"),
+            stats.stalls.no_ready_warp,
+            "case {case}: idle stalls"
+        );
+        let l1 = stats.l1_total();
+        assert_eq!(c.sum_sms("l1.hits"), l1.hits, "case {case}: l1 hits");
+        assert_eq!(c.sum_sms("l1.misses"), l1.misses, "case {case}: l1 misses");
+        assert_eq!(c.get(Scope::Gpu, "l2.hits"), stats.l2.hits, "case {case}: l2 hits");
+        assert_eq!(c.get(Scope::Gpu, "l2.misses"), stats.l2.misses, "case {case}: l2 misses");
+        assert_eq!(c.get(Scope::Gpu, "mshr_merges"), stats.mshr_merges, "case {case}: mshr merges");
+        assert_eq!(
+            c.get(Scope::Gpu, "dram_transactions"),
+            stats.dram_transactions,
+            "case {case}: dram transactions"
+        );
+        // Per-warp issue counters partition the per-SM totals.
+        let warp_issued: u64 = c
+            .iter()
+            .filter(|(scope, name, _)| matches!(scope, Scope::Warp { .. }) && *name == "issued")
+            .map(|(_, _, v)| v)
+            .sum();
+        assert_eq!(warp_issued, stats.issued, "case {case}: warp-scope issued");
+    }
+}

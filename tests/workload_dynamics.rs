@@ -32,10 +32,7 @@ fn executed_region_mix_matches_fig1_specs() {
             stats.mem_ratio(MemSpace::Global),
             w.global_frac
         );
-        assert!(
-            (stats.mem_ratio(MemSpace::Shared) - w.shared_frac).abs() < 0.08,
-            "{name}: shared"
-        );
+        assert!((stats.mem_ratio(MemSpace::Shared) - w.shared_frac).abs() < 0.08, "{name}: shared");
     }
 }
 
