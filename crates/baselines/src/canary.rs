@@ -57,8 +57,11 @@ impl CanaryAllocator {
     pub fn scan(&self, memory: &SparseMemory) -> Vec<GuardedBuffer> {
         let mut detected = Vec::new();
         for buf in &self.buffers {
-            let damaged =
-                |start: u64| (0..CANARY_BYTES).any(|i| memory.read_u8(start + i) != CANARY_PATTERN);
+            let damaged = |start: u64| {
+                let mut guard = [0u8; CANARY_BYTES as usize];
+                memory.read_bytes(start, &mut guard);
+                guard.iter().any(|&b| b != CANARY_PATTERN)
+            };
             if damaged(buf.base - CANARY_BYTES) || damaged(buf.base + buf.size) {
                 detected.push(*buf);
             }

@@ -4,7 +4,7 @@
 
 use lmi_bench::harness::{bench, bench_throughput, bench_with_setup, black_box};
 use lmi_isa::{ComputeCapability, HintBits, Instruction, MemRef, Microcode, ProgramBuilder, Reg};
-use lmi_mem::{Cache, CacheConfig};
+use lmi_mem::{Cache, CacheConfig, SparseMemory};
 use lmi_sim::{Gpu, GpuConfig, Launch, LmiMechanism};
 
 fn program() -> lmi_isa::Program {
@@ -36,6 +36,34 @@ fn main() {
     let word = Microcode::encode(&ins, ComputeCapability::Cc80).unwrap();
     bench("microcode/decode", || {
         black_box(black_box(word).decode(ComputeCapability::Cc80).unwrap());
+    });
+
+    // Functional-memory hot path: whole-word accesses with the last-page
+    // cache, against the byte-at-a-time pattern the store used to take
+    // (one page-table probe per byte — the second number is what every
+    // 8-byte access cost before the word fast path).
+    let mut mem = SparseMemory::new();
+    for i in 0..4096u64 {
+        mem.write(0x10_0000 + i * 8, i, 8);
+    }
+    bench("mem/read64_word_fast_path", || {
+        let mut acc = 0u64;
+        for i in 0..4096u64 {
+            acc = acc.wrapping_add(mem.read(black_box(0x10_0000 + i * 8), 8));
+        }
+        black_box(acc);
+    });
+    bench("mem/read64_per_byte", || {
+        let mut acc = 0u64;
+        for i in 0..4096u64 {
+            let addr = black_box(0x10_0000 + i * 8);
+            let mut v = 0u64;
+            for b in 0..8u64 {
+                v |= (mem.read_u8(addr + b) as u64) << (8 * b);
+            }
+            acc = acc.wrapping_add(v);
+        }
+        black_box(acc);
     });
 
     bench_with_setup(

@@ -1,0 +1,282 @@
+//! `simbench` — reproducible simulator-throughput benchmark.
+//!
+//! Measures the *simulator's* wall-clock performance (not the modelled
+//! GPU's): a fixed matrix of three Table V kernels × three mechanisms is
+//! run twice per cell — serially (`sim_threads = 1`, the reference
+//! schedule) and with the parallel engine — and the two `SimStats` records
+//! are asserted bit-identical, so every benchmark run doubles as a
+//! determinism check on real workloads.
+//!
+//! Output is a `BENCH_sim.json` document (schema in `EXPERIMENTS.md`):
+//! wall-clock per run, kilo-warp-instructions per second, thread count,
+//! host core count and git revision, so numbers from different machines
+//! and commits stay comparable.
+//!
+//! Usage: `simbench [--quick] [--json] [--sim-threads N] [--out PATH]`
+//!
+//! * `--quick` — small 8-SM config and scaled-down kernels (CI smoke);
+//!   the default is the paper's 80-SM Table IV config.
+//! * `--sim-threads` — worker threads for the parallel runs (default:
+//!   host `available_parallelism`, clamped to the SM count).
+//! * `--out`         report path (default `BENCH_sim.json`).
+//! * `--json`        also print the document on stdout.
+
+use std::time::Instant;
+
+use lmi_alloc::AlignmentPolicy;
+use lmi_baselines::GpuShield;
+use lmi_bench::report::{self, ReportOpts};
+use lmi_bench::{geomean, print_row};
+use lmi_sim::{Gpu, GpuConfig, LmiMechanism, NullMechanism, SimStats};
+use lmi_telemetry::Json;
+use lmi_workloads::{all_workloads, prepare, PreparedWorkload, WorkloadSpec};
+
+/// The fixed kernel set: compute-heavy, wavefront/barrier-heavy, and
+/// memory/traffic-heavy — the three simulator hot paths.
+const KERNELS: [&str; 3] = ["hotspot", "needle", "gaussian"];
+
+const MECHANISMS: [Mech; 3] = [Mech::Null, Mech::Lmi, Mech::GpuShield];
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mech {
+    Null,
+    Lmi,
+    GpuShield,
+}
+
+impl Mech {
+    fn name(self) -> &'static str {
+        match self {
+            Mech::Null => "null",
+            Mech::Lmi => "lmi",
+            Mech::GpuShield => "gpushield",
+        }
+    }
+
+    fn policy(self) -> AlignmentPolicy {
+        match self {
+            Mech::Lmi => AlignmentPolicy::PowerOfTwo,
+            _ => AlignmentPolicy::CudaDefault,
+        }
+    }
+}
+
+struct ShieldAdapter<'a>(&'a mut GpuShield);
+
+impl lmi_workloads::prepare::RegisterBuffers for ShieldAdapter<'_> {
+    fn register_buffer(&mut self, base: u64, size: u64) {
+        self.0.register_buffer(base, size);
+    }
+}
+
+/// One timed simulation. Returns the stats and the wall-clock seconds of
+/// the `Gpu::run` call alone (setup/teardown excluded).
+fn run_once(
+    cfg: &GpuConfig,
+    threads: usize,
+    prepared: &PreparedWorkload,
+    mech: Mech,
+) -> (SimStats, f64) {
+    let mut gpu = Gpu::with_heap_policy(cfg.with_sim_threads(threads), mech.policy());
+    let (stats, secs) = match mech {
+        Mech::Null => {
+            let t0 = Instant::now();
+            let s = gpu.run(&prepared.launch, &mut NullMechanism);
+            (s, t0.elapsed().as_secs_f64())
+        }
+        Mech::Lmi => {
+            let mut m = LmiMechanism::default_config();
+            let t0 = Instant::now();
+            let s = gpu.run(&prepared.launch, &mut m);
+            (s, t0.elapsed().as_secs_f64())
+        }
+        Mech::GpuShield => {
+            let mut m = GpuShield::new();
+            prepared.register_with(&mut ShieldAdapter(&mut m));
+            let t0 = Instant::now();
+            let s = gpu.run(&prepared.launch, &mut m);
+            (s, t0.elapsed().as_secs_f64())
+        }
+    };
+    assert!(
+        stats.violations.is_empty(),
+        "{}: benign workload must not fault: {:?}",
+        mech.name(),
+        stats.violations.first()
+    );
+    (stats, secs)
+}
+
+fn spec_for(name: &str, quick: bool) -> WorkloadSpec {
+    let mut spec = all_workloads().into_iter().find(|w| w.name == name).unwrap();
+    if quick {
+        spec = spec.scaled_down(4);
+    } else {
+        // Keep all 80 SMs busy: two blocks per SM instead of Table V's
+        // evaluation default of 32 blocks.
+        spec.blocks = 160;
+    }
+    spec
+}
+
+fn git_rev() -> String {
+    let out = std::process::Command::new("git").args(["rev-parse", "--short", "HEAD"]).output();
+    if let Ok(out) = out {
+        if out.status.success() {
+            let mut rev = String::from_utf8_lossy(&out.stdout).trim().to_string();
+            let dirty = std::process::Command::new("git").args(["status", "--porcelain"]).output();
+            if dirty.map(|d| !d.stdout.is_empty()).unwrap_or(false) {
+                rev.push_str("-dirty");
+            }
+            return rev;
+        }
+    }
+    match std::env::var("GITHUB_SHA") {
+        Ok(sha) => sha.chars().take(12).collect(),
+        Err(_) => "unknown".to_string(),
+    }
+}
+
+fn kips(issued: u64, secs: f64) -> f64 {
+    if secs > 0.0 {
+        issued as f64 / secs / 1e3
+    } else {
+        0.0
+    }
+}
+
+fn main() {
+    let opts = ReportOpts::from_env();
+    let mut quick = false;
+    let mut threads_arg: Option<usize> = None;
+    let mut out_path = "BENCH_sim.json".to_string();
+    let mut it = opts.positional.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--sim-threads" => {
+                threads_arg = it.next().and_then(|v| v.parse().ok());
+                assert!(threads_arg.is_some(), "--sim-threads needs a number");
+            }
+            "--out" => out_path = it.next().expect("--out needs a path").clone(),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let cfg = if quick { GpuConfig::small() } else { GpuConfig::table4() };
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = threads_arg.unwrap_or(host_cores).clamp(1, cfg.num_sms);
+    let rev = git_rev();
+
+    println!(
+        "simbench: {} SMs, {} worker thread(s) vs serial, {} host core(s), rev {}{}",
+        cfg.num_sms,
+        threads,
+        host_cores,
+        rev,
+        if quick { " [quick]" } else { "" },
+    );
+    print_row(
+        "kernel/mech",
+        &["cycles", "kinsts", "serial ms", "par ms", "speedup", "kips"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+    );
+
+    let mut runs = Vec::new();
+    let mut speedups = Vec::new();
+    let wall0 = Instant::now();
+    for kernel in KERNELS {
+        let spec = spec_for(kernel, quick);
+        for mech in MECHANISMS {
+            let prepared = prepare(&spec, mech.policy());
+            let (serial_stats, serial_secs) = run_once(&cfg, 1, &prepared, mech);
+            let (par_stats, par_secs) = run_once(&cfg, threads, &prepared, mech);
+            // Free determinism check: the parallel engine must reproduce
+            // the serial schedule bit-for-bit on every benchmark cell.
+            assert_eq!(
+                serial_stats,
+                par_stats,
+                "{kernel}/{}: parallel run diverged from serial",
+                mech.name()
+            );
+            let speedup = if par_secs > 0.0 { serial_secs / par_secs } else { 1.0 };
+            speedups.push(speedup);
+            print_row(
+                &format!("{kernel}/{}", mech.name()),
+                &[
+                    format!("{}", serial_stats.cycles),
+                    format!("{:.1}", serial_stats.issued as f64 / 1e3),
+                    format!("{:.1}", serial_secs * 1e3),
+                    format!("{:.1}", par_secs * 1e3),
+                    format!("{speedup:.2}x"),
+                    format!("{:.0}", kips(par_stats.issued, par_secs)),
+                ],
+            );
+            runs.push(
+                Json::obj()
+                    .with("kernel", kernel)
+                    .with("mechanism", mech.name())
+                    .with("cycles", serial_stats.cycles)
+                    .with("instructions", serial_stats.issued)
+                    .with(
+                        "serial",
+                        Json::obj()
+                            .with("wall_ms", serial_secs * 1e3)
+                            .with("kips", kips(serial_stats.issued, serial_secs)),
+                    )
+                    .with(
+                        "parallel",
+                        Json::obj()
+                            .with("threads", threads)
+                            .with("wall_ms", par_secs * 1e3)
+                            .with("kips", kips(par_stats.issued, par_secs)),
+                    )
+                    .with("speedup", speedup),
+            );
+        }
+    }
+    let total_secs = wall0.elapsed().as_secs_f64();
+
+    let gm = geomean(speedups.iter().copied());
+    let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = speedups.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "\ngeomean speedup {gm:.2}x (min {min:.2}x, max {max:.2}x) at {threads} thread(s); \
+         total {total_secs:.1}s"
+    );
+    if host_cores < threads {
+        println!(
+            "note: only {host_cores} host core(s) — thread-level speedup needs real parallelism"
+        );
+    }
+
+    let doc = report::envelope(
+        "simbench",
+        Json::obj()
+            .with("git_rev", rev)
+            .with("quick", quick)
+            .with("num_sms", cfg.num_sms)
+            .with("threads", threads)
+            .with("host_cores", host_cores)
+            .with("kernels", Json::Arr(KERNELS.iter().map(|&k| Json::from(k)).collect()))
+            .with("runs", Json::Arr(runs))
+            .with(
+                "summary",
+                Json::obj()
+                    .with("geomean_speedup", gm)
+                    .with("min_speedup", min)
+                    .with("max_speedup", max)
+                    .with("total_wall_s", total_secs),
+            ),
+    );
+    if let Err(e) = std::fs::write(&out_path, doc.to_pretty()) {
+        eprintln!("warning: could not write {out_path}: {e}");
+    } else {
+        println!("report written to {out_path}");
+    }
+    if opts.json {
+        report::emit(&doc);
+    }
+}

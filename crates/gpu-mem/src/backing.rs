@@ -4,16 +4,40 @@
 //! store decides *what* the data is. It is sparse (4 KiB pages allocated on
 //! first touch) so per-thread local windows and large arenas cost nothing
 //! until used.
+//!
+//! The store is on the simulator's per-access hot path (every functional
+//! load/store lands here), so it is organized for throughput: the page table
+//! maps page numbers to slots in a dense page arena, a one-entry last-page
+//! cache short-circuits the table for the overwhelmingly common
+//! same-page-as-last-time case, and `read`/`write` move whole words with a
+//! single lookup instead of one table probe per byte.
 
+use std::cell::Cell;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+/// Sentinel page number for an empty last-page cache (no real page can use
+/// it: it would need an address beyond the 64-bit space).
+const NO_PAGE: u64 = u64::MAX;
 
 /// A sparse byte-addressable memory.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SparseMemory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    /// Page number → slot in `store`.
+    table: HashMap<u64, u32>,
+    /// Dense page arena; slots are stable once allocated.
+    store: Vec<Box<[u8; PAGE_SIZE]>>,
+    /// Last `(page number, slot)` touched. A `Cell` so reads can refresh it;
+    /// slots are stable, so a stale entry can only be `NO_PAGE`, never wrong.
+    last: Cell<(u64, u32)>,
+}
+
+impl Default for SparseMemory {
+    fn default() -> SparseMemory {
+        SparseMemory { table: HashMap::new(), store: Vec::new(), last: Cell::new((NO_PAGE, 0)) }
+    }
 }
 
 impl SparseMemory {
@@ -22,21 +46,49 @@ impl SparseMemory {
         SparseMemory::default()
     }
 
-    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
-        self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0; PAGE_SIZE]))
+    /// Slot of `page_no` if it is resident, refreshing the last-page cache.
+    #[inline]
+    fn slot_of(&self, page_no: u64) -> Option<usize> {
+        let (cached_no, cached_slot) = self.last.get();
+        if cached_no == page_no {
+            return Some(cached_slot as usize);
+        }
+        let slot = *self.table.get(&page_no)?;
+        self.last.set((page_no, slot));
+        Some(slot as usize)
+    }
+
+    /// Slot of `page_no`, materializing the page on first touch.
+    #[inline]
+    fn slot_mut(&mut self, page_no: u64) -> usize {
+        let (cached_no, cached_slot) = self.last.get();
+        if cached_no == page_no {
+            return cached_slot as usize;
+        }
+        let slot = match self.table.entry(page_no) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                let slot = u32::try_from(self.store.len()).expect("page arena fits u32 slots");
+                self.store.push(Box::new([0; PAGE_SIZE]));
+                *e.insert(slot)
+            }
+        };
+        self.last.set((page_no, slot));
+        slot as usize
     }
 
     /// Reads one byte (untouched memory reads as zero).
     pub fn read_u8(&self, addr: u64) -> u8 {
-        match self.pages.get(&(addr >> PAGE_SHIFT)) {
-            Some(page) => page[(addr as usize) & (PAGE_SIZE - 1)],
+        match self.slot_of(addr >> PAGE_SHIFT) {
+            Some(slot) => self.store[slot][(addr as usize) & (PAGE_SIZE - 1)],
             None => 0,
         }
     }
 
     /// Writes one byte.
     pub fn write_u8(&mut self, addr: u64, value: u8) {
-        self.page_mut(addr)[(addr as usize) & (PAGE_SIZE - 1)] = value;
+        let slot = self.slot_mut(addr >> PAGE_SHIFT);
+        self.store[slot][(addr as usize) & (PAGE_SIZE - 1)] = value;
     }
 
     /// Reads `width` bytes (≤ 8) little-endian.
@@ -46,11 +98,25 @@ impl SparseMemory {
     /// Panics if `width > 8`.
     pub fn read(&self, addr: u64, width: u8) -> u64 {
         assert!(width <= 8, "width {width} exceeds 8 bytes");
-        let mut v = 0u64;
-        for i in 0..width as u64 {
-            v |= (self.read_u8(addr + i) as u64) << (8 * i);
+        let width = width as usize;
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + width <= PAGE_SIZE {
+            // Fast path: the whole word lives on one page — one lookup.
+            match self.slot_of(addr >> PAGE_SHIFT) {
+                Some(slot) => {
+                    let mut buf = [0u8; 8];
+                    buf[..width].copy_from_slice(&self.store[slot][off..off + width]);
+                    u64::from_le_bytes(buf)
+                }
+                None => 0,
+            }
+        } else {
+            let mut v = 0u64;
+            for i in 0..width as u64 {
+                v |= (self.read_u8(addr + i) as u64) << (8 * i);
+            }
+            v
         }
-        v
     }
 
     /// Writes the low `width` bytes (≤ 8) of `value` little-endian.
@@ -60,21 +126,66 @@ impl SparseMemory {
     /// Panics if `width > 8`.
     pub fn write(&mut self, addr: u64, value: u64, width: u8) {
         assert!(width <= 8, "width {width} exceeds 8 bytes");
-        for i in 0..width as u64 {
-            self.write_u8(addr + i, (value >> (8 * i)) as u8);
+        let width = width as usize;
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + width <= PAGE_SIZE {
+            let slot = self.slot_mut(addr >> PAGE_SHIFT);
+            self.store[slot][off..off + width].copy_from_slice(&value.to_le_bytes()[..width]);
+        } else {
+            for i in 0..width as u64 {
+                self.write_u8(addr + i, (value >> (8 * i)) as u8);
+            }
         }
     }
 
-    /// Fills `[addr, addr + len)` with `byte`.
+    /// Copies `bytes` into `[addr, addr + bytes.len())`, whole pages at a
+    /// time (host-side buffer staging uses this instead of a byte loop).
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        let mut cur = addr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let off = (cur as usize) & (PAGE_SIZE - 1);
+            let n = (PAGE_SIZE - off).min(rest.len());
+            let slot = self.slot_mut(cur >> PAGE_SHIFT);
+            self.store[slot][off..off + n].copy_from_slice(&rest[..n]);
+            cur += n as u64;
+            rest = &rest[n..];
+        }
+    }
+
+    /// Reads `out.len()` bytes starting at `addr` (untouched pages read as
+    /// zero), whole pages at a time.
+    pub fn read_bytes(&self, addr: u64, out: &mut [u8]) {
+        let mut cur = addr;
+        let mut rest = out;
+        while !rest.is_empty() {
+            let off = (cur as usize) & (PAGE_SIZE - 1);
+            let n = (PAGE_SIZE - off).min(rest.len());
+            match self.slot_of(cur >> PAGE_SHIFT) {
+                Some(slot) => rest[..n].copy_from_slice(&self.store[slot][off..off + n]),
+                None => rest[..n].fill(0),
+            }
+            cur += n as u64;
+            rest = &mut rest[n..];
+        }
+    }
+
+    /// Fills `[addr, addr + len)` with `byte`, whole pages at a time.
     pub fn fill(&mut self, addr: u64, len: u64, byte: u8) {
-        for i in 0..len {
-            self.write_u8(addr + i, byte);
+        let mut cur = addr;
+        let end = addr + len;
+        while cur < end {
+            let off = (cur as usize) & (PAGE_SIZE - 1);
+            let n = ((PAGE_SIZE - off) as u64).min(end - cur) as usize;
+            let slot = self.slot_mut(cur >> PAGE_SHIFT);
+            self.store[slot][off..off + n].fill(byte);
+            cur += n as u64;
         }
     }
 
     /// Number of 4 KiB pages materialized so far.
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.store.len()
     }
 }
 
@@ -121,5 +232,43 @@ mod tests {
         m.fill(0x3000, 16, 0xCC);
         assert_eq!(m.read(0x3000, 8), 0xCCCC_CCCC_CCCC_CCCC);
         assert_eq!(m.read_u8(0x3010), 0);
+    }
+
+    #[test]
+    fn fill_spanning_pages_sets_every_byte() {
+        let mut m = SparseMemory::new();
+        let addr = (1 << 12) - 8;
+        m.fill(addr, 4096 + 16, 0xAB);
+        assert_eq!(m.read_u8(addr), 0xAB);
+        assert_eq!(m.read_u8(addr + 4096 + 15), 0xAB);
+        assert_eq!(m.read_u8(addr + 4096 + 16), 0);
+        assert_eq!(m.resident_pages(), 3);
+    }
+
+    #[test]
+    fn bulk_bytes_round_trip_across_pages() {
+        let mut m = SparseMemory::new();
+        let addr = (1 << 12) * 3 - 100;
+        let data: Vec<u8> = (0..300u32).map(|i| (i * 7) as u8).collect();
+        m.write_bytes(addr, &data);
+        let mut back = vec![0u8; 300];
+        m.read_bytes(addr, &mut back);
+        assert_eq!(back, data);
+        // A hole between pages reads zero.
+        let mut hole = [0xFFu8; 8];
+        m.read_bytes(0x9_0000, &mut hole);
+        assert_eq!(hole, [0; 8]);
+    }
+
+    #[test]
+    fn clone_preserves_contents_and_cache_stays_coherent() {
+        let mut m = SparseMemory::new();
+        m.write(0x5000, 0x1234, 4);
+        m.write(0x7000, 0x5678, 4); // cache now points at page 0x7
+        let c = m.clone();
+        assert_eq!(c.read(0x5000, 4), 0x1234);
+        assert_eq!(c.read(0x7000, 4), 0x5678);
+        m.write(0x5000, 0x9999, 4);
+        assert_eq!(c.read(0x5000, 4), 0x1234, "clone is independent");
     }
 }

@@ -28,6 +28,12 @@ pub struct GpuConfig {
     pub const_latency: u32,
     /// Latency of a device-runtime `malloc`/`free` call in cycles.
     pub heap_call_latency: u32,
+    /// Worker threads for the parallel engine (`crate::engine`). `0` means
+    /// "auto": honor the `LMI_SIM_THREADS` environment variable if set,
+    /// otherwise run serially. Any value is clamped to `num_sms`. The
+    /// engine is deterministic: every thread count produces bit-identical
+    /// [`crate::stats::SimStats`].
+    pub sim_threads: usize,
     /// Cycles of the LSU front-end (operand collection + address
     /// generation) that overlap the OCU's pipelined verdict: a dependent
     /// memory access only stalls for `max(0, verdict - ready - overlap)`
@@ -53,6 +59,7 @@ impl GpuConfig {
             fpu_latency: 4,
             const_latency: 8,
             heap_call_latency: 600,
+            sim_threads: 0,
             lsu_verdict_overlap: 3,
             halt_on_violation: false,
         }
@@ -76,6 +83,29 @@ impl GpuConfig {
         cfg.halt_on_violation = true;
         cfg
     }
+
+    /// Returns a copy with an explicit worker-thread count (`1` = serial).
+    pub fn with_sim_threads(mut self, threads: usize) -> GpuConfig {
+        self.sim_threads = threads;
+        self
+    }
+
+    /// Resolves [`GpuConfig::sim_threads`] to an effective worker count:
+    /// an explicit setting wins, then the `LMI_SIM_THREADS` environment
+    /// variable, then serial; the result is clamped to `num_sms` (a worker
+    /// without an SM would only spin on barriers).
+    pub fn resolve_sim_threads(&self) -> usize {
+        let requested = if self.sim_threads != 0 {
+            self.sim_threads
+        } else {
+            std::env::var("LMI_SIM_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(1)
+        };
+        requested.clamp(1, self.num_sms.max(1))
+    }
 }
 
 #[cfg(test)]
@@ -90,6 +120,14 @@ mod tests {
         assert_eq!(c.schedulers_per_sm, 4);
         assert_eq!(c.hierarchy.l1.capacity_bytes, 96 * 1024);
         assert_eq!(c.hierarchy.l2.ways, 24);
+    }
+
+    #[test]
+    fn sim_threads_resolution_clamps_to_sm_count() {
+        let cfg = GpuConfig::small().with_sim_threads(3);
+        assert_eq!(cfg.resolve_sim_threads(), 3);
+        assert_eq!(GpuConfig::small().with_sim_threads(64).resolve_sim_threads(), 8);
+        assert_eq!(GpuConfig::security().with_sim_threads(8).resolve_sim_threads(), 1);
     }
 
     #[test]

@@ -1,0 +1,740 @@
+//! The simulation engine: serial and parallel deterministic drivers.
+//!
+//! Both drivers execute the three-phase cycle protocol described in
+//! [`crate::sm`]:
+//!
+//! * the **serial** driver interleaves the phases per SM (A, B, C for SM 0,
+//!   then SM 1, …) — byte-for-byte the schedule the original single-thread
+//!   engine executed;
+//! * the **parallel** driver runs phase A for every SM concurrently on a
+//!   worker pool, then the leader (the calling thread) applies phase B for
+//!   every SM in ascending SM order, then phase C runs concurrently again.
+//!
+//! Phase A reads and writes only SM-private state, and phase C writes only
+//! SM-private state, so reordering them across SMs cannot change anything.
+//! All shared state — the memory hierarchy, the functional store, the
+//! device heap, the mechanism, statistics, telemetry — is touched only in
+//! phase B, always by one thread, always in the same canonical order.
+//! Cache hit/miss sequences, heap allocation order, counters, trace-ring
+//! contents and forensics are therefore **bit-identical at every thread
+//! count**, including 1.
+//!
+//! Synchronization is three sense-reversing spin barriers per simulated
+//! cycle (phase-A done, phase-B done, phase-C done). Per-cycle reductions
+//! (did anyone issue? when is the next warp ready? is everyone done?) go
+//! through double-buffered atomic accumulators indexed by iteration parity;
+//! the leader resets the off-parity buffer during phase B, while every
+//! worker is parked between barriers. After the phase-C barrier every
+//! thread computes the next cycle number from the same accumulator with the
+//! same pure function, so the threads never disagree on the clock.
+//!
+//! A panic on any thread (simulator bugs, mechanism asserts) is caught,
+//! recorded, and re-raised on the calling thread after every worker has
+//! drained out of the barrier protocol — a panicking SM cannot deadlock
+//! the pool.
+
+use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::Mutex;
+
+use lmi_alloc::{AllocError, DeviceHeap};
+use lmi_core::error::TemporalKind;
+use lmi_core::Violation;
+use lmi_isa::{MemSpace, OpcodeClass, Reg};
+use lmi_mem::{MemoryHierarchy, SparseMemory};
+use lmi_telemetry::{FaultEvent, PoisonEvent, Scope, TelemetrySink, TraceEventKind};
+
+use crate::config::GpuConfig;
+use crate::lsu::coalesce;
+use crate::mechanism::{Mechanism, MemAccessCtx};
+use crate::sm::{CycleEvents, IssueEvent, LaneMem, OpResult, SharedOp, Sm};
+use crate::stats::{SimStats, ViolationEvent};
+
+/// The shared-state half of the machine, borrowed once per run (the serial
+/// engine used to rebuild an equivalent struct per SM per cycle).
+pub(crate) struct SharedCtx<'a> {
+    pub hierarchy: &'a mut MemoryHierarchy,
+    pub memory: &'a mut SparseMemory,
+    pub heap: &'a DeviceHeap,
+    pub mechanism: &'a mut dyn Mechanism,
+    pub stats: &'a mut SimStats,
+    pub cfg: &'a GpuConfig,
+    pub sink: &'a mut TelemetrySink,
+}
+
+/// Runs the machine to completion and returns the final cycle number.
+pub(crate) fn run(sms: &mut Vec<Sm>, shared: &mut SharedCtx<'_>, threads: usize) -> u64 {
+    let threads = threads.clamp(1, sms.len().max(1));
+    if threads <= 1 {
+        run_serial(sms, shared)
+    } else {
+        run_parallel(sms, shared, threads)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase B: canonical application of one SM's cycle events.
+
+/// Applies everything SM `sm_id` deferred this cycle, in issue order.
+fn apply_cycle(sm_id: usize, events: &mut CycleEvents, now: u64, shared: &mut SharedCtx<'_>) {
+    if events.stalls != [0; 4] {
+        let s = &events.stalls;
+        shared.stats.stalls.scoreboard += s[0];
+        shared.stats.stalls.lsu_busy += s[1];
+        shared.stats.stalls.ocu_verdict += s[2];
+        shared.stats.stalls.no_ready_warp += s[3];
+        const NAMES: [&str; 4] =
+            ["stall.scoreboard", "stall.lsu_busy", "stall.ocu_verdict", "stall.no_ready_warp"];
+        for (count, name) in s.iter().zip(NAMES) {
+            if *count > 0 {
+                shared.sink.counters.add(Scope::Sm(sm_id), name, *count);
+            }
+        }
+    }
+    for ev in &mut events.issues {
+        apply_event(sm_id, ev, now, shared);
+    }
+}
+
+fn apply_event(sm_id: usize, ev: &mut IssueEvent, now: u64, shared: &mut SharedCtx<'_>) {
+    if let Some(op) = ev.opcode {
+        shared.stats.issued += 1;
+        match op.class() {
+            OpcodeClass::IntAlu => shared.stats.int_issued += 1,
+            OpcodeClass::Fpu => shared.stats.fpu_issued += 1,
+            _ => {}
+        }
+        if ev.activate {
+            shared.stats.marked_issued += 1;
+        }
+    }
+    if let Some(space) = ev.mem_space {
+        shared.stats.record_mem(space);
+        shared.sink.counters.inc(Scope::Sm(sm_id), "mem_insts");
+    }
+    let mnemonic = ev.opcode.map(|op| op.mnemonic()).unwrap_or("");
+    ev.result = match ev.shared.take() {
+        Some(SharedOp::MarkedInt { dst, pair, lanes }) => {
+            Some(apply_marked_int(sm_id, ev, mnemonic, dst, pair, lanes, now, shared))
+        }
+        Some(SharedOp::Heap { dst, pair, malloc, lanes }) => {
+            Some(apply_heap(sm_id, ev, mnemonic, dst, pair, malloc, lanes, now, shared))
+        }
+        Some(SharedOp::Mem { dst, pair, width, is_store, space, lanes, lines }) => Some(apply_mem(
+            sm_id, ev, mnemonic, dst, pair, width, is_store, space, lanes, lines, now, shared,
+        )),
+        None => None,
+    };
+    shared.sink.counters.inc(Scope::Sm(sm_id), "issued");
+    shared.sink.counters.inc(Scope::Warp { sm: sm_id, warp: ev.warp }, "issued");
+    let retiring = ev.retired_local || ev.result.as_ref().is_some_and(|r| r.retire);
+    if retiring && shared.sink.tracer.is_enabled() {
+        // The warp retires this cycle: emit its residency span.
+        shared.sink.tracer.complete_with(
+            "warp",
+            TraceEventKind::WarpSpan,
+            sm_id,
+            ev.warp,
+            ev.start_cycle,
+            (now + 1).saturating_sub(ev.start_cycle),
+            &[("block", ev.block as u64)],
+        );
+    }
+}
+
+/// OCU check of a hint-marked wide integer op (LMI's bounds pipeline).
+#[allow(clippy::too_many_arguments)]
+fn apply_marked_int(
+    sm_id: usize,
+    ev: &IssueEvent,
+    mnemonic: &'static str,
+    dst: Reg,
+    pair: bool,
+    lanes: Vec<(usize, u64, u64)>,
+    now: u64,
+    shared: &mut SharedCtx<'_>,
+) -> OpResult {
+    let mut extra_delay = 0u32;
+    let mut writes = Vec::with_capacity(lanes.len());
+    for (l, input, raw) in lanes {
+        let check = shared.mechanism.on_marked_int(input, raw);
+        extra_delay = extra_delay.max(shared.mechanism.marked_int_delay());
+        writes.push((l, check.value));
+        if check.poisoned {
+            // Delayed termination (§XII-A): remember where the pointer died
+            // so a later EC fault can report it.
+            shared.sink.forensics.record_poison(PoisonEvent {
+                sm: sm_id,
+                warp: ev.warp,
+                lane: l,
+                pc: ev.pc,
+                op: mnemonic,
+                cycle: now,
+                instr_index: shared.stats.issued,
+            });
+            shared.sink.counters.inc(Scope::Mechanism(shared.mechanism.name()), "poisoned");
+            if shared.sink.tracer.is_enabled() {
+                shared.sink.tracer.instant(
+                    "poison",
+                    TraceEventKind::OcuPoison,
+                    sm_id,
+                    ev.warp,
+                    now,
+                    &[("pc", ev.pc as u64), ("lane", l as u64)],
+                );
+            }
+        }
+    }
+    shared.sink.counters.inc(Scope::Mechanism(shared.mechanism.name()), "checks");
+    if shared.sink.tracer.is_enabled() {
+        shared.sink.tracer.complete_with(
+            mnemonic,
+            TraceEventKind::OcuCheck,
+            sm_id,
+            ev.warp,
+            now,
+            extra_delay as u64,
+            &[("pc", ev.pc as u64)],
+        );
+    }
+    let done_at = now + shared.cfg.int_latency as u64;
+    OpResult {
+        dst,
+        pair,
+        write_width: 8,
+        writes,
+        ready_at: Some(done_at),
+        verdict_at: Some(done_at + extra_delay as u64),
+        ready_mem_at: None,
+        advance_pc: true,
+        retire: false,
+    }
+}
+
+/// Device-heap `malloc`/`free`, serialized through the shared allocator.
+#[allow(clippy::too_many_arguments)]
+fn apply_heap(
+    sm_id: usize,
+    ev: &IssueEvent,
+    mnemonic: &'static str,
+    dst: Reg,
+    pair: bool,
+    malloc: bool,
+    lanes: Vec<(usize, u64)>,
+    now: u64,
+    shared: &mut SharedCtx<'_>,
+) -> OpResult {
+    let mut writes = Vec::new();
+    let mut violation = None;
+    for (l, value) in lanes {
+        let gtid = ev.base_tid + l as u64;
+        if malloc {
+            let ptr = shared.heap.malloc(gtid as usize, value).unwrap_or(0);
+            writes.push((l, ptr));
+            shared.stats.mallocs += 1;
+        } else {
+            shared.stats.frees += 1;
+            if let Err(e) = shared.heap.free(value) {
+                let kind = match e {
+                    AllocError::DoubleFree(_) => TemporalKind::DoubleFree,
+                    _ => TemporalKind::InvalidFree,
+                };
+                violation = Some((l, Violation::Temporal(kind)));
+            }
+        }
+    }
+    let ready_mem_at = if malloc { Some(now + shared.cfg.heap_call_latency as u64) } else { None };
+    shared.sink.counters.inc(Scope::Sm(sm_id), "heap_calls");
+    if shared.sink.tracer.is_enabled() {
+        shared.sink.tracer.complete_with(
+            mnemonic,
+            TraceEventKind::HeapCall,
+            sm_id,
+            ev.warp,
+            now,
+            shared.cfg.heap_call_latency as u64,
+            &[("pc", ev.pc as u64)],
+        );
+    }
+    let mut retire = false;
+    if let Some((lane, v)) = violation {
+        shared.stats.violations.push(ViolationEvent {
+            sm: sm_id,
+            warp: ev.warp,
+            pc: ev.pc,
+            global_tid: ev.base_tid + lane as u64,
+            violation: v,
+        });
+        retire = shared.cfg.halt_on_violation;
+    }
+    OpResult {
+        dst,
+        pair,
+        write_width: 8,
+        writes,
+        ready_at: None,
+        verdict_at: None,
+        ready_mem_at,
+        advance_pc: true,
+        retire,
+    }
+}
+
+/// A non-constant memory access: mechanism check, hierarchy timing, and
+/// functional data movement.
+#[allow(clippy::too_many_arguments)]
+fn apply_mem(
+    sm_id: usize,
+    ev: &IssueEvent,
+    mnemonic: &'static str,
+    dst: Reg,
+    pair: bool,
+    width: u8,
+    is_store: bool,
+    space: MemSpace,
+    lanes: Vec<LaneMem>,
+    lines: Vec<u64>,
+    now: u64,
+    shared: &mut SharedCtx<'_>,
+) -> OpResult {
+    let pc = ev.pc;
+    // `stats.issued` was already bumped for this instruction, so it is a
+    // unique id shared by every lane of this warp-level issue.
+    let issue_index = shared.stats.issued;
+    let mut ok: Vec<LaneMem> = Vec::with_capacity(lanes.len());
+    let mut faulted = false;
+    let mut extra_cycles = 0u32;
+    let mut metadata_addrs: Vec<u64> = Vec::new();
+    for lm in lanes {
+        let ctx = MemAccessCtx {
+            space,
+            raw: lm.raw,
+            vaddr: lm.vaddr,
+            width,
+            is_store,
+            global_tid: ev.base_tid + lm.lane as u64,
+            pc,
+            lane: lm.lane,
+            issue_index,
+        };
+        let check = shared.mechanism.on_mem_access(&ctx);
+        extra_cycles = extra_cycles.max(check.extra_cycles);
+        if let Some(addr) = check.metadata_addr {
+            metadata_addrs.push(addr);
+        }
+        match check.violation {
+            Some(v) => {
+                faulted = true;
+                shared.stats.violations.push(ViolationEvent {
+                    sm: sm_id,
+                    warp: ev.warp,
+                    pc,
+                    global_tid: ctx.global_tid,
+                    violation: v,
+                });
+                shared.sink.counters.inc(Scope::Mechanism(shared.mechanism.name()), "faults");
+                if shared.sink.tracer.is_enabled() {
+                    shared.sink.tracer.instant(
+                        "fault",
+                        TraceEventKind::EcFault,
+                        sm_id,
+                        ev.warp,
+                        now,
+                        &[("pc", pc as u64), ("lane", lm.lane as u64)],
+                    );
+                }
+                // Close the poison→fault provenance loop (§XII-A): if this
+                // lane's pointer was poisoned earlier, report the latency
+                // between poisoning and detection.
+                if let Some(record) = shared.sink.forensics.record_fault(FaultEvent {
+                    sm: sm_id,
+                    warp: ev.warp,
+                    lane: lm.lane,
+                    pc,
+                    cycle: now,
+                    instr_index: issue_index,
+                }) {
+                    shared.stats.forensics.push(record);
+                }
+            }
+            None => ok.push(lm),
+        }
+    }
+
+    if faulted && shared.cfg.halt_on_violation {
+        // The faulting access never issues: no timing, no data movement,
+        // no pc advance — the warp halts.
+        return OpResult {
+            dst,
+            pair,
+            write_width: width,
+            writes: Vec::new(),
+            ready_at: None,
+            verdict_at: None,
+            ready_mem_at: None,
+            advance_pc: false,
+            retire: true,
+        };
+    }
+
+    // Timing: mechanism metadata fetches complete FIRST (bounds must be
+    // known before the access may issue — check-before-access), then the
+    // coalesced transactions (or the fixed shared-memory path).
+    metadata_addrs.sort_unstable();
+    metadata_addrs.dedup();
+    let issued_at = now;
+    let mut access_start = now;
+    for addr in &metadata_addrs {
+        access_start = access_start.max(shared.hierarchy.metadata_fetch(*addr, now));
+    }
+    let t = access_start;
+    let mut done_at = t;
+    let mut line_count = 1u64;
+    if space == MemSpace::Shared {
+        done_at = shared.hierarchy.access_shared(t);
+        shared.stats.transactions += 1;
+    } else {
+        // Phase A coalesced assuming all lanes pass the check; a
+        // (non-halting) fault drops lanes, so recompute from the survivors.
+        let lines = if faulted {
+            coalesce(ok.iter().map(|m| m.timing_addr), shared.cfg.hierarchy.l1.line_bytes)
+        } else {
+            lines
+        };
+        shared.stats.transactions += lines.len() as u64;
+        line_count = lines.len() as u64;
+        for line in lines {
+            done_at = done_at.max(shared.hierarchy.access_dram_backed(sm_id, line, t));
+        }
+    }
+    done_at += extra_cycles as u64;
+    shared.sink.counters.add(Scope::Sm(sm_id), "transactions", line_count);
+    if shared.sink.tracer.is_enabled() && !ok.is_empty() {
+        shared.sink.tracer.complete_with(
+            mnemonic,
+            TraceEventKind::MemTransaction,
+            sm_id,
+            ev.warp,
+            issued_at,
+            done_at.saturating_sub(issued_at).max(1),
+            &[("pc", pc as u64), ("lines", line_count), ("lanes", ok.len() as u64)],
+        );
+    }
+
+    // Data movement.
+    let mut writes = Vec::new();
+    if is_store {
+        for lm in &ok {
+            shared.memory.write(lm.vaddr, lm.store_value, width);
+        }
+    } else {
+        writes.reserve(ok.len());
+        for lm in &ok {
+            writes.push((lm.lane, shared.memory.read(lm.vaddr, width)));
+        }
+    }
+    OpResult {
+        dst,
+        pair,
+        write_width: width,
+        writes,
+        ready_at: None,
+        verdict_at: None,
+        ready_mem_at: if is_store { None } else { Some(done_at) },
+        advance_pc: true,
+        retire: false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serial driver.
+
+/// The single-thread schedule: phases A, B, C per SM, SMs in order — the
+/// exact sequence the original monolithic `Sm::step` executed.
+fn run_serial(sms: &mut [Sm], shared: &mut SharedCtx<'_>) -> u64 {
+    let mut events: Vec<CycleEvents> = sms.iter().map(|_| CycleEvents::default()).collect();
+    let mut cycle: u64 = 0;
+    loop {
+        let mut issued_any = false;
+        let mut next_ready = u64::MAX;
+        for (sm, ev) in sms.iter_mut().zip(events.iter_mut()) {
+            let outcome = sm.step_phase_a(cycle, shared.cfg, ev);
+            issued_any |= outcome.issued_any;
+            next_ready = next_ready.min(outcome.next_ready);
+            apply_cycle(sm.id, ev, cycle, shared);
+            sm.apply_results(ev);
+        }
+        if sms.iter().all(|sm| sm.all_done()) {
+            break;
+        }
+        cycle = if issued_any || next_ready == u64::MAX {
+            cycle + 1
+        } else {
+            // Fast-forward over scoreboard stalls.
+            next_ready.max(cycle + 1)
+        };
+        debug_assert!(cycle < 1_000_000_000, "runaway simulation");
+    }
+    cycle
+}
+
+// ---------------------------------------------------------------------------
+// Parallel driver.
+
+struct SmSlot {
+    sm: Sm,
+    events: CycleEvents,
+}
+
+/// Per-cycle reduction accumulator (one of two, indexed by iteration
+/// parity: the off-parity buffer is reset by the leader during phase B
+/// while every worker is parked between barriers).
+struct CycleAcc {
+    issued_any: AtomicBool,
+    next_ready: AtomicU64,
+    all_done: AtomicBool,
+}
+
+impl CycleAcc {
+    fn new() -> CycleAcc {
+        CycleAcc {
+            issued_any: AtomicBool::new(false),
+            next_ready: AtomicU64::new(u64::MAX),
+            all_done: AtomicBool::new(true),
+        }
+    }
+
+    fn reset(&self) {
+        self.issued_any.store(false, SeqCst);
+        self.next_ready.store(u64::MAX, SeqCst);
+        self.all_done.store(true, SeqCst);
+    }
+}
+
+/// Decides the next cycle from a fully-accumulated [`CycleAcc`]; `None`
+/// terminates. Pure, so every thread reaches the same answer. Mirrors the
+/// serial loop's advance exactly.
+fn advance(now: u64, acc: &CycleAcc) -> Option<u64> {
+    if acc.all_done.load(SeqCst) {
+        return None;
+    }
+    let next = if acc.issued_any.load(SeqCst) || acc.next_ready.load(SeqCst) == u64::MAX {
+        now + 1
+    } else {
+        acc.next_ready.load(SeqCst).max(now + 1)
+    };
+    debug_assert!(next < 1_000_000_000, "runaway simulation");
+    Some(next)
+}
+
+/// A reusable sense-reversing spin barrier (simulated cycles are far too
+/// short for `std::sync::Barrier`'s mutex+condvar round trip).
+struct SpinBarrier {
+    parties: usize,
+    count: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl SpinBarrier {
+    fn new(parties: usize) -> SpinBarrier {
+        SpinBarrier { parties, count: AtomicUsize::new(0), sense: AtomicBool::new(false) }
+    }
+
+    fn wait(&self, local_sense: &mut bool) {
+        let target = !*local_sense;
+        *local_sense = target;
+        if self.count.fetch_add(1, SeqCst) == self.parties - 1 {
+            // Last arrival: reset the count *before* releasing (a released
+            // thread may re-enter the barrier immediately).
+            self.count.store(0, SeqCst);
+            self.sense.store(target, SeqCst);
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(std::sync::atomic::Ordering::Acquire) != target {
+                spins = spins.wrapping_add(1);
+                if spins & 0x3F == 0 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
+/// Shared control block of one parallel run.
+struct Ctl {
+    barrier: SpinBarrier,
+    acc: [CycleAcc; 2],
+    /// A phase body panicked somewhere; everyone drains out at the next
+    /// barrier.
+    poisoned: AtomicBool,
+    payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Ctl {
+    fn new(parties: usize) -> Ctl {
+        Ctl {
+            barrier: SpinBarrier::new(parties),
+            acc: [CycleAcc::new(), CycleAcc::new()],
+            poisoned: AtomicBool::new(false),
+            payload: Mutex::new(None),
+        }
+    }
+
+    /// Runs one phase body, converting a panic into pool-wide poisoning
+    /// (the thread keeps participating in barriers so nobody deadlocks).
+    fn guard(&self, f: impl FnOnce()) {
+        if self.poisoned.load(SeqCst) {
+            return;
+        }
+        if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(f)) {
+            self.poisoned.store(true, SeqCst);
+            let mut slot = self.payload.lock().unwrap_or_else(|e| e.into_inner());
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+    }
+
+    /// Barrier + poison check; `false` means "drain out now".
+    fn sync(&self, sense: &mut bool) -> bool {
+        self.barrier.wait(sense);
+        !self.poisoned.load(SeqCst)
+    }
+}
+
+fn phase_a_range(
+    slots: &[Mutex<SmSlot>],
+    range: &Range<usize>,
+    now: u64,
+    cfg: &GpuConfig,
+    acc: &CycleAcc,
+) {
+    let mut issued = false;
+    let mut next = u64::MAX;
+    for slot in &slots[range.clone()] {
+        let mut s = slot.lock().unwrap();
+        let SmSlot { sm, events } = &mut *s;
+        let outcome = sm.step_phase_a(now, cfg, events);
+        issued |= outcome.issued_any;
+        next = next.min(outcome.next_ready);
+    }
+    if issued {
+        acc.issued_any.store(true, SeqCst);
+    }
+    acc.next_ready.fetch_min(next, SeqCst);
+}
+
+fn phase_c_range(slots: &[Mutex<SmSlot>], range: &Range<usize>, acc: &CycleAcc) {
+    let mut all = true;
+    for slot in &slots[range.clone()] {
+        let mut s = slot.lock().unwrap();
+        let SmSlot { sm, events } = &mut *s;
+        sm.apply_results(events);
+        all &= sm.all_done();
+    }
+    if !all {
+        acc.all_done.store(false, SeqCst);
+    }
+}
+
+fn worker_loop(slots: &[Mutex<SmSlot>], range: Range<usize>, cfg: &GpuConfig, ctl: &Ctl) {
+    let mut sense = false;
+    let mut now = 0u64;
+    let mut parity = 0usize;
+    loop {
+        ctl.guard(|| phase_a_range(slots, &range, now, cfg, &ctl.acc[parity]));
+        if !ctl.sync(&mut sense) {
+            break; // A-done
+        }
+        if !ctl.sync(&mut sense) {
+            break; // B-done (the leader applied shared state)
+        }
+        ctl.guard(|| phase_c_range(slots, &range, &ctl.acc[parity]));
+        if !ctl.sync(&mut sense) {
+            break; // C-done
+        }
+        match advance(now, &ctl.acc[parity]) {
+            Some(next) => now = next,
+            None => break,
+        }
+        parity ^= 1;
+    }
+}
+
+fn leader_loop(
+    slots: &[Mutex<SmSlot>],
+    range: Range<usize>,
+    shared: &mut SharedCtx<'_>,
+    ctl: &Ctl,
+) -> u64 {
+    let cfg = *shared.cfg;
+    let mut sense = false;
+    let mut now = 0u64;
+    let mut parity = 0usize;
+    loop {
+        ctl.guard(|| phase_a_range(slots, &range, now, &cfg, &ctl.acc[parity]));
+        if !ctl.sync(&mut sense) {
+            break;
+        }
+        // Phase B: shared state, ascending SM order. The leader is the
+        // calling thread, so `&mut dyn Mechanism` / `&mut TelemetrySink`
+        // never cross a thread boundary.
+        ctl.guard(|| {
+            for slot in slots {
+                let mut s = slot.lock().unwrap();
+                let SmSlot { sm, events } = &mut *s;
+                apply_cycle(sm.id, events, now, shared);
+            }
+            // Workers are parked between the A and C barriers: safe to
+            // recycle the off-parity accumulator for the next cycle.
+            ctl.acc[parity ^ 1].reset();
+        });
+        if !ctl.sync(&mut sense) {
+            break;
+        }
+        ctl.guard(|| phase_c_range(slots, &range, &ctl.acc[parity]));
+        if !ctl.sync(&mut sense) {
+            break;
+        }
+        match advance(now, &ctl.acc[parity]) {
+            Some(next) => now = next,
+            None => break,
+        }
+        parity ^= 1;
+    }
+    now
+}
+
+fn run_parallel(sms: &mut Vec<Sm>, shared: &mut SharedCtx<'_>, threads: usize) -> u64 {
+    let n = sms.len();
+    let slots: Vec<Mutex<SmSlot>> =
+        sms.drain(..).map(|sm| Mutex::new(SmSlot { sm, events: CycleEvents::default() })).collect();
+    // Contiguous SM ranges; the remainder goes to the front groups.
+    let (base, rem) = (n / threads, n % threads);
+    let mut ranges = Vec::with_capacity(threads);
+    let mut start = 0;
+    for t in 0..threads {
+        let len = base + usize::from(t < rem);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    let ctl = Ctl::new(threads);
+    let cfg = *shared.cfg;
+    let mut final_cycle = 0u64;
+    std::thread::scope(|scope| {
+        for range in ranges[1..].iter().cloned() {
+            let slots = &slots;
+            let ctl = &ctl;
+            scope.spawn(move || worker_loop(slots, range, &cfg, ctl));
+        }
+        final_cycle = leader_loop(&slots, ranges[0].clone(), shared, &ctl);
+    });
+    sms.extend(slots.into_iter().map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()).sm));
+    if let Some(payload) = ctl.payload.lock().unwrap_or_else(|e| e.into_inner()).take() {
+        panic::resume_unwind(payload);
+    }
+    final_cycle
+}

@@ -9,9 +9,10 @@ use lmi_mem::{layout, CacheStats, MemoryHierarchy, SparseMemory};
 use lmi_telemetry::{Scope, TelemetrySink};
 
 use crate::config::GpuConfig;
+use crate::engine::{self, SharedCtx};
 use crate::launch::Launch;
 use crate::mechanism::Mechanism;
-use crate::sm::{LaunchCtx, Sm, StepResources};
+use crate::sm::{LaunchCtx, Sm};
 use crate::stats::SimStats;
 
 /// A simulated GPU.
@@ -136,35 +137,23 @@ impl Gpu {
         let dram_before = self.hierarchy.dram_transactions();
 
         let mut stats = SimStats::default();
-        let mut cycle: u64 = 0;
-        loop {
-            let mut issued_any = false;
-            let mut next_ready = u64::MAX;
-            for sm in &mut sms {
-                let mut res = StepResources {
-                    hierarchy: &mut self.hierarchy,
-                    memory: &mut self.memory,
-                    heap: &self.heap,
-                    mechanism,
-                    stats: &mut stats,
-                    cfg: &self.cfg,
-                    sink: &mut *sink,
-                };
-                let outcome = sm.step(cycle, &mut res);
-                issued_any |= outcome.issued_any;
-                next_ready = next_ready.min(outcome.next_ready);
-            }
-            if sms.iter().all(|sm| sm.all_done()) {
-                break;
-            }
-            cycle = if issued_any || next_ready == u64::MAX {
-                cycle + 1
-            } else {
-                // Fast-forward over scoreboard stalls.
-                next_ready.max(cycle + 1)
+        let threads = self.cfg.resolve_sim_threads();
+        let cycle = {
+            // The shared-state context is built once per run (it used to be
+            // re-assembled per SM per cycle) and handed to the engine, which
+            // picks the serial or the parallel driver; both are
+            // bit-identical (see `crate::engine`).
+            let mut shared = SharedCtx {
+                hierarchy: &mut self.hierarchy,
+                memory: &mut self.memory,
+                heap: &self.heap,
+                mechanism,
+                stats: &mut stats,
+                cfg: &self.cfg,
+                sink: &mut *sink,
             };
-            debug_assert!(cycle < 1_000_000_000, "runaway simulation");
-        }
+            engine::run(&mut sms, &mut shared, threads)
+        };
         stats.cycles = cycle.max(1);
 
         let delta = |after: CacheStats, before: CacheStats| CacheStats {

@@ -36,6 +36,7 @@
 //! ```
 
 pub mod config;
+pub(crate) mod engine;
 pub mod exec;
 pub mod gpu;
 pub mod host;

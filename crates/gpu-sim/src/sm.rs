@@ -1,23 +1,42 @@
 //! The streaming multiprocessor: warp schedulers, issue, and execution.
+//!
+//! Execution of one cycle is split into three phases so the engine
+//! (`crate::engine`) can run SMs on worker threads while staying
+//! bit-identical to serial execution:
+//!
+//! * **Phase A** (`Sm::step_phase_a`) — scheduling, operand fetch, ALU
+//!   execution and address generation. Touches *only* this SM's state
+//!   (warps, program, launch context), so any number of SMs can run phase A
+//!   concurrently. Operations that must touch shared state (the memory
+//!   hierarchy, the functional store, the device heap, the mechanism,
+//!   statistics, telemetry) are not executed; they are recorded as
+//!   `SharedOp`s on the cycle's `IssueEvent` list.
+//! * **Phase B** (`engine::apply_cycle`) — a single thread walks every SM's
+//!   events in canonical (sm, scheduler) order and applies the shared
+//!   operations, producing an `OpResult` per deferred op. Because the
+//!   walk order is fixed, cache hit/miss sequences, heap allocation order,
+//!   counters and forensics are independent of the thread count.
+//! * **Phase C** (`Sm::apply_results`) — each SM (again concurrently)
+//!   writes the phase-B results back into its warps: register writes,
+//!   scoreboard ready times, pc advance, retirement, barrier release.
+//!
+//! Deferred results only become architecturally visible at the next cycle
+//! (loads have multi-cycle latency; the issuing warp cannot issue again
+//! this cycle), so deferring them within the cycle does not change what any
+//! phase-A code can observe — the equivalence argument for determinism.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use lmi_alloc::{AllocError, DeviceHeap};
-use lmi_core::error::TemporalKind;
 use lmi_core::ptr::ADDR_MASK;
-use lmi_core::Violation;
 use lmi_isa::op::SpecialReg;
 use lmi_isa::{abi, Instruction, MemSpace, Opcode, OpcodeClass, Operand, Program, Reg};
-use lmi_mem::{layout, MemoryHierarchy, SparseMemory};
-use lmi_telemetry::{FaultEvent, PoisonEvent, Scope, TelemetrySink, TraceEventKind};
+use lmi_mem::layout;
 
 use crate::config::{GpuConfig, WARP_SIZE};
 use crate::exec;
 use crate::launch::Launch;
 use crate::lsu::coalesce;
-use crate::mechanism::{Mechanism, MemAccessCtx};
-use crate::stats::{SimStats, ViolationEvent};
 use crate::warp::{LaneMask, Warp};
 
 /// Per-launch context needed to resolve constant-bank reads.
@@ -61,20 +80,10 @@ pub(crate) struct Sm {
     block_warps: HashMap<usize, usize>,
 }
 
-pub(crate) struct StepResources<'a> {
-    pub hierarchy: &'a mut MemoryHierarchy,
-    pub memory: &'a mut SparseMemory,
-    pub heap: &'a DeviceHeap,
-    pub mechanism: &'a mut dyn Mechanism,
-    pub stats: &'a mut SimStats,
-    pub cfg: &'a GpuConfig,
-    pub sink: &'a mut TelemetrySink,
-}
-
 /// Why a warp could not issue this cycle (the binding constraint of its
 /// next instruction). Feeds [`crate::stats::StallBreakdown`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum StallReason {
+pub(crate) enum StallReason {
     /// Launch-ramp delay, fell off the program, or no candidate at all.
     NoReadyWarp,
     /// Waiting on an ALU-produced register or predicate.
@@ -85,6 +94,106 @@ enum StallReason {
     OcuVerdict,
 }
 
+impl StallReason {
+    /// Index into [`CycleEvents::stalls`].
+    pub fn index(self) -> usize {
+        match self {
+            StallReason::Scoreboard => 0,
+            StallReason::LsuBusy => 1,
+            StallReason::OcuVerdict => 2,
+            StallReason::NoReadyWarp => 3,
+        }
+    }
+}
+
+/// One lane of a deferred memory access.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LaneMem {
+    pub lane: usize,
+    /// Raw register value plus offset (may carry extent bits).
+    pub raw: u64,
+    /// Virtual address after metadata stripping.
+    pub vaddr: u64,
+    /// Address used for coalescing/timing (local-space interleaving).
+    pub timing_addr: u64,
+    /// Store data (zero for loads).
+    pub store_value: u64,
+}
+
+/// A shared-state operation deferred from phase A to phase B.
+#[derive(Debug, Clone)]
+pub(crate) enum SharedOp {
+    /// A hint-marked wide integer op with at least one active lane: the
+    /// mechanism's OCU check runs in phase B. `(lane, input, raw_result)`.
+    MarkedInt { dst: Reg, pair: bool, lanes: Vec<(usize, u64, u64)> },
+    /// A device-heap call. `(lane, size_or_ptr)`.
+    Heap { dst: Reg, pair: bool, malloc: bool, lanes: Vec<(usize, u64)> },
+    /// A non-constant memory access. `lines` is the coalesced line list for
+    /// the no-fault case (recomputed in phase B if a lane faults).
+    Mem {
+        dst: Reg,
+        pair: bool,
+        width: u8,
+        is_store: bool,
+        space: MemSpace,
+        lanes: Vec<LaneMem>,
+        lines: Vec<u64>,
+    },
+}
+
+/// Phase-B outcome of a deferred op, applied to the warp in phase C.
+#[derive(Debug, Clone)]
+pub(crate) struct OpResult {
+    pub dst: Reg,
+    pub pair: bool,
+    /// 8 ⇒ `write64` per lane, else 32-bit `write`.
+    pub write_width: u8,
+    pub writes: Vec<(usize, u64)>,
+    pub ready_at: Option<u64>,
+    pub verdict_at: Option<u64>,
+    pub ready_mem_at: Option<u64>,
+    pub advance_pc: bool,
+    /// Halt the warp (violation with `halt_on_violation`).
+    pub retire: bool,
+}
+
+/// One warp-level issue, recorded in phase A for phase B's canonical walk.
+#[derive(Debug)]
+pub(crate) struct IssueEvent {
+    pub warp: usize,
+    /// pc of the issued instruction (pre-advance).
+    pub pc: usize,
+    /// `None`: the warp fell off the program end and retired instead.
+    pub opcode: Option<Opcode>,
+    pub activate: bool,
+    /// Set for every memory instruction, including the locally-executed
+    /// constant loads (phase B owns all `SimStats` accounting).
+    pub mem_space: Option<MemSpace>,
+    pub base_tid: u64,
+    pub block: usize,
+    pub start_cycle: u64,
+    /// Warp retired during phase A (local exit path).
+    pub retired_local: bool,
+    pub shared: Option<SharedOp>,
+    pub result: Option<OpResult>,
+}
+
+/// Everything one SM produced in one cycle.
+#[derive(Debug, Default)]
+pub(crate) struct CycleEvents {
+    pub issues: Vec<IssueEvent>,
+    /// Idle scheduler-slot counts, indexed by [`StallReason::index`].
+    pub stalls: [u64; 4],
+}
+
+impl CycleEvents {
+    pub fn clear(&mut self) {
+        self.issues.clear();
+        self.stalls = [0; 4];
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct StepOutcome {
     pub issued_any: bool,
     /// Earliest future cycle at which a stalled warp could issue.
@@ -124,27 +233,35 @@ impl Sm {
         self.warps.iter().all(|w| w.done)
     }
 
-    /// One cycle: each scheduler issues at most one instruction (GTO pick).
-    pub fn step(&mut self, now: u64, res: &mut StepResources<'_>) -> StepOutcome {
-        if self.greedy.len() != res.cfg.schedulers_per_sm {
-            self.greedy = vec![None; res.cfg.schedulers_per_sm];
+    /// Phase A of one cycle: each scheduler issues at most one instruction
+    /// (GTO pick), executing SM-local work immediately and recording
+    /// shared-state work into `out`. Reads no shared state.
+    pub fn step_phase_a(
+        &mut self,
+        now: u64,
+        cfg: &GpuConfig,
+        out: &mut CycleEvents,
+    ) -> StepOutcome {
+        out.clear();
+        if self.greedy.len() != cfg.schedulers_per_sm {
+            self.greedy = vec![None; cfg.schedulers_per_sm];
         }
         let mut issued_any = false;
         let mut next_ready = u64::MAX;
 
-        for sched in 0..res.cfg.schedulers_per_sm {
+        for sched in 0..cfg.schedulers_per_sm {
             let candidates: Vec<usize> = (sched..self.warps.len())
-                .step_by(res.cfg.schedulers_per_sm)
+                .step_by(cfg.schedulers_per_sm)
                 .filter(|&w| !self.warps[w].done && !self.warps[w].at_barrier)
                 .collect();
             if candidates.is_empty() {
                 // At a barrier (or between blocks): the slot idles with no
                 // candidate, but only count it while work remains.
                 let any_live = (sched..self.warps.len())
-                    .step_by(res.cfg.schedulers_per_sm)
+                    .step_by(cfg.schedulers_per_sm)
                     .any(|w| !self.warps[w].done);
                 if any_live {
-                    self.record_stall(StallReason::NoReadyWarp, res);
+                    out.stalls[StallReason::NoReadyWarp.index()] += 1;
                 }
                 continue;
             }
@@ -161,7 +278,7 @@ impl Sm {
             // that would issue soonest.
             let mut soonest: Option<(u64, StallReason)> = None;
             for &w in &order {
-                let (r, reason) = self.ready_info(w, res.cfg.lsu_verdict_overlap);
+                let (r, reason) = self.ready_info(w, cfg.lsu_verdict_overlap);
                 if r <= now {
                     picked = Some(w);
                     break;
@@ -173,22 +290,8 @@ impl Sm {
             }
             match picked {
                 Some(w) => {
-                    self.issue(w, now, res);
-                    res.sink.counters.inc(Scope::Sm(self.id), "issued");
-                    res.sink.counters.inc(Scope::Warp { sm: self.id, warp: w }, "issued");
-                    if self.warps[w].done && res.sink.tracer.is_enabled() {
-                        // The warp just retired: emit its residency span.
-                        let start = self.warps[w].start_cycle;
-                        res.sink.tracer.complete_with(
-                            "warp",
-                            TraceEventKind::WarpSpan,
-                            self.id,
-                            w,
-                            start,
-                            (now + 1).saturating_sub(start),
-                            &[("block", self.warps[w].block as u64)],
-                        );
-                    }
+                    let ev = self.issue_phase_a(w, now, cfg);
+                    out.issues.push(ev);
                     self.greedy[sched] = Some(w);
                     issued_any = true;
                     // The warp can issue again next cycle (in-order).
@@ -196,27 +299,56 @@ impl Sm {
                 }
                 None => {
                     let reason = soonest.map(|(_, r)| r).unwrap_or(StallReason::NoReadyWarp);
-                    self.record_stall(reason, res);
+                    out.stalls[reason.index()] += 1;
                 }
             }
         }
 
-        self.release_barriers();
         StepOutcome { issued_any, next_ready }
     }
 
-    /// Bumps the stall counters for one idle scheduler-slot cycle.
-    fn record_stall(&self, reason: StallReason, res: &mut StepResources<'_>) {
-        let (field, name) = match reason {
-            StallReason::Scoreboard => (&mut res.stats.stalls.scoreboard, "stall.scoreboard"),
-            StallReason::LsuBusy => (&mut res.stats.stalls.lsu_busy, "stall.lsu_busy"),
-            StallReason::OcuVerdict => (&mut res.stats.stalls.ocu_verdict, "stall.ocu_verdict"),
-            StallReason::NoReadyWarp => {
-                (&mut res.stats.stalls.no_ready_warp, "stall.no_ready_warp")
+    /// Phase C: applies phase-B results to the warps (in issue order) and
+    /// releases block barriers — the tail of what the serial step used to
+    /// do after executing each instruction.
+    pub fn apply_results(&mut self, events: &mut CycleEvents) {
+        for ev in &mut events.issues {
+            if let Some(r) = ev.result.take() {
+                let warp = &mut self.warps[ev.warp];
+                for &(l, v) in &r.writes {
+                    if r.write_width == 8 {
+                        warp.write64(l, r.dst, v);
+                    } else {
+                        warp.write(l, r.dst, v as u32);
+                    }
+                }
+                if let Some(t) = r.ready_at {
+                    warp.set_ready_at(r.dst, t);
+                    if r.pair {
+                        warp.set_ready_at(r.dst.pair_high(), t);
+                    }
+                }
+                if let Some(t) = r.verdict_at {
+                    warp.set_verdict_at(r.dst, t);
+                    if r.pair {
+                        warp.set_verdict_at(r.dst.pair_high(), t);
+                    }
+                }
+                if let Some(t) = r.ready_mem_at {
+                    warp.set_ready_at_mem(r.dst, t);
+                    if r.pair {
+                        warp.set_ready_at_mem(r.dst.pair_high(), t);
+                    }
+                }
+                if r.advance_pc {
+                    warp.pc += 1;
+                }
+                if r.retire {
+                    warp.stack.clear();
+                    warp.retire_lanes(warp.mask);
+                }
             }
-        };
-        *field += 1;
-        res.sink.counters.inc(Scope::Sm(self.id), name);
+        }
+        self.release_barriers();
     }
 
     /// Earliest cycle at which warp `w`'s next instruction can issue, and
@@ -276,25 +408,34 @@ impl Sm {
         (ready, reason)
     }
 
-    fn issue(&mut self, w: usize, now: u64, res: &mut StepResources<'_>) {
+    /// Issues warp `w`'s next instruction: local work executes now, shared
+    /// work is recorded on the returned event.
+    fn issue_phase_a(&mut self, w: usize, now: u64, cfg: &GpuConfig) -> IssueEvent {
         let warp = &mut self.warps[w];
+        let mut ev = IssueEvent {
+            warp: w,
+            pc: warp.pc,
+            opcode: None,
+            activate: false,
+            mem_space: None,
+            base_tid: warp.base_tid,
+            block: warp.block,
+            start_cycle: warp.start_cycle,
+            retired_local: false,
+            shared: None,
+            result: None,
+        };
         let ins = match self.program.instructions.get(warp.pc).cloned() {
             Some(i) => i,
             None => {
                 warp.retire_lanes(warp.mask);
-                return;
+                ev.retired_local = self.warps[w].done;
+                return ev;
             }
         };
         warp.last_issue = now;
-        res.stats.issued += 1;
-        match ins.opcode.class() {
-            OpcodeClass::IntAlu => res.stats.int_issued += 1,
-            OpcodeClass::Fpu => res.stats.fpu_issued += 1,
-            _ => {}
-        }
-        if ins.hints.activate {
-            res.stats.marked_issued += 1;
-        }
+        ev.opcode = Some(ins.opcode);
+        ev.activate = ins.hints.activate;
 
         // Per-lane guard predicate.
         let exec_mask: LaneMask = warp
@@ -307,6 +448,7 @@ impl Sm {
 
         match ins.opcode {
             Opcode::Exit => {
+                let warp = &mut self.warps[w];
                 let mask = if exec_mask == 0 { 0 } else { exec_mask };
                 if mask == 0 {
                     warp.pc += 1;
@@ -314,12 +456,14 @@ impl Sm {
                     warp.retire_lanes(mask);
                 }
             }
-            Opcode::Nop => warp.pc += 1,
+            Opcode::Nop => self.warps[w].pc += 1,
             Opcode::Bar => {
+                let warp = &mut self.warps[w];
                 warp.at_barrier = true;
                 warp.pc += 1;
             }
             Opcode::Bra => {
+                let warp = &mut self.warps[w];
                 let target = match ins.srcs[0] {
                     Operand::Imm(t) => t.max(0) as usize,
                     _ => warp.pc + 1,
@@ -337,6 +481,7 @@ impl Sm {
                 }
             }
             Opcode::S2r => {
+                let warp = &mut self.warps[w];
                 let sel = match ins.srcs[0] {
                     Operand::Imm(v) => v as i64,
                     _ => 0,
@@ -369,7 +514,7 @@ impl Sm {
                     }
                     _ => lmi_isa::instr::CmpOp::Eq,
                 };
-                let lanes: Vec<usize> = warp.active_lanes().collect();
+                let lanes: Vec<usize> = self.warps[w].active_lanes().collect();
                 for l in lanes {
                     if exec_mask & (1 << l) == 0 {
                         continue;
@@ -384,10 +529,10 @@ impl Sm {
                 warp.pc += 1;
             }
             Opcode::Malloc | Opcode::Free => {
-                self.issue_heap_call(w, &ins, exec_mask, now, res);
+                self.issue_heap_phase_a(w, &ins, exec_mask, &mut ev);
             }
             op if op.class() == OpcodeClass::IntAlu => {
-                self.issue_int(w, &ins, exec_mask, now, res);
+                self.issue_int_phase_a(w, &ins, exec_mask, now, cfg, &mut ev);
             }
             op if op.class() == OpcodeClass::Fpu => {
                 let lanes: Vec<usize> = self.warps[w].active_lanes().collect();
@@ -401,20 +546,19 @@ impl Sm {
                     let v = exec::fpu(ins.opcode, a, b, c);
                     self.warps[w].write(l, ins.dst, v);
                 }
-                let lat = if ins.opcode == Opcode::Mufu {
-                    res.cfg.fpu_latency * 2
-                } else {
-                    res.cfg.fpu_latency
-                };
+                let lat =
+                    if ins.opcode == Opcode::Mufu { cfg.fpu_latency * 2 } else { cfg.fpu_latency };
                 let warp = &mut self.warps[w];
                 warp.set_ready_at(ins.dst, now + lat as u64);
                 warp.pc += 1;
             }
             op if op.is_mem() => {
-                self.issue_mem(w, &ins, exec_mask, now, res);
+                self.issue_mem_phase_a(w, &ins, exec_mask, now, cfg, &mut ev);
             }
             other => panic!("unhandled opcode {other}"),
         }
+        ev.retired_local = self.warps[w].done;
+        ev
     }
 
     fn fetch32(&self, w: usize, lane: usize, src: &Operand) -> u32 {
@@ -441,192 +585,127 @@ impl Sm {
         }
     }
 
-    fn issue_int(
+    fn issue_int_phase_a(
         &mut self,
         w: usize,
         ins: &Instruction,
         exec_mask: LaneMask,
         now: u64,
-        res: &mut StepResources<'_>,
+        cfg: &GpuConfig,
+        ev: &mut IssueEvent,
     ) {
         let wide = ins.opcode.is_wide();
-        let pc = self.warps[w].pc;
         let lanes: Vec<usize> = self.warps[w].active_lanes().collect();
-        let mut extra_delay = 0u32;
-        let mut checked_any = false;
-        for l in lanes {
-            if exec_mask & (1 << l) == 0 {
-                continue;
-            }
-            if wide {
+        if wide && ins.hints.activate {
+            // The OCU check consults the mechanism — shared state — so the
+            // whole writeback defers to phase B.
+            let mut checked: Vec<(usize, u64, u64)> = Vec::with_capacity(lanes.len());
+            for l in lanes {
+                if exec_mask & (1 << l) == 0 {
+                    continue;
+                }
                 let a = self.fetch64(w, l, &ins.srcs[0]);
                 let b = self.fetch64(w, l, &ins.srcs[1]);
                 let c = match ins.srcs[2] {
                     Operand::Imm(v) => v as u64,
                     ref other => self.fetch64(w, l, other),
                 };
-                let mut v = exec::alu64(ins.opcode, a, b, c);
-                if ins.hints.activate {
-                    let input = if ins.hints.select == 0 { a } else { b };
-                    let check = res.mechanism.on_marked_int(input, v);
-                    v = check.value;
-                    extra_delay = extra_delay.max(res.mechanism.marked_int_delay());
-                    checked_any = true;
-                    if check.poisoned {
-                        // Delayed termination (§XII-A): remember where the
-                        // pointer died so a later EC fault can report it.
-                        res.sink.forensics.record_poison(PoisonEvent {
-                            sm: self.id,
-                            warp: w,
-                            lane: l,
-                            pc,
-                            op: ins.opcode.mnemonic(),
-                            cycle: now,
-                            instr_index: res.stats.issued,
-                        });
-                        res.sink.counters.inc(Scope::Mechanism(res.mechanism.name()), "poisoned");
-                        if res.sink.tracer.is_enabled() {
-                            res.sink.tracer.instant(
-                                "poison",
-                                TraceEventKind::OcuPoison,
-                                self.id,
-                                w,
-                                now,
-                                &[("pc", pc as u64), ("lane", l as u64)],
-                            );
-                        }
-                    }
-                }
-                self.warps[w].write64(l, ins.dst, v);
-            } else {
-                let a = self.fetch32(w, l, &ins.srcs[0]);
-                let b = self.fetch32(w, l, &ins.srcs[1]);
-                let c = self.fetch32(w, l, &ins.srcs[2]);
-                let v = exec::alu32(ins.opcode, a, b, c);
-                // 32-bit marked ops (hand-written programs) check the low
-                // word only — the compiler marks wide ops exclusively, so
-                // the OCU path above is the one that matters.
-                self.warps[w].write(l, ins.dst, v);
+                let v = exec::alu64(ins.opcode, a, b, c);
+                let input = if ins.hints.select == 0 { a } else { b };
+                checked.push((l, input, v));
             }
-        }
-        if checked_any {
-            res.sink.counters.inc(Scope::Mechanism(res.mechanism.name()), "checks");
-            if res.sink.tracer.is_enabled() {
-                res.sink.tracer.complete_with(
-                    ins.opcode.mnemonic(),
-                    TraceEventKind::OcuCheck,
-                    self.id,
-                    w,
-                    now,
-                    extra_delay as u64,
-                    &[("pc", pc as u64)],
-                );
+            if !checked.is_empty() {
+                ev.shared = Some(SharedOp::MarkedInt {
+                    dst: ins.dst,
+                    pair: ins.dst.is_valid_pair_base(),
+                    lanes: checked,
+                });
+                return;
+            }
+            // No active lane: nothing to check, nothing written — the
+            // scoreboard update below matches the serial no-lane path.
+        } else {
+            for l in lanes {
+                if exec_mask & (1 << l) == 0 {
+                    continue;
+                }
+                if wide {
+                    let a = self.fetch64(w, l, &ins.srcs[0]);
+                    let b = self.fetch64(w, l, &ins.srcs[1]);
+                    let c = match ins.srcs[2] {
+                        Operand::Imm(v) => v as u64,
+                        ref other => self.fetch64(w, l, other),
+                    };
+                    let v = exec::alu64(ins.opcode, a, b, c);
+                    self.warps[w].write64(l, ins.dst, v);
+                } else {
+                    let a = self.fetch32(w, l, &ins.srcs[0]);
+                    let b = self.fetch32(w, l, &ins.srcs[1]);
+                    let c = self.fetch32(w, l, &ins.srcs[2]);
+                    let v = exec::alu32(ins.opcode, a, b, c);
+                    // 32-bit marked ops (hand-written programs) check the low
+                    // word only — the compiler marks wide ops exclusively, so
+                    // the OCU path above is the one that matters.
+                    self.warps[w].write(l, ins.dst, v);
+                }
             }
         }
         let warp = &mut self.warps[w];
-        let done_at = now + res.cfg.int_latency as u64;
-        let verdict_at = done_at + extra_delay as u64;
+        let done_at = now + cfg.int_latency as u64;
         warp.set_ready_at(ins.dst, done_at);
-        warp.set_verdict_at(ins.dst, verdict_at);
+        warp.set_verdict_at(ins.dst, done_at);
         if wide && ins.dst.is_valid_pair_base() {
             warp.set_ready_at(ins.dst.pair_high(), done_at);
-            warp.set_verdict_at(ins.dst.pair_high(), verdict_at);
+            warp.set_verdict_at(ins.dst.pair_high(), done_at);
         }
         warp.pc += 1;
     }
 
-    fn issue_heap_call(
+    fn issue_heap_phase_a(
         &mut self,
         w: usize,
         ins: &Instruction,
         exec_mask: LaneMask,
-        now: u64,
-        res: &mut StepResources<'_>,
+        ev: &mut IssueEvent,
     ) {
-        let lanes: Vec<usize> = self.warps[w].active_lanes().collect();
-        let mut violation = None;
-        for l in lanes {
+        // Heap calls always defer (even with no active lane the serial path
+        // still counted the call and advanced pc — phase B reproduces that).
+        let malloc = ins.opcode == Opcode::Malloc;
+        let mut lanes: Vec<(usize, u64)> = Vec::new();
+        let lane_ids: Vec<usize> = self.warps[w].active_lanes().collect();
+        for l in lane_ids {
             if exec_mask & (1 << l) == 0 {
                 continue;
             }
-            let gtid = self.warps[w].base_tid + l as u64;
-            match ins.opcode {
-                Opcode::Malloc => {
-                    let size = self.fetch32(w, l, &ins.srcs[0]) as u64;
-                    let ptr = res.heap.malloc(gtid as usize, size).unwrap_or(0);
-                    self.warps[w].write64(l, ins.dst, ptr);
-                    res.stats.mallocs += 1;
-                }
-                Opcode::Free => {
-                    let raw = self.fetch64(w, l, &ins.srcs[0]);
-                    res.stats.frees += 1;
-                    if let Err(e) = res.heap.free(raw) {
-                        let kind = match e {
-                            AllocError::DoubleFree(_) => TemporalKind::DoubleFree,
-                            _ => TemporalKind::InvalidFree,
-                        };
-                        violation = Some((l, Violation::Temporal(kind)));
-                    }
-                }
-                _ => unreachable!(),
-            }
-        }
-        let warp = &mut self.warps[w];
-        let pc = warp.pc;
-        if ins.opcode == Opcode::Malloc {
-            let done_at = now + res.cfg.heap_call_latency as u64;
-            warp.set_ready_at_mem(ins.dst, done_at);
-            if ins.dst.is_valid_pair_base() {
-                warp.set_ready_at_mem(ins.dst.pair_high(), done_at);
-            }
-        }
-        res.sink.counters.inc(Scope::Sm(self.id), "heap_calls");
-        if res.sink.tracer.is_enabled() {
-            res.sink.tracer.complete_with(
-                ins.opcode.mnemonic(),
-                TraceEventKind::HeapCall,
-                self.id,
-                w,
-                now,
-                res.cfg.heap_call_latency as u64,
-                &[("pc", pc as u64)],
-            );
-        }
-        warp.pc += 1;
-        if let Some((lane, v)) = violation {
-            let event = ViolationEvent {
-                sm: self.id,
-                warp: w,
-                pc: warp.pc - 1,
-                global_tid: warp.base_tid + lane as u64,
-                violation: v,
+            let value = if malloc {
+                self.fetch32(w, l, &ins.srcs[0]) as u64
+            } else {
+                self.fetch64(w, l, &ins.srcs[0])
             };
-            res.stats.violations.push(event);
-            if res.cfg.halt_on_violation {
-                warp.stack.clear();
-                warp.retire_lanes(warp.mask);
-            }
+            lanes.push((l, value));
         }
+        ev.shared = Some(SharedOp::Heap {
+            dst: ins.dst,
+            pair: ins.dst.is_valid_pair_base(),
+            malloc,
+            lanes,
+        });
     }
 
-    fn issue_mem(
+    fn issue_mem_phase_a(
         &mut self,
         w: usize,
         ins: &Instruction,
         exec_mask: LaneMask,
         now: u64,
-        res: &mut StepResources<'_>,
+        cfg: &GpuConfig,
+        ev: &mut IssueEvent,
     ) {
         let mem = ins.mem.expect("memory instruction carries a MemRef");
         let space = ins.opcode.mem_space().unwrap_or(MemSpace::Global);
-        res.stats.record_mem(space);
-        let pc = self.warps[w].pc;
-        // `stats.issued` was already bumped for this instruction, so it is a
-        // unique id shared by every lane of this warp-level issue.
-        let issue_index = res.stats.issued;
-        res.sink.counters.inc(Scope::Sm(self.id), "mem_insts");
+        ev.mem_space = Some(space);
 
-        // Constant loads resolve against the launch context.
+        // Constant loads resolve against the launch context — fully local.
         if ins.opcode == Opcode::Ldc {
             let lanes: Vec<usize> = self.warps[w].active_lanes().collect();
             for l in lanes {
@@ -648,7 +727,7 @@ impl Sm {
                 }
             }
             let warp = &mut self.warps[w];
-            let done_at = now + res.cfg.const_latency as u64;
+            let done_at = now + cfg.const_latency as u64;
             warp.set_ready_at_mem(ins.dst, done_at);
             if mem.width == 8 && ins.dst.is_valid_pair_base() {
                 warp.set_ready_at_mem(ins.dst.pair_high(), done_at);
@@ -657,173 +736,69 @@ impl Sm {
             return;
         }
 
-        // Per-lane address computation and mechanism check.
-        let lanes: Vec<usize> = self.warps[w].active_lanes().collect();
-        let mut ok_lanes: Vec<(usize, u64)> = Vec::with_capacity(lanes.len());
-        let mut faulted = false;
-        let mut extra_cycles = 0u32;
-        let mut metadata_addrs: Vec<u64> = Vec::new();
-        for l in lanes {
+        // Address generation and store-data collection are per-lane local
+        // work; the mechanism check, timing and data movement defer.
+        let is_store = ins.opcode.is_store();
+        let value_reg = match ins.srcs[0] {
+            Operand::Reg(r) => r,
+            _ => Reg::RZ,
+        };
+        let stack_bytes = cfg.stack_bytes;
+        let warp = &self.warps[w];
+        let warp_base = warp.base_tid;
+        // Local memory is physically interleaved per lane (like real GPUs),
+        // so a warp spilling the same stack offset coalesces to one
+        // transaction; timing addresses reflect that layout.
+        let timing_addr = |lane: usize, vaddr: u64| -> u64 {
+            if space != MemSpace::Local {
+                return vaddr;
+            }
+            let gtid = warp_base + lane as u64;
+            let window = lmi_mem::layout::local_window_base(gtid, stack_bytes);
+            let offset = vaddr.wrapping_sub(window);
+            if offset >= stack_bytes {
+                return vaddr; // escaped the window: keep the flat address
+            }
+            lmi_mem::layout::LOCAL_BASE + (warp_base * stack_bytes) + offset * 32 + lane as u64 * 4
+        };
+        let mut lanes: Vec<LaneMem> = Vec::new();
+        for l in warp.active_lanes() {
             if exec_mask & (1 << l) == 0 {
                 continue;
             }
-            let warp = &self.warps[w];
             let raw = warp.read64(l, mem.addr).wrapping_add(mem.offset as i64 as u64);
             let vaddr = raw & ADDR_MASK;
-            let ctx = MemAccessCtx {
-                space,
+            let store_value = if is_store {
+                if mem.width == 8 {
+                    warp.read64(l, value_reg)
+                } else {
+                    warp.read(l, value_reg) as u64
+                }
+            } else {
+                0
+            };
+            lanes.push(LaneMem {
+                lane: l,
                 raw,
                 vaddr,
-                width: mem.width,
-                is_store: ins.opcode.is_store(),
-                global_tid: warp.base_tid + l as u64,
-                pc,
-                lane: l,
-                issue_index,
-            };
-            let check = res.mechanism.on_mem_access(&ctx);
-            extra_cycles = extra_cycles.max(check.extra_cycles);
-            if let Some(addr) = check.metadata_addr {
-                metadata_addrs.push(addr);
-            }
-            match check.violation {
-                Some(v) => {
-                    faulted = true;
-                    res.stats.violations.push(ViolationEvent {
-                        sm: self.id,
-                        warp: w,
-                        pc,
-                        global_tid: ctx.global_tid,
-                        violation: v,
-                    });
-                    res.sink.counters.inc(Scope::Mechanism(res.mechanism.name()), "faults");
-                    if res.sink.tracer.is_enabled() {
-                        res.sink.tracer.instant(
-                            "fault",
-                            TraceEventKind::EcFault,
-                            self.id,
-                            w,
-                            now,
-                            &[("pc", pc as u64), ("lane", l as u64)],
-                        );
-                    }
-                    // Close the poison→fault provenance loop (§XII-A): if
-                    // this lane's pointer was poisoned earlier, report the
-                    // latency between poisoning and detection.
-                    if let Some(record) = res.sink.forensics.record_fault(FaultEvent {
-                        sm: self.id,
-                        warp: w,
-                        lane: l,
-                        pc,
-                        cycle: now,
-                        instr_index: issue_index,
-                    }) {
-                        res.stats.forensics.push(record);
-                    }
-                }
-                None => ok_lanes.push((l, vaddr)),
-            }
+                timing_addr: timing_addr(l, vaddr),
+                store_value,
+            });
         }
-
-        if faulted && res.cfg.halt_on_violation {
-            let warp = &mut self.warps[w];
-            warp.stack.clear();
-            warp.retire_lanes(warp.mask);
-            return;
-        }
-
-        // Timing: mechanism metadata fetches complete FIRST (bounds must be
-        // known before the access may issue — check-before-access), then the
-        // coalesced transactions (or the fixed shared-memory path).
-        metadata_addrs.sort_unstable();
-        metadata_addrs.dedup();
-        let issued_at = now;
-        let mut access_start = now;
-        for addr in &metadata_addrs {
-            access_start = access_start.max(res.hierarchy.metadata_fetch(*addr, now));
-        }
-        let now = access_start;
-        let mut done_at = now;
-        let mut line_count = 1u64;
-        if space == MemSpace::Shared {
-            done_at = res.hierarchy.access_shared(now);
-            res.stats.transactions += 1;
+        let lines = if space == MemSpace::Shared {
+            Vec::new()
         } else {
-            // Local memory is physically interleaved per lane (like real
-            // GPUs), so a warp spilling the same stack offset coalesces to
-            // one transaction; timing addresses reflect that layout.
-            let stack_bytes = res.cfg.stack_bytes;
-            let warp_base = self.warps[w].base_tid;
-            let timing_addr = |lane: usize, vaddr: u64| -> u64 {
-                if space != MemSpace::Local {
-                    return vaddr;
-                }
-                let gtid = warp_base + lane as u64;
-                let window = lmi_mem::layout::local_window_base(gtid, stack_bytes);
-                let offset = vaddr.wrapping_sub(window);
-                if offset >= stack_bytes {
-                    return vaddr; // escaped the window: keep the flat address
-                }
-                lmi_mem::layout::LOCAL_BASE
-                    + (warp_base * stack_bytes)
-                    + offset * 32
-                    + lane as u64 * 4
-            };
-            let lines = coalesce(
-                ok_lanes.iter().map(|&(l, a)| timing_addr(l, a)),
-                res.cfg.hierarchy.l1.line_bytes,
-            );
-            res.stats.transactions += lines.len() as u64;
-            line_count = lines.len() as u64;
-            for line in lines {
-                done_at = done_at.max(res.hierarchy.access_dram_backed(self.id, line, now));
-            }
-        }
-        done_at += extra_cycles as u64;
-        res.sink.counters.add(Scope::Sm(self.id), "transactions", line_count);
-        if res.sink.tracer.is_enabled() && !ok_lanes.is_empty() {
-            res.sink.tracer.complete_with(
-                ins.opcode.mnemonic(),
-                TraceEventKind::MemTransaction,
-                self.id,
-                w,
-                issued_at,
-                done_at.saturating_sub(issued_at).max(1),
-                &[("pc", pc as u64), ("lines", line_count), ("lanes", ok_lanes.len() as u64)],
-            );
-        }
-
-        // Data movement.
-        if ins.opcode.is_store() {
-            let value_reg = match ins.srcs[0] {
-                Operand::Reg(r) => r,
-                _ => Reg::RZ,
-            };
-            for &(l, vaddr) in &ok_lanes {
-                let v = if mem.width == 8 {
-                    self.warps[w].read64(l, value_reg)
-                } else {
-                    self.warps[w].read(l, value_reg) as u64
-                };
-                res.memory.write(vaddr, v, mem.width);
-            }
-        } else {
-            for &(l, vaddr) in &ok_lanes {
-                let v = res.memory.read(vaddr, mem.width);
-                let warp = &mut self.warps[w];
-                if mem.width == 8 {
-                    warp.write64(l, ins.dst, v);
-                } else {
-                    warp.write(l, ins.dst, v as u32);
-                }
-            }
-            let warp = &mut self.warps[w];
-            warp.set_ready_at_mem(ins.dst, done_at);
-            if mem.width == 8 && ins.dst.is_valid_pair_base() {
-                warp.set_ready_at_mem(ins.dst.pair_high(), done_at);
-            }
-        }
-        self.warps[w].pc += 1;
+            coalesce(lanes.iter().map(|m| m.timing_addr), cfg.hierarchy.l1.line_bytes)
+        };
+        ev.shared = Some(SharedOp::Mem {
+            dst: ins.dst,
+            pair: mem.width == 8 && ins.dst.is_valid_pair_base(),
+            width: mem.width,
+            is_store,
+            space,
+            lanes,
+            lines,
+        });
     }
 
     fn release_barriers(&mut self) {

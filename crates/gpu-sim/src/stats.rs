@@ -60,7 +60,10 @@ impl StallBreakdown {
 }
 
 /// Aggregate statistics of one kernel run.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` is derived so the determinism suite can assert that runs at
+/// different `--sim-threads` settings are bit-identical.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Total cycles until the last warp retired.
     pub cycles: u64,

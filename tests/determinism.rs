@@ -1,0 +1,190 @@
+//! Determinism of the parallel engine (`lmi-sim::engine`).
+//!
+//! The contract under test: for any workload, any mechanism, and any
+//! `sim_threads` setting, a run produces **bit-identical** results — the
+//! full `SimStats` record (cycles, per-SM L1 deltas, L2, MSHR, DRAM,
+//! violations, forensics), every scoped telemetry counter, the trace-event
+//! ring in arrival order, and the functional memory image. Thread count
+//! may only change wall-clock time.
+
+use lmi_alloc::AlignmentPolicy;
+use lmi_core::PtrConfig;
+use lmi_isa::{abi, HintBits, Instruction, MemRef, ProgramBuilder, Reg};
+use lmi_mem::layout;
+use lmi_sim::{Gpu, GpuConfig, Launch, LmiMechanism, Mechanism, NullMechanism, SimStats};
+use lmi_telemetry::{Scope, SplitMix64, TelemetrySink, TraceRecord};
+use lmi_workloads::{all_workloads, prepare, WorkloadSpec};
+
+/// Everything observable about one run.
+#[derive(Debug, PartialEq)]
+struct RunImage {
+    stats: SimStats,
+    counters: Vec<(Scope, &'static str, u64)>,
+    traces: Vec<TraceRecord>,
+    memory_probe: Vec<u64>,
+}
+
+/// Runs `launch` at `threads` worker threads with full telemetry and
+/// snapshots every observable output. `probe` lists addresses whose final
+/// functional-memory words are captured.
+fn run_at(
+    cfg: GpuConfig,
+    threads: usize,
+    launch: &Launch,
+    mechanism: &mut dyn Mechanism,
+    probe: &[u64],
+) -> RunImage {
+    let mut gpu = Gpu::new(cfg.with_sim_threads(threads));
+    let mut sink = TelemetrySink::with_trace_capacity(1 << 14);
+    let stats = gpu.run_with_telemetry(launch, mechanism, &mut sink);
+    RunImage {
+        stats,
+        counters: sink.counters.iter().collect(),
+        traces: sink.tracer.records().cloned().collect(),
+        memory_probe: probe.iter().map(|&a| gpu.memory.read(a, 8)).collect(),
+    }
+}
+
+/// Asserts that `threads` ∈ {2, 8, …} reproduce the serial image exactly.
+fn assert_thread_invariant(
+    cfg: GpuConfig,
+    launch: &Launch,
+    mut mech: impl FnMut() -> Box<dyn Mechanism>,
+    probe: &[u64],
+    label: &str,
+) {
+    let serial = run_at(cfg, 1, launch, mech().as_mut(), probe);
+    assert!(serial.stats.cycles > 0, "{label}: kernel ran");
+    for threads in [2, 8] {
+        let parallel = run_at(cfg, threads, launch, mech().as_mut(), probe);
+        assert_eq!(serial.stats, parallel.stats, "{label}: SimStats diverged at {threads} threads");
+        assert_eq!(
+            serial.counters, parallel.counters,
+            "{label}: telemetry counters diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial.traces, parallel.traces,
+            "{label}: trace ring diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial.memory_probe, parallel.memory_probe,
+            "{label}: functional memory diverged at {threads} threads"
+        );
+    }
+}
+
+fn workload(name: &str) -> WorkloadSpec {
+    all_workloads().into_iter().find(|w| w.name == name).unwrap()
+}
+
+#[test]
+fn seeded_workloads_are_bit_identical_across_thread_counts() {
+    // Three contrasting profiles: compute-heavy, barrier/wavefront, and
+    // uncoalesced-memory-heavy.
+    for name in ["hotspot", "needle", "bfs"] {
+        let spec = workload(name).scaled_down(4);
+        let prepared = prepare(&spec, AlignmentPolicy::PowerOfTwo);
+        let probe: Vec<u64> = prepared.buffers.iter().map(|&(base, _)| base).collect();
+        assert_thread_invariant(
+            GpuConfig::small(),
+            &prepared.launch,
+            || Box::new(LmiMechanism::default_config()),
+            &probe,
+            name,
+        );
+    }
+}
+
+#[test]
+fn null_mechanism_runs_are_bit_identical_across_thread_counts() {
+    let spec = workload("backprop").scaled_down(4);
+    let prepared = prepare(&spec, AlignmentPolicy::CudaDefault);
+    assert_thread_invariant(
+        GpuConfig::small(),
+        &prepared.launch,
+        || Box::new(NullMechanism),
+        &[],
+        "backprop/null",
+    );
+}
+
+#[test]
+fn violation_forensics_are_bit_identical_across_thread_counts() {
+    // Every warp escapes its buffer (marked pointer bump past the extent),
+    // so poisons, faults, forensics records and halted warps occur on
+    // several SMs at once — the shared-state-heaviest path the engine has.
+    let cfg_ptr = PtrConfig::default();
+    let buf =
+        lmi_core::DevicePtr::encode(layout::GLOBAL_BASE + 0x10000, 256, &cfg_ptr).unwrap().raw();
+    let mut b = ProgramBuilder::new("oob-wide");
+    b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
+    b.push(Instruction::iadd64(Reg(4), Reg(4), 4096).with_hints(HintBits::check_operand(0)));
+    b.push(Instruction::mov(Reg(0), 1));
+    b.push(Instruction::stg(MemRef::new(Reg(4), 0, 4), Reg(0)));
+    b.push(Instruction::exit());
+    let launch = Launch::new(b.build()).grid(8).block(64).param(buf);
+
+    let mut cfg = GpuConfig::small();
+    cfg.halt_on_violation = true;
+    assert_thread_invariant(
+        cfg,
+        &launch,
+        || Box::new(LmiMechanism::default_config()),
+        &[layout::GLOBAL_BASE + 0x10000 + 4096],
+        "oob-wide",
+    );
+
+    // Sanity that the scenario really exercised the forensic machinery.
+    let mut mech = LmiMechanism::default_config();
+    let image = run_at(cfg, 8, &launch, &mut mech, &[]);
+    assert!(image.stats.violated());
+    assert!(!image.stats.forensics.is_empty());
+    assert_eq!(image.memory_probe.len(), 0);
+}
+
+#[test]
+fn kernel_malloc_runs_are_bit_identical_across_thread_counts() {
+    // Device-side malloc serializes through the shared heap: allocation
+    // order (and thus returned pointers) must not depend on threads.
+    let mut b = ProgramBuilder::new("heap");
+    b.push(Instruction::mov(Reg(1), 96));
+    b.push(Instruction::malloc(Reg(4), Reg(1)));
+    b.push(Instruction::stg(MemRef::new(Reg(4), 0, 8), Reg(4)));
+    b.push(Instruction::exit());
+    let launch = Launch::new(b.build()).grid(6).block(64);
+    assert_thread_invariant(
+        GpuConfig::small(),
+        &launch,
+        || Box::new(LmiMechanism::default_config()),
+        &[],
+        "heap",
+    );
+}
+
+#[test]
+fn random_kernels_property_bit_identical_across_thread_counts() {
+    // Property test: randomized variations of the Table V generator specs
+    // must stay thread-count invariant. SplitMix64 keeps it reproducible.
+    let mut rng = SplitMix64::new(0x1E71_0001);
+    let base = all_workloads();
+    for case in 0..6u64 {
+        let mut spec = base[rng.below(base.len() as u64) as usize].clone();
+        spec.iters = rng.range(2, 6) as u32;
+        spec.blocks = rng.range(4, 17) as usize;
+        spec.threads_per_block = 32 << rng.below(3); // 32/64/128
+        spec.compute_per_mem = rng.below(8) as u32;
+        spec.ptr_ops_per_mem_x2 = rng.range(1, 5) as u32;
+        spec.uncoalesced = rng.below(2) == 1;
+        spec.barrier_per_iter = rng.below(2) == 1;
+        let prepared = prepare(&spec, AlignmentPolicy::PowerOfTwo);
+        let probe: Vec<u64> = prepared.buffers.iter().map(|&(b, _)| b).collect();
+        let label = format!("random case {case} ({})", spec.name);
+        assert_thread_invariant(
+            GpuConfig::small(),
+            &prepared.launch,
+            || Box::new(LmiMechanism::default_config()),
+            &probe,
+            &label,
+        );
+    }
+}
