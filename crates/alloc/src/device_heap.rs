@@ -78,6 +78,9 @@ pub struct DeviceHeap {
     group_span: u64,
     groups: Vec<Mutex<Group>>,
     stats: Mutex<DeviceHeapStats>,
+    /// Owning runtime tenant when this heap is one arena of a partitioned
+    /// multi-tenant device heap (`lmi-runtime`). Attribution only.
+    tenant: Option<usize>,
 }
 
 impl DeviceHeap {
@@ -103,7 +106,25 @@ impl DeviceHeap {
             group_span,
             groups: (0..groups).map(|_| Mutex::new(Group::default())).collect(),
             stats: Mutex::new(DeviceHeapStats::default()),
+            tenant: None,
         }
+    }
+
+    /// Tags the heap with its owning runtime tenant (builder style).
+    pub fn with_tenant(mut self, tenant: usize) -> DeviceHeap {
+        self.tenant = Some(tenant);
+        self
+    }
+
+    /// The owning tenant, if the heap is tenant-tagged.
+    pub fn tenant(&self) -> Option<usize> {
+        self.tenant
+    }
+
+    /// The heap's arena as `[base, end)` — disjoint per tenant, so a raw
+    /// device address attributes to at most one tenant heap.
+    pub fn arena_range(&self) -> std::ops::Range<u64> {
+        self.arena_base..self.arena_base + self.groups.len() as u64 * self.group_span
     }
 
     /// Number of buffer groups.

@@ -60,6 +60,10 @@ pub struct GlobalAllocator {
     free: BTreeMap<u64, Vec<u64>>,
     rss: RssStats,
     alloc_count: u64,
+    /// Owning runtime tenant, if this arena is one slice of a partitioned
+    /// multi-tenant address space (`lmi-runtime`). Pure attribution
+    /// metadata: allocation behaviour is unchanged.
+    tenant: Option<usize>,
 }
 
 impl GlobalAllocator {
@@ -85,7 +89,25 @@ impl GlobalAllocator {
             free: BTreeMap::new(),
             rss: RssStats::default(),
             alloc_count: 0,
+            tenant: None,
         }
+    }
+
+    /// Tags the arena with its owning runtime tenant (builder style).
+    pub fn with_tenant(mut self, tenant: usize) -> GlobalAllocator {
+        self.tenant = Some(tenant);
+        self
+    }
+
+    /// The owning tenant, if the arena is tenant-tagged.
+    pub fn tenant(&self) -> Option<usize> {
+        self.tenant
+    }
+
+    /// `true` if `addr` falls inside this arena's address range — the
+    /// runtime's "whose memory is this?" attribution primitive.
+    pub fn owns(&self, addr: u64) -> bool {
+        (self.arena_base..self.arena_end).contains(&addr)
     }
 
     /// A convenience constructor over the standard global arena

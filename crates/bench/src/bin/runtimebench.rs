@@ -1,0 +1,235 @@
+//! `runtimebench` — multi-stream runtime benchmark and the generator of
+//! the committed `BENCH_sim.json` baseline.
+//!
+//! Sweeps the canned `lmi_workloads::runtime_mixes()` (1, 2 and 4
+//! streams) through the `lmi-runtime` scheduler twice per mix:
+//!
+//! * **concurrent** — streams submitted as written; kernels from
+//!   different streams share the GPU on disjoint SM partitions and
+//!   copies overlap compute;
+//! * **serial** — the identical submissions chained behind events so
+//!   every stream waits for the previous one: the back-to-back baseline.
+//!
+//! The headline metric is **simulated cycles** (overlap speedup =
+//! serial / concurrent), which is host-independent — wall-clock numbers
+//! are recorded but secondary, since simulated time is what the
+//! deterministic engine actually models. Every mix additionally runs at
+//! `sim_threads` ∈ {1, 2} (plus 8 in full mode) and asserts the whole
+//! `RuntimeReport`, every counter, and all event stamps bit-identical —
+//! the benchmark doubles as a determinism check on the runtime layer.
+//!
+//! Usage: `runtimebench [--quick] [--json] [--out PATH]`
+//!
+//! * `--quick` — 8-SM config (CI smoke); default is the 80-SM Table IV.
+//! * `--out`   — report path (default `BENCH_sim.json`).
+//! * `--json`  — also print the document on stdout.
+
+use std::time::Instant;
+
+use lmi_bench::report::{self, ReportOpts};
+use lmi_bench::{geomean, print_row};
+use lmi_runtime::{Runtime, RuntimeReport};
+use lmi_sim::GpuConfig;
+use lmi_telemetry::Json;
+use lmi_workloads::{prepare_in, runtime_mixes, TrafficMix};
+
+/// Builds a runtime, submits the whole mix, synchronizes, and returns
+/// the report plus the drain wall-clock. `serialize` chains each stream
+/// behind the previous via events — the back-to-back baseline.
+fn run_mix(mix: &TrafficMix, cfg: GpuConfig, serialize: bool) -> (RuntimeReport, f64) {
+    let mut rt = Runtime::new(cfg);
+    let tenants: Vec<usize> =
+        mix.tenants.iter().map(|&protected| rt.add_tenant(protected)).collect();
+    let streams: Vec<usize> = mix
+        .streams
+        .iter()
+        .map(|t| rt.create_stream(tenants[t.tenant]).expect("tenant exists"))
+        .collect();
+    let mut chain: Option<usize> = None;
+    for (i, traffic) in mix.streams.iter().enumerate() {
+        let spec = mix.spec_of(i);
+        let tenant = tenants[traffic.tenant];
+        let prepared = prepare_in(&spec, &mut rt.tenant_mut(tenant).allocator);
+        let stream = streams[i];
+        if serialize {
+            if let Some(prev) = chain {
+                rt.wait_event(stream, prev).expect("event exists");
+            }
+        }
+        let buf = prepared.launch.params[0];
+        let words: Vec<u64> = (0..traffic.h2d_words as u64).collect();
+        rt.memcpy_h2d(stream, buf, &words).expect("stream exists");
+        rt.launch(stream, prepared.launch).expect("workload launches are valid");
+        rt.memcpy_d2h(stream, buf, traffic.d2h_bytes).expect("stream exists");
+        if serialize {
+            let ev = rt.create_event();
+            rt.record_event(stream, ev).expect("event exists");
+            chain = Some(ev);
+        }
+    }
+    let t0 = Instant::now();
+    rt.synchronize().expect("mix drains without deadlock");
+    let wall = t0.elapsed().as_secs_f64();
+    (rt.report().clone(), wall)
+}
+
+/// Collects the determinism fingerprint of a mix at one thread count:
+/// the full report, every scoped counter, and all event stamps.
+fn fingerprint(mix: &TrafficMix, cfg: GpuConfig, threads: usize) -> (RuntimeReport, String) {
+    let mut rt = Runtime::new(cfg.with_sim_threads(threads));
+    let tenants: Vec<usize> =
+        mix.tenants.iter().map(|&protected| rt.add_tenant(protected)).collect();
+    for (i, traffic) in mix.streams.iter().enumerate() {
+        let spec = mix.spec_of(i);
+        let tenant = tenants[traffic.tenant];
+        let prepared = prepare_in(&spec, &mut rt.tenant_mut(tenant).allocator);
+        let stream = rt.create_stream(tenant).expect("tenant exists");
+        let buf = prepared.launch.params[0];
+        let words: Vec<u64> = (0..traffic.h2d_words as u64).collect();
+        rt.memcpy_h2d(stream, buf, &words).expect("stream exists");
+        rt.launch(stream, prepared.launch).expect("workload launches are valid");
+        rt.memcpy_d2h(stream, buf, traffic.d2h_bytes).expect("stream exists");
+        let ev = rt.create_event();
+        rt.record_event(stream, ev).expect("event exists");
+    }
+    rt.synchronize().expect("mix drains without deadlock");
+    let counters = rt.counters().to_json().to_compact();
+    let events: Vec<String> =
+        (0..mix.streams.len()).map(|e| format!("{:?}", rt.event_time(e))).collect();
+    (rt.report().clone(), format!("{counters}|{}", events.join(",")))
+}
+
+fn main() {
+    let opts = ReportOpts::from_env();
+    let mut quick = false;
+    let mut out_path = "BENCH_sim.json".to_string();
+    let mut it = opts.positional.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = it.next().expect("--out needs a path").clone(),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let cfg = if quick { GpuConfig::small() } else { GpuConfig::table4() };
+    let thread_matrix: &[usize] = if quick { &[1, 2] } else { &[1, 2, 8] };
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    println!(
+        "runtimebench: {} SMs, determinism matrix sim_threads={thread_matrix:?}, \
+         {host_cores} host core(s){}",
+        cfg.num_sms,
+        if quick { " [quick]" } else { "" },
+    );
+    print_row(
+        "mix",
+        &["streams", "serial cyc", "conc cyc", "overlap", "kernels", "wall ms"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+    );
+
+    let mut rows = Vec::new();
+    let mut overlaps = Vec::new();
+    let wall0 = Instant::now();
+    for mix in runtime_mixes() {
+        let (concurrent, conc_wall) = run_mix(&mix, cfg.with_sim_threads(1), false);
+        let (serial, _) = run_mix(&mix, cfg.with_sim_threads(1), true);
+        // Determinism: the concurrent schedule is bit-identical at every
+        // worker-thread count — report, counters, and event stamps.
+        let (ref_report, ref_counters) = fingerprint(&mix, cfg, thread_matrix[0]);
+        for &threads in &thread_matrix[1..] {
+            let (rep, ctrs) = fingerprint(&mix, cfg, threads);
+            assert_eq!(ref_report, rep, "{}: report diverged at {threads} threads", mix.name);
+            assert_eq!(ref_counters, ctrs, "{}: counters diverged at {threads} threads", mix.name);
+        }
+        let overlap = serial.total_cycles as f64 / concurrent.total_cycles as f64;
+        if mix.streams.len() > 1 {
+            assert!(
+                concurrent.total_cycles < serial.total_cycles,
+                "{}: concurrent streams must beat back-to-back ({} vs {})",
+                mix.name,
+                concurrent.total_cycles,
+                serial.total_cycles
+            );
+        }
+        overlaps.push(overlap);
+        print_row(
+            mix.name,
+            &[
+                format!("{}", mix.streams.len()),
+                format!("{}", serial.total_cycles),
+                format!("{}", concurrent.total_cycles),
+                format!("{overlap:.2}x"),
+                format!("{}", concurrent.kernels.len()),
+                format!("{:.1}", conc_wall * 1e3),
+            ],
+        );
+        let kernels = concurrent
+            .kernels
+            .iter()
+            .map(|k| {
+                Json::obj()
+                    .with("name", k.name.as_str())
+                    .with("stream", k.stream as u64)
+                    .with("tenant", k.tenant as u64)
+                    .with("sm_first", k.partition.start as u64)
+                    .with("sm_count", k.partition.len() as u64)
+                    .with("cycles", k.stats.cycles)
+                    .with("started_at", k.started_at)
+                    .with("completed_at", k.completed_at)
+            })
+            .collect();
+        rows.push(
+            Json::obj()
+                .with("mix", mix.name)
+                .with("streams", mix.streams.len() as u64)
+                .with("tenants", mix.tenants.len() as u64)
+                .with("serial_cycles", serial.total_cycles)
+                .with("concurrent_cycles", concurrent.total_cycles)
+                .with("overlap_speedup", overlap)
+                .with("copies", concurrent.copies.len() as u64)
+                .with("kernels", Json::Arr(kernels))
+                .with(
+                    "determinism",
+                    Json::Arr(thread_matrix.iter().map(|&t| Json::from(t as u64)).collect()),
+                )
+                .with("wall_ms", conc_wall * 1e3),
+        );
+    }
+    let total_secs = wall0.elapsed().as_secs_f64();
+
+    let gm = geomean(overlaps.iter().copied());
+    println!(
+        "\ngeomean overlap speedup {gm:.2}x (simulated cycles, serial / concurrent); \
+         determinism verified at sim_threads={thread_matrix:?}; total {total_secs:.1}s"
+    );
+
+    let mut doc = report::envelope(
+        "runtimebench",
+        Json::obj()
+            .with("git_rev", report::git_rev())
+            .with("quick", quick)
+            .with("num_sms", cfg.num_sms)
+            .with("host_cores", host_cores)
+            .with(
+                "determinism_threads",
+                Json::Arr(thread_matrix.iter().map(|&t| Json::from(t as u64)).collect()),
+            )
+            .with("mixes", Json::Arr(rows))
+            .with(
+                "summary",
+                Json::obj().with("geomean_overlap_speedup", gm).with("total_wall_s", total_secs),
+            ),
+    );
+    doc.set("schema_version", 2u64);
+    if let Err(e) = std::fs::write(&out_path, doc.to_pretty()) {
+        eprintln!("warning: could not write {out_path}: {e}");
+    } else {
+        println!("report written to {out_path}");
+    }
+    if opts.json {
+        report::emit(&doc);
+    }
+}

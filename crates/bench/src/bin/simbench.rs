@@ -7,10 +7,12 @@
 //! are asserted bit-identical, so every benchmark run doubles as a
 //! determinism check on real workloads.
 //!
-//! Output is a `BENCH_sim.json` document (schema in `EXPERIMENTS.md`):
-//! wall-clock per run, kilo-warp-instructions per second, thread count,
-//! host core count and git revision, so numbers from different machines
-//! and commits stay comparable.
+//! Output is a JSON document (schema in `EXPERIMENTS.md`): wall-clock per
+//! run, kilo-warp-instructions per second, thread count, host core count
+//! and git revision, so numbers from different machines and commits stay
+//! comparable. Note: the *committed* `BENCH_sim.json` baseline is owned by
+//! `runtimebench` (schema v2, simulated-cycle-led); pass `--out` here when
+//! you don't want to clobber it.
 //!
 //! Usage: `simbench [--quick] [--json] [--sim-threads N] [--out PATH]`
 //!
@@ -119,24 +121,6 @@ fn spec_for(name: &str, quick: bool) -> WorkloadSpec {
     spec
 }
 
-fn git_rev() -> String {
-    let out = std::process::Command::new("git").args(["rev-parse", "--short", "HEAD"]).output();
-    if let Ok(out) = out {
-        if out.status.success() {
-            let mut rev = String::from_utf8_lossy(&out.stdout).trim().to_string();
-            let dirty = std::process::Command::new("git").args(["status", "--porcelain"]).output();
-            if dirty.map(|d| !d.stdout.is_empty()).unwrap_or(false) {
-                rev.push_str("-dirty");
-            }
-            return rev;
-        }
-    }
-    match std::env::var("GITHUB_SHA") {
-        Ok(sha) => sha.chars().take(12).collect(),
-        Err(_) => "unknown".to_string(),
-    }
-}
-
 fn kips(issued: u64, secs: f64) -> f64 {
     if secs > 0.0 {
         issued as f64 / secs / 1e3
@@ -166,7 +150,7 @@ fn main() {
     let cfg = if quick { GpuConfig::small() } else { GpuConfig::table4() };
     let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let threads = threads_arg.unwrap_or(host_cores).clamp(1, cfg.num_sms);
-    let rev = git_rev();
+    let rev = report::git_rev();
 
     println!(
         "simbench: {} SMs, {} worker thread(s) vs serial, {} host core(s), rev {}{}",
@@ -218,6 +202,9 @@ fn main() {
                 Json::obj()
                     .with("kernel", kernel)
                     .with("mechanism", mech.name())
+                    // One kernel at a time; multi-stream rows come from
+                    // `runtimebench`, which owns the committed baseline.
+                    .with("streams", 1u64)
                     .with("cycles", serial_stats.cycles)
                     .with("instructions", serial_stats.issued)
                     .with(

@@ -58,3 +58,24 @@ pub fn envelope(experiment: &str, body: Json) -> Json {
 pub fn emit(doc: &Json) {
     println!("{}", doc.to_compact());
 }
+
+/// Short git revision of the working tree (`-dirty` suffixed when the
+/// tree has local changes), falling back to `GITHUB_SHA` then "unknown".
+/// Stamped into the committed benchmark baselines for provenance.
+pub fn git_rev() -> String {
+    let out = std::process::Command::new("git").args(["rev-parse", "--short", "HEAD"]).output();
+    if let Ok(out) = out {
+        if out.status.success() {
+            let mut rev = String::from_utf8_lossy(&out.stdout).trim().to_string();
+            let dirty = std::process::Command::new("git").args(["status", "--porcelain"]).output();
+            if dirty.map(|d| !d.stdout.is_empty()).unwrap_or(false) {
+                rev.push_str("-dirty");
+            }
+            return rev;
+        }
+    }
+    match std::env::var("GITHUB_SHA") {
+        Ok(sha) => sha.chars().take(12).collect(),
+        Err(_) => "unknown".to_string(),
+    }
+}

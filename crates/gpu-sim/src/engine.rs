@@ -51,16 +51,40 @@ use crate::mechanism::{Mechanism, MemAccessCtx};
 use crate::sm::{CycleEvents, IssueEvent, LaneMem, OpResult, SharedOp, Sm};
 use crate::stats::{SimStats, ViolationEvent};
 
+/// Per-kernel shared state: each kernel resident on the GPU owns its own
+/// mechanism instance, statistics, and device heap. A classic single-kernel
+/// run is the one-slot case.
+pub(crate) struct KernelSlot<'a> {
+    pub mechanism: &'a mut dyn Mechanism,
+    pub stats: &'a mut SimStats,
+    pub heap: &'a DeviceHeap,
+}
+
 /// The shared-state half of the machine, borrowed once per run (the serial
 /// engine used to rebuild an equivalent struct per SM per cycle).
+///
+/// Machine-wide state (hierarchy, functional store, telemetry) is one
+/// instance; kernel-owned state lives in [`KernelSlot`]s, routed by
+/// `kernel_of_sm` so concurrent kernels on disjoint SM partitions keep
+/// their mechanisms, heaps and stats separate while *sharing* the L2/DRAM
+/// — contention between tenants is modeled, isolation of metadata is not
+/// compromised.
 pub(crate) struct SharedCtx<'a> {
     pub hierarchy: &'a mut MemoryHierarchy,
     pub memory: &'a mut SparseMemory,
-    pub heap: &'a DeviceHeap,
-    pub mechanism: &'a mut dyn Mechanism,
-    pub stats: &'a mut SimStats,
+    pub kernels: Vec<KernelSlot<'a>>,
+    /// SM index → index into `kernels`.
+    pub kernel_of_sm: Vec<usize>,
     pub cfg: &'a GpuConfig,
     pub sink: &'a mut TelemetrySink,
+}
+
+impl<'a> SharedCtx<'a> {
+    /// The kernel slot owning SM `sm_id`. Borrow is statement-scoped, so
+    /// callers interleave slot access with `sink`/`hierarchy` access freely.
+    fn kernel(&mut self, sm_id: usize) -> &mut KernelSlot<'a> {
+        &mut self.kernels[self.kernel_of_sm[sm_id]]
+    }
 }
 
 /// Runs the machine to completion and returns the final cycle number.
@@ -80,10 +104,11 @@ pub(crate) fn run(sms: &mut Vec<Sm>, shared: &mut SharedCtx<'_>, threads: usize)
 fn apply_cycle(sm_id: usize, events: &mut CycleEvents, now: u64, shared: &mut SharedCtx<'_>) {
     if events.stalls != [0; 4] {
         let s = &events.stalls;
-        shared.stats.stalls.scoreboard += s[0];
-        shared.stats.stalls.lsu_busy += s[1];
-        shared.stats.stalls.ocu_verdict += s[2];
-        shared.stats.stalls.no_ready_warp += s[3];
+        let stats = &mut *shared.kernel(sm_id).stats;
+        stats.stalls.scoreboard += s[0];
+        stats.stalls.lsu_busy += s[1];
+        stats.stalls.ocu_verdict += s[2];
+        stats.stalls.no_ready_warp += s[3];
         const NAMES: [&str; 4] =
             ["stall.scoreboard", "stall.lsu_busy", "stall.ocu_verdict", "stall.no_ready_warp"];
         for (count, name) in s.iter().zip(NAMES) {
@@ -99,18 +124,19 @@ fn apply_cycle(sm_id: usize, events: &mut CycleEvents, now: u64, shared: &mut Sh
 
 fn apply_event(sm_id: usize, ev: &mut IssueEvent, now: u64, shared: &mut SharedCtx<'_>) {
     if let Some(op) = ev.opcode {
-        shared.stats.issued += 1;
+        let stats = &mut *shared.kernel(sm_id).stats;
+        stats.issued += 1;
         match op.class() {
-            OpcodeClass::IntAlu => shared.stats.int_issued += 1,
-            OpcodeClass::Fpu => shared.stats.fpu_issued += 1,
+            OpcodeClass::IntAlu => stats.int_issued += 1,
+            OpcodeClass::Fpu => stats.fpu_issued += 1,
             _ => {}
         }
         if ev.activate {
-            shared.stats.marked_issued += 1;
+            stats.marked_issued += 1;
         }
     }
     if let Some(space) = ev.mem_space {
-        shared.stats.record_mem(space);
+        shared.kernel(sm_id).stats.record_mem(space);
         shared.sink.counters.inc(Scope::Sm(sm_id), "mem_insts");
     }
     let mnemonic = ev.opcode.map(|op| op.mnemonic()).unwrap_or("");
@@ -155,11 +181,14 @@ fn apply_marked_int(
     now: u64,
     shared: &mut SharedCtx<'_>,
 ) -> OpResult {
+    let mech_name = shared.kernel(sm_id).mechanism.name();
+    let issue_index = shared.kernel(sm_id).stats.issued;
     let mut extra_delay = 0u32;
     let mut writes = Vec::with_capacity(lanes.len());
     for (l, input, raw) in lanes {
-        let check = shared.mechanism.on_marked_int(input, raw);
-        extra_delay = extra_delay.max(shared.mechanism.marked_int_delay());
+        let mech = &mut shared.kernel(sm_id).mechanism;
+        let check = mech.on_marked_int(input, raw);
+        extra_delay = extra_delay.max(mech.marked_int_delay());
         writes.push((l, check.value));
         if check.poisoned {
             // Delayed termination (§XII-A): remember where the pointer died
@@ -171,9 +200,9 @@ fn apply_marked_int(
                 pc: ev.pc,
                 op: mnemonic,
                 cycle: now,
-                instr_index: shared.stats.issued,
+                instr_index: issue_index,
             });
-            shared.sink.counters.inc(Scope::Mechanism(shared.mechanism.name()), "poisoned");
+            shared.sink.counters.inc(Scope::Mechanism(mech_name), "poisoned");
             if shared.sink.tracer.is_enabled() {
                 shared.sink.tracer.instant(
                     "poison",
@@ -186,7 +215,7 @@ fn apply_marked_int(
             }
         }
     }
-    shared.sink.counters.inc(Scope::Mechanism(shared.mechanism.name()), "checks");
+    shared.sink.counters.inc(Scope::Mechanism(mech_name), "checks");
     if shared.sink.tracer.is_enabled() {
         shared.sink.tracer.complete_with(
             mnemonic,
@@ -229,13 +258,14 @@ fn apply_heap(
     let mut violation = None;
     for (l, value) in lanes {
         let gtid = ev.base_tid + l as u64;
+        let slot = shared.kernel(sm_id);
         if malloc {
-            let ptr = shared.heap.malloc(gtid as usize, value).unwrap_or(0);
+            let ptr = slot.heap.malloc(gtid as usize, value).unwrap_or(0);
             writes.push((l, ptr));
-            shared.stats.mallocs += 1;
+            slot.stats.mallocs += 1;
         } else {
-            shared.stats.frees += 1;
-            if let Err(e) = shared.heap.free(value) {
+            slot.stats.frees += 1;
+            if let Err(e) = slot.heap.free(value) {
                 let kind = match e {
                     AllocError::DoubleFree(_) => TemporalKind::DoubleFree,
                     _ => TemporalKind::InvalidFree,
@@ -259,7 +289,7 @@ fn apply_heap(
     }
     let mut retire = false;
     if let Some((lane, v)) = violation {
-        shared.stats.violations.push(ViolationEvent {
+        shared.kernel(sm_id).stats.violations.push(ViolationEvent {
             sm: sm_id,
             warp: ev.warp,
             pc: ev.pc,
@@ -301,7 +331,8 @@ fn apply_mem(
     let pc = ev.pc;
     // `stats.issued` was already bumped for this instruction, so it is a
     // unique id shared by every lane of this warp-level issue.
-    let issue_index = shared.stats.issued;
+    let issue_index = shared.kernel(sm_id).stats.issued;
+    let mech_name = shared.kernel(sm_id).mechanism.name();
     let mut ok: Vec<LaneMem> = Vec::with_capacity(lanes.len());
     let mut faulted = false;
     let mut extra_cycles = 0u32;
@@ -318,7 +349,7 @@ fn apply_mem(
             lane: lm.lane,
             issue_index,
         };
-        let check = shared.mechanism.on_mem_access(&ctx);
+        let check = shared.kernel(sm_id).mechanism.on_mem_access(&ctx);
         extra_cycles = extra_cycles.max(check.extra_cycles);
         if let Some(addr) = check.metadata_addr {
             metadata_addrs.push(addr);
@@ -326,14 +357,14 @@ fn apply_mem(
         match check.violation {
             Some(v) => {
                 faulted = true;
-                shared.stats.violations.push(ViolationEvent {
+                shared.kernel(sm_id).stats.violations.push(ViolationEvent {
                     sm: sm_id,
                     warp: ev.warp,
                     pc,
                     global_tid: ctx.global_tid,
                     violation: v,
                 });
-                shared.sink.counters.inc(Scope::Mechanism(shared.mechanism.name()), "faults");
+                shared.sink.counters.inc(Scope::Mechanism(mech_name), "faults");
                 if shared.sink.tracer.is_enabled() {
                     shared.sink.tracer.instant(
                         "fault",
@@ -355,7 +386,7 @@ fn apply_mem(
                     cycle: now,
                     instr_index: issue_index,
                 }) {
-                    shared.stats.forensics.push(record);
+                    shared.kernel(sm_id).stats.forensics.push(record);
                 }
             }
             None => ok.push(lm),
@@ -393,7 +424,7 @@ fn apply_mem(
     let mut line_count = 1u64;
     if space == MemSpace::Shared {
         done_at = shared.hierarchy.access_shared(t);
-        shared.stats.transactions += 1;
+        shared.kernel(sm_id).stats.transactions += 1;
     } else {
         // Phase A coalesced assuming all lanes pass the check; a
         // (non-halting) fault drops lanes, so recompute from the survivors.
@@ -402,7 +433,7 @@ fn apply_mem(
         } else {
             lines
         };
-        shared.stats.transactions += lines.len() as u64;
+        shared.kernel(sm_id).stats.transactions += lines.len() as u64;
         line_count = lines.len() as u64;
         for line in lines {
             done_at = done_at.max(shared.hierarchy.access_dram_backed(sm_id, line, t));
@@ -463,7 +494,7 @@ fn run_serial(sms: &mut [Sm], shared: &mut SharedCtx<'_>) -> u64 {
             issued_any |= outcome.issued_any;
             next_ready = next_ready.min(outcome.next_ready);
             apply_cycle(sm.id, ev, cycle, shared);
-            sm.apply_results(ev);
+            sm.apply_results(ev, cycle);
         }
         if sms.iter().all(|sm| sm.all_done()) {
             break;
@@ -627,12 +658,12 @@ fn phase_a_range(
     acc.next_ready.fetch_min(next, SeqCst);
 }
 
-fn phase_c_range(slots: &[Mutex<SmSlot>], range: &Range<usize>, acc: &CycleAcc) {
+fn phase_c_range(slots: &[Mutex<SmSlot>], range: &Range<usize>, now: u64, acc: &CycleAcc) {
     let mut all = true;
     for slot in &slots[range.clone()] {
         let mut s = slot.lock().unwrap();
         let SmSlot { sm, events } = &mut *s;
-        sm.apply_results(events);
+        sm.apply_results(events, now);
         all &= sm.all_done();
     }
     if !all {
@@ -652,7 +683,7 @@ fn worker_loop(slots: &[Mutex<SmSlot>], range: Range<usize>, cfg: &GpuConfig, ct
         if !ctl.sync(&mut sense) {
             break; // B-done (the leader applied shared state)
         }
-        ctl.guard(|| phase_c_range(slots, &range, &ctl.acc[parity]));
+        ctl.guard(|| phase_c_range(slots, &range, now, &ctl.acc[parity]));
         if !ctl.sync(&mut sense) {
             break; // C-done
         }
@@ -695,7 +726,7 @@ fn leader_loop(
         if !ctl.sync(&mut sense) {
             break;
         }
-        ctl.guard(|| phase_c_range(slots, &range, &ctl.acc[parity]));
+        ctl.guard(|| phase_c_range(slots, &range, now, &ctl.acc[parity]));
         if !ctl.sync(&mut sense) {
             break;
         }

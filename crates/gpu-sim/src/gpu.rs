@@ -1,6 +1,9 @@
 //! The full GPU: SMs, the shared memory hierarchy, the device heap, and the
-//! run loop.
+//! run loop — plus the resident multi-kernel mode used by `lmi-runtime` to
+//! run kernels from different streams/tenants concurrently on disjoint SM
+//! partitions.
 
+use std::ops::Range;
 use std::sync::Arc;
 
 use lmi_alloc::{AlignmentPolicy, DeviceHeap};
@@ -9,11 +12,66 @@ use lmi_mem::{layout, CacheStats, MemoryHierarchy, SparseMemory};
 use lmi_telemetry::{Scope, TelemetrySink};
 
 use crate::config::GpuConfig;
-use crate::engine::{self, SharedCtx};
-use crate::launch::Launch;
+use crate::engine::{self, KernelSlot, SharedCtx};
+use crate::launch::{Launch, LaunchError};
 use crate::mechanism::Mechanism;
 use crate::sm::{LaunchCtx, Sm};
 use crate::stats::SimStats;
+
+/// Per-resident-kernel stride separating the *layout* tids that back local
+/// windows: concurrent kernels' stacks can never alias as long as one
+/// launch stays under a million threads.
+const LAYOUT_TID_STRIDE: u64 = 1 << 20;
+
+/// Per-resident-kernel stride separating shared-memory windows, in blocks.
+const LAYOUT_BLOCK_STRIDE: u64 = 1 << 12;
+
+/// One kernel of a resident cohort: what to run, under which mechanism and
+/// heap, where (an SM partition), and when (an admission offset in cycles).
+pub struct ResidentKernel<'a> {
+    /// The launch descriptor.
+    pub launch: &'a Launch,
+    /// The memory-safety mechanism guarding this kernel (per-tenant).
+    pub mechanism: &'a mut dyn Mechanism,
+    /// Device heap serving this kernel's `malloc`/`free`; `None` uses the
+    /// GPU's own heap.
+    pub heap: Option<&'a DeviceHeap>,
+    /// The SM partition (disjoint from every other cohort member's).
+    pub partition: Range<usize>,
+    /// Cycle at which the kernel is admitted: added to every warp's
+    /// dispatch ramp, so a kernel submitted mid-run starts late without
+    /// any engine-level gating.
+    pub start_offset: u64,
+}
+
+/// Per-kernel result of a resident cohort run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelOutcome {
+    /// This kernel's statistics. `cycles` is measured from the kernel's
+    /// `start_offset` to its last warp's retirement; `l1_per_sm` holds the
+    /// deltas of the kernel's partition only (index 0 = partition start).
+    /// Run-level shared counters (L2, MSHR, DRAM) live on
+    /// [`ResidentOutcome`] — the L2 is shared, so per-kernel attribution
+    /// would be fiction.
+    pub stats: SimStats,
+    /// Absolute engine cycle at which the kernel's last warp retired.
+    pub completed_at: u64,
+}
+
+/// Result of one resident cohort run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidentOutcome {
+    /// Per-kernel outcomes, in submission order.
+    pub kernels: Vec<KernelOutcome>,
+    /// Final engine cycle (all kernels drained).
+    pub makespan: u64,
+    /// Shared-L2 delta over the whole cohort.
+    pub l2: CacheStats,
+    /// MSHR merges over the whole cohort.
+    pub mshr_merges: u64,
+    /// DRAM transactions over the whole cohort.
+    pub dram_transactions: u64,
+}
 
 /// A simulated GPU.
 ///
@@ -80,36 +138,62 @@ impl Gpu {
     ///
     /// # Panics
     ///
-    /// Panics if the launch would exceed the per-SM warp capacity.
+    /// Panics if the launch is invalid ([`Launch::validate`]) — use
+    /// [`Gpu::try_run`] to get the typed [`LaunchError`] instead.
     pub fn run(&mut self, launch: &Launch, mechanism: &mut dyn Mechanism) -> SimStats {
+        self.try_run(launch, mechanism).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs one kernel to completion under `mechanism`, rejecting invalid
+    /// launches with a typed [`LaunchError`] instead of panicking.
+    pub fn try_run(
+        &mut self,
+        launch: &Launch,
+        mechanism: &mut dyn Mechanism,
+    ) -> Result<SimStats, LaunchError> {
         // Forensics still flow into `SimStats::forensics` (they only cost
         // time on violations); counters and the tracer stay off.
         let mut sink = TelemetrySink::disabled();
-        self.run_with_telemetry(launch, mechanism, &mut sink)
+        self.try_run_with_telemetry(launch, mechanism, &mut sink)
     }
 
     /// Runs one kernel like [`Gpu::run`], additionally recording scoped
     /// counters, timeline events and forensics into `sink`.
     ///
-    /// The hierarchy's cache/DRAM counters persist across launches (the
-    /// host may launch several kernels against the same GPU), so the
-    /// returned [`SimStats`] carries the per-run *delta*, snapshotted
-    /// around the run loop.
-    ///
     /// # Panics
     ///
-    /// Panics if the launch would exceed the per-SM warp capacity.
+    /// Panics if the launch is invalid ([`Launch::validate`]) — use
+    /// [`Gpu::try_run_with_telemetry`] to get the typed [`LaunchError`].
     pub fn run_with_telemetry(
         &mut self,
         launch: &Launch,
         mechanism: &mut dyn Mechanism,
         sink: &mut TelemetrySink,
     ) -> SimStats {
+        self.try_run_with_telemetry(launch, mechanism, sink).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs one kernel, recording telemetry into `sink`; invalid launches
+    /// are rejected with a typed [`LaunchError`].
+    ///
+    /// The hierarchy's cache/DRAM counters persist across launches (the
+    /// host may launch several kernels against the same GPU), so the
+    /// returned [`SimStats`] carries the per-run *delta*, snapshotted
+    /// around the run loop.
+    pub fn try_run_with_telemetry(
+        &mut self,
+        launch: &Launch,
+        mechanism: &mut dyn Mechanism,
+        sink: &mut TelemetrySink,
+    ) -> Result<SimStats, LaunchError> {
+        launch.validate(&self.cfg)?;
         let program = Arc::new(launch.program.clone());
         let ctx = Arc::new(LaunchCtx {
             params: launch.params.clone(),
             stack_bytes: self.cfg.stack_bytes,
             threads_per_block: launch.threads_per_block,
+            layout_tid_base: 0,
+            layout_block_base: 0,
         });
         let regs = program.regs_per_thread.max(8) as usize;
 
@@ -118,14 +202,6 @@ impl Gpu {
             .collect();
         for block in 0..launch.grid_blocks {
             sms[block % self.cfg.num_sms].add_block(block, launch, regs);
-        }
-        for sm in &sms {
-            assert!(
-                sm.warps.len() <= self.cfg.max_warps_per_sm,
-                "launch exceeds per-SM warp capacity ({} > {})",
-                sm.warps.len(),
-                self.cfg.max_warps_per_sm
-            );
         }
 
         // Snapshot the persistent hierarchy counters so the stats report
@@ -146,9 +222,8 @@ impl Gpu {
             let mut shared = SharedCtx {
                 hierarchy: &mut self.hierarchy,
                 memory: &mut self.memory,
-                heap: &self.heap,
-                mechanism,
-                stats: &mut stats,
+                kernels: vec![KernelSlot { mechanism, stats: &mut stats, heap: &self.heap }],
+                kernel_of_sm: vec![0; self.cfg.num_sms],
                 cfg: &self.cfg,
                 sink: &mut *sink,
             };
@@ -178,7 +253,159 @@ impl Gpu {
                 sink.counters.add(Scope::Sm(sm), "l1.misses", l1.misses);
             }
         }
-        stats
+        Ok(stats)
+    }
+
+    /// Runs a *cohort* of kernels resident together: each kernel occupies
+    /// its own SM partition, owns its own mechanism/heap/stats, and is
+    /// admitted at its `start_offset`, while all of them contend for the
+    /// shared L2/MSHR/DRAM. One engine run simulates the whole cohort, so
+    /// the result is bit-identical at every `sim_threads` — this is the
+    /// primitive `lmi-runtime` builds streams on.
+    ///
+    /// Every launch is validated against its partition before anything
+    /// runs: on error the GPU state is untouched.
+    pub fn run_resident(
+        &mut self,
+        jobs: &mut [ResidentKernel<'_>],
+        sink: &mut TelemetrySink,
+    ) -> Result<ResidentOutcome, LaunchError> {
+        // Validate geometry and partition disjointness up front.
+        let mut claimed: Vec<bool> = vec![false; self.cfg.num_sms];
+        for job in jobs.iter() {
+            let p = &job.partition;
+            if p.is_empty() || p.end > self.cfg.num_sms {
+                return Err(LaunchError::BadPartition {
+                    start: p.start,
+                    end: p.end,
+                    num_sms: self.cfg.num_sms,
+                });
+            }
+            for sm in p.clone() {
+                if claimed[sm] {
+                    return Err(LaunchError::BadPartition {
+                        start: p.start,
+                        end: p.end,
+                        num_sms: self.cfg.num_sms,
+                    });
+                }
+                claimed[sm] = true;
+            }
+            job.launch.validate_on(&self.cfg, p.len())?;
+        }
+
+        // Build each kernel's SMs on its partition, dispatch its blocks
+        // round-robin within the partition, and delay every warp by the
+        // kernel's admission offset.
+        let mut sms: Vec<Sm> = Vec::with_capacity(jobs.iter().map(|j| j.partition.len()).sum());
+        let mut kernel_of_sm = vec![0usize; self.cfg.num_sms];
+        for (k, job) in jobs.iter().enumerate() {
+            let launch = job.launch;
+            let program = Arc::new(launch.program.clone());
+            let ctx = Arc::new(LaunchCtx {
+                params: launch.params.clone(),
+                stack_bytes: self.cfg.stack_bytes,
+                threads_per_block: launch.threads_per_block,
+                layout_tid_base: k as u64 * LAYOUT_TID_STRIDE,
+                layout_block_base: k as u64 * LAYOUT_BLOCK_STRIDE,
+            });
+            let regs = program.regs_per_thread.max(8) as usize;
+            let mut part: Vec<Sm> = job
+                .partition
+                .clone()
+                .map(|id| Sm::new(id, Arc::clone(&program), Arc::clone(&ctx)))
+                .collect();
+            let plen = part.len();
+            for block in 0..launch.grid_blocks {
+                part[block % plen].add_block(block, launch, regs);
+            }
+            for sm in &mut part {
+                kernel_of_sm[sm.id] = k;
+                for warp in &mut sm.warps {
+                    warp.start_cycle += job.start_offset;
+                }
+            }
+            sms.extend(part);
+        }
+        // Canonical phase-B order is ascending SM id, independent of the
+        // cohort's submission order.
+        sms.sort_by_key(|sm| sm.id);
+
+        let l1_before: Vec<CacheStats> =
+            (0..self.cfg.num_sms).map(|sm| self.hierarchy.l1_stats(sm)).collect();
+        let l2_before = self.hierarchy.l2_stats();
+        let mshr_before = self.hierarchy.mshr_merges();
+        let dram_before = self.hierarchy.dram_transactions();
+
+        let mut stats: Vec<SimStats> = jobs.iter().map(|_| SimStats::default()).collect();
+        let threads = self.cfg.resolve_sim_threads();
+        let makespan = {
+            let kernels: Vec<KernelSlot> = jobs
+                .iter_mut()
+                .zip(stats.iter_mut())
+                .map(|(job, st)| KernelSlot {
+                    mechanism: &mut *job.mechanism,
+                    stats: st,
+                    heap: job.heap.unwrap_or(&self.heap),
+                })
+                .collect();
+            let mut shared = SharedCtx {
+                hierarchy: &mut self.hierarchy,
+                memory: &mut self.memory,
+                kernels,
+                kernel_of_sm,
+                cfg: &self.cfg,
+                sink: &mut *sink,
+            };
+            engine::run(&mut sms, &mut shared, threads)
+        };
+
+        let delta = |after: CacheStats, before: CacheStats| CacheStats {
+            hits: after.hits - before.hits,
+            misses: after.misses - before.misses,
+        };
+        let l2 = delta(self.hierarchy.l2_stats(), l2_before);
+        let mshr_merges = self.hierarchy.mshr_merges() - mshr_before;
+        let dram_transactions = self.hierarchy.dram_transactions() - dram_before;
+
+        let mut kernels = Vec::with_capacity(jobs.len());
+        for (job, mut st) in jobs.iter().zip(stats) {
+            let completed_at = sms
+                .iter()
+                .filter(|sm| job.partition.contains(&sm.id))
+                .filter_map(|sm| sm.done_cycle)
+                .max()
+                .unwrap_or(job.start_offset);
+            st.cycles = completed_at.saturating_sub(job.start_offset).max(1);
+            st.l1_per_sm = job
+                .partition
+                .clone()
+                .map(|sm| delta(self.hierarchy.l1_stats(sm), l1_before[sm]))
+                .collect();
+            kernels.push(KernelOutcome { stats: st, completed_at });
+        }
+
+        if sink.counters.is_enabled() {
+            sink.counters.add(Scope::Gpu, "cycles", makespan.max(1));
+            sink.counters.add(Scope::Gpu, "mshr_merges", mshr_merges);
+            sink.counters.add(Scope::Gpu, "dram_transactions", dram_transactions);
+            sink.counters.add(Scope::Gpu, "l2.hits", l2.hits);
+            sink.counters.add(Scope::Gpu, "l2.misses", l2.misses);
+            for (job, outcome) in jobs.iter().zip(&kernels) {
+                for (i, sm) in job.partition.clone().enumerate() {
+                    let l1 = outcome.stats.l1_per_sm[i];
+                    sink.counters.add(Scope::Sm(sm), "l1.hits", l1.hits);
+                    sink.counters.add(Scope::Sm(sm), "l1.misses", l1.misses);
+                }
+            }
+        }
+        Ok(ResidentOutcome {
+            kernels,
+            makespan: makespan.max(1),
+            l2,
+            mshr_merges,
+            dram_transactions,
+        })
     }
 }
 

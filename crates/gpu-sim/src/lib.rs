@@ -49,8 +49,8 @@ pub mod trace;
 pub mod warp;
 
 pub use config::GpuConfig;
-pub use gpu::Gpu;
+pub use gpu::{Gpu, KernelOutcome, ResidentKernel, ResidentOutcome};
 pub use host::HostContext;
-pub use launch::Launch;
+pub use launch::{Launch, LaunchError};
 pub use mechanism::{IntCheck, LmiMechanism, Mechanism, MemAccessCtx, MemCheck, NullMechanism};
 pub use stats::{SimStats, StallBreakdown, ViolationEvent};

@@ -45,15 +45,25 @@ pub(crate) struct LaunchCtx {
     pub params: Vec<u64>,
     pub stack_bytes: u64,
     pub threads_per_block: usize,
+    /// Offset added to a thread's global tid when *backing* its local
+    /// window. Semantic ids (tid.x, ctaid.x) are untouched; resident
+    /// multi-kernel runs use distinct bases so concurrent kernels' stacks
+    /// land in disjoint windows of the functional store.
+    pub layout_tid_base: u64,
+    /// Same idea for shared-memory windows, in block units.
+    pub layout_block_base: u64,
 }
 
 impl LaunchCtx {
     fn const_read(&self, block: usize, gtid: u64, offset: u16, width: u8) -> u64 {
         let value = match offset {
             abi::STACK_TOP_OFFSET => {
-                layout::local_window_base(gtid, self.stack_bytes) + self.stack_bytes
+                layout::local_window_base(gtid + self.layout_tid_base, self.stack_bytes)
+                    + self.stack_bytes
             }
-            abi::SHARED_BASE_OFFSET => layout::shared_window_base(block as u64),
+            abi::SHARED_BASE_OFFSET => {
+                layout::shared_window_base(block as u64 + self.layout_block_base)
+            }
             o if o >= abi::PARAM_BASE_OFFSET => {
                 let index = ((o - abi::PARAM_BASE_OFFSET) / 8) as usize;
                 self.params.get(index).copied().unwrap_or(0)
@@ -78,6 +88,11 @@ pub(crate) struct Sm {
     greedy: Vec<Option<usize>>,
     /// warps per block resident on this SM (for barrier release).
     block_warps: HashMap<usize, usize>,
+    /// First cycle at which every resident warp had retired. Set in phase C
+    /// with the cycle both drivers pass in, so it is identical at every
+    /// thread count; resident multi-kernel runs use it for per-kernel
+    /// completion times.
+    pub done_cycle: Option<u64>,
 }
 
 /// Why a warp could not issue this cycle (the binding constraint of its
@@ -209,6 +224,7 @@ impl Sm {
             warps: Vec::new(),
             greedy: Vec::new(),
             block_warps: HashMap::new(),
+            done_cycle: None,
         }
     }
 
@@ -309,8 +325,9 @@ impl Sm {
 
     /// Phase C: applies phase-B results to the warps (in issue order) and
     /// releases block barriers — the tail of what the serial step used to
-    /// do after executing each instruction.
-    pub fn apply_results(&mut self, events: &mut CycleEvents) {
+    /// do after executing each instruction. `now` stamps `done_cycle` the
+    /// first time the SM drains.
+    pub fn apply_results(&mut self, events: &mut CycleEvents, now: u64) {
         for ev in &mut events.issues {
             if let Some(r) = ev.result.take() {
                 let warp = &mut self.warps[ev.warp];
@@ -349,6 +366,9 @@ impl Sm {
             }
         }
         self.release_barriers();
+        if self.done_cycle.is_none() && !self.warps.is_empty() && self.all_done() {
+            self.done_cycle = Some(now);
+        }
     }
 
     /// Earliest cycle at which warp `w`'s next instruction can issue, and
@@ -744,8 +764,11 @@ impl Sm {
             _ => Reg::RZ,
         };
         let stack_bytes = cfg.stack_bytes;
+        let layout_tid_base = self.launch.layout_tid_base;
         let warp = &self.warps[w];
-        let warp_base = warp.base_tid;
+        // Layout tids (not semantic tids) back the local windows — resident
+        // multi-kernel runs keep concurrent kernels' stacks disjoint.
+        let warp_base = warp.base_tid + layout_tid_base;
         // Local memory is physically interleaved per lane (like real GPUs),
         // so a warp spilling the same stack offset coalesces to one
         // transaction; timing addresses reflect that layout.

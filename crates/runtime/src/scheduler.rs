@@ -1,0 +1,94 @@
+//! Spatial SM partitioning for concurrent-kernel cohorts.
+//!
+//! When several streams have a kernel ready, the runtime runs them
+//! *concurrently* by splitting the GPU's SMs into disjoint contiguous
+//! partitions, one per kernel — the MIG/MPS-style spatial sharing the
+//! paper's multi-tenant discussion assumes. Shares are proportional to
+//! each kernel's warp demand (largest-remainder rounding, every kernel
+//! gets at least one SM), and the whole computation is pure integer
+//! arithmetic over the cohort — deterministic by construction.
+
+use std::ops::Range;
+
+/// Splits `num_sms` SMs into one contiguous partition per demand entry,
+/// proportionally to the demands, each at least one SM wide.
+///
+/// # Panics
+///
+/// Panics if `demands` is empty or has more entries than `num_sms` (the
+/// admission layer caps cohorts at `num_sms` members).
+pub fn partition_sms(num_sms: usize, demands: &[usize]) -> Vec<Range<usize>> {
+    assert!(!demands.is_empty(), "cohort cannot be empty");
+    assert!(demands.len() <= num_sms, "more kernels than SMs");
+    let n = demands.len();
+    let total: usize = demands.iter().map(|&d| d.max(1)).sum();
+    let spare = num_sms - n; // after everyone's guaranteed single SM
+                             // Largest-remainder apportionment of the spare SMs.
+    let mut sizes: Vec<usize> = Vec::with_capacity(n);
+    let mut remainders: Vec<(usize, usize)> = Vec::with_capacity(n); // (remainder, index)
+    let mut assigned = 0;
+    for (i, &d) in demands.iter().enumerate() {
+        let d = d.max(1);
+        let exact = spare * d;
+        sizes.push(1 + exact / total);
+        assigned += exact / total;
+        remainders.push((exact % total, i));
+    }
+    // Hand the leftover SMs to the largest remainders; ties break toward
+    // the earlier (lower-index) kernel so the result is order-stable.
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for &(_, i) in remainders.iter().take(spare - assigned) {
+        sizes[i] += 1;
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0;
+    for size in sizes {
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, num_sms, "partitions tile the GPU exactly");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_demands_split_evenly() {
+        let p = partition_sms(8, &[4, 4]);
+        assert_eq!(p, vec![0..4, 4..8]);
+    }
+
+    #[test]
+    fn shares_follow_demand() {
+        let p = partition_sms(8, &[6, 2]);
+        assert_eq!(p, vec![0..6, 6..8]);
+    }
+
+    #[test]
+    fn every_kernel_gets_at_least_one_sm() {
+        let p = partition_sms(4, &[1000, 1, 1, 1]);
+        assert_eq!(p, vec![0..1, 1..2, 2..3, 3..4]);
+    }
+
+    #[test]
+    fn partitions_tile_and_are_disjoint() {
+        for demands in [vec![3, 5, 2], vec![1, 1, 1], vec![7, 1], vec![2, 2, 2, 2, 2]] {
+            let p = partition_sms(16, &demands);
+            let mut covered = [false; 16];
+            for r in &p {
+                for sm in r.clone() {
+                    assert!(!covered[sm], "overlap at SM {sm} in {p:?}");
+                    covered[sm] = true;
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "gap in {p:?}");
+        }
+    }
+
+    #[test]
+    fn single_kernel_takes_the_whole_gpu() {
+        assert_eq!(partition_sms(8, &[5]), vec![0..8]);
+    }
+}

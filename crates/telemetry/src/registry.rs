@@ -28,16 +28,26 @@ pub enum Scope {
     },
     /// A memory-safety mechanism, by its reported name.
     Mechanism(&'static str),
+    /// One host-runtime stream (`lmi-runtime`): kernels, copies and events
+    /// submitted to the stream land here.
+    Stream(usize),
+    /// One runtime tenant: every stream owned by the tenant rolls up here,
+    /// so cross-tenant attribution (who faulted, who moved the bytes)
+    /// survives stream multiplexing.
+    Tenant(usize),
 }
 
 impl Scope {
-    /// A stable label for reports: `gpu`, `sm3`, `sm3/w12`, `mech:lmi`.
+    /// A stable label for reports: `gpu`, `sm3`, `sm3/w12`, `mech:lmi`,
+    /// `stream2`, `tenant1`.
     pub fn label(&self) -> String {
         match self {
             Scope::Gpu => "gpu".to_string(),
             Scope::Sm(sm) => format!("sm{sm}"),
             Scope::Warp { sm, warp } => format!("sm{sm}/w{warp}"),
             Scope::Mechanism(name) => format!("mech:{name}"),
+            Scope::Stream(stream) => format!("stream{stream}"),
+            Scope::Tenant(tenant) => format!("tenant{tenant}"),
         }
     }
 }

@@ -31,6 +31,12 @@ pub enum TraceEventKind {
     HeapCall,
     /// A scheduler stall sample (instant).
     Stall,
+    /// One kernel's residency on its SM partition, from admission to the
+    /// retirement of its last warp (`lmi-runtime` stream timelines).
+    KernelSpan,
+    /// One copy-engine transfer (H2D or D2H), spanning its modeled
+    /// latency + bandwidth cost.
+    CopySpan,
 }
 
 impl TraceEventKind {
@@ -44,6 +50,8 @@ impl TraceEventKind {
             TraceEventKind::EcFault => "ec",
             TraceEventKind::HeapCall => "heap",
             TraceEventKind::Stall => "sched",
+            TraceEventKind::KernelSpan => "stream",
+            TraceEventKind::CopySpan => "copy",
         }
     }
 

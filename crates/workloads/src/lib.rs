@@ -22,7 +22,9 @@
 pub mod generator;
 pub mod prepare;
 pub mod spec;
+pub mod traffic;
 
 pub use generator::generate;
 pub use prepare::{prepare, PreparedWorkload};
 pub use spec::{all_workloads, malloc_stress_workload, rodinia_workloads, Suite, WorkloadSpec};
+pub use traffic::{prepare_in, runtime_mixes, StreamTraffic, TrafficMix};

@@ -1,0 +1,146 @@
+//! Streams quickstart: two tenants share one GPU through the async
+//! runtime — copies overlap compute, kernels from different streams run
+//! *concurrently* on disjoint SM partitions, and each tenant's LMI
+//! mechanism guards its own allocations, so a cross-tenant overflow
+//! attempt is caught and attributed to the offending stream and tenant.
+//!
+//! Run with: `cargo run --example streams`
+
+use lmi::isa::{abi, HintBits, Instruction, MemRef, ProgramBuilder, Reg};
+use lmi::runtime::Runtime;
+use lmi::sim::{GpuConfig, Launch};
+use lmi::telemetry::Scope;
+
+/// `buf[tid] += tid`, `iters` times — an honest worker kernel.
+fn worker(name: &str, iters: u32) -> lmi::isa::Program {
+    use lmi::isa::instr::CmpOp;
+    use lmi::isa::reg::PredReg;
+    let mut b = ProgramBuilder::new(name);
+    b.push(Instruction::s2r(Reg(0), lmi::isa::op::SpecialReg::TidX));
+    b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
+    b.push(Instruction::lea64(Reg(6), Reg(4), Reg(0), 3));
+    b.push(Instruction::mov(Reg(2), 0));
+    let top = b.label();
+    b.push(Instruction::ldg(Reg(8), MemRef::new(Reg(6), 0, 8)));
+    b.push(Instruction::iadd3(Reg(8), Reg(8), Reg(0)));
+    b.push(Instruction::stg(MemRef::new(Reg(6), 0, 8), Reg(8)));
+    b.push(Instruction::iadd3(Reg(2), Reg(2), 1));
+    b.push(Instruction::isetp(PredReg(0), Reg(2), CmpOp::Lt, iters as i32));
+    b.branch_if(top, PredReg(0), false);
+    b.push(Instruction::exit());
+    b.build()
+}
+
+/// Takes its own buffer (param 0) and a 64-bit delta (param 1) that aims
+/// the pointer into *someone else's* arena, then dereferences. The
+/// pointer arithmetic is compiler-marked, so tenant 0's OCU poisons the
+/// escaping pointer and the EC faults the store.
+fn cross_tenant_attack() -> lmi::isa::Program {
+    let mut b = ProgramBuilder::new("oob_attack");
+    b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
+    b.push(Instruction::ldc(Reg(6), abi::LAUNCH_BANK, abi::param_offset(1), 8));
+    b.push(Instruction::iadd64(Reg(4), Reg(4), Reg(6)).with_hints(HintBits::check_operand(0)));
+    b.push(Instruction::mov(Reg(0), 0xDEAD));
+    b.push(Instruction::stg(MemRef::new(Reg(4), 0, 4), Reg(0)));
+    b.push(Instruction::exit());
+    b.build()
+}
+
+fn main() {
+    let mut rt = Runtime::new(GpuConfig::small()).with_tracing(1 << 14);
+
+    // Two protected tenants, one stream each: arena-isolated allocators
+    // and independent LMI mechanism instances.
+    let alice = rt.add_tenant(true);
+    let bob = rt.add_tenant(true);
+    let s_alice = rt.create_stream(alice).unwrap();
+    let s_bob = rt.create_stream(bob).unwrap();
+
+    let buf_a = rt.malloc(alice, 4096).unwrap();
+    let buf_b = rt.malloc(bob, 4096).unwrap();
+
+    // Async pipelines on both streams: upload, compute, readback. The
+    // uploads serialize on the H2D engine; the kernels run concurrently
+    // on disjoint SM partitions.
+    rt.memcpy_h2d(s_alice, buf_a, &vec![100u64; 512]).unwrap();
+    rt.memcpy_h2d(s_bob, buf_b, &vec![200u64; 512]).unwrap();
+    rt.launch(s_alice, Launch::new(worker("alice_worker", 24)).grid(4).block(64).param(buf_a))
+        .unwrap();
+    rt.launch(s_bob, Launch::new(worker("bob_worker", 24)).grid(4).block(64).param(buf_b)).unwrap();
+    let out_a = rt.memcpy_d2h(s_alice, buf_a, 512).unwrap();
+
+    // Cross-stream dependency: Bob's second kernel waits for Alice.
+    let ev = rt.create_event();
+    rt.record_event(s_alice, ev).unwrap();
+    rt.wait_event(s_bob, ev).unwrap();
+    rt.launch(s_bob, Launch::new(worker("bob_round2", 8)).grid(4).block(64).param(buf_b)).unwrap();
+
+    rt.synchronize().unwrap();
+
+    let report = rt.report();
+    println!("== timeline ({} cycles total) ==", report.total_cycles);
+    for c in &report.copies {
+        println!(
+            "  [{:>6}..{:>6}] stream{} {} {} B",
+            c.started_at,
+            c.completed_at,
+            c.stream,
+            if c.h2d { "h2d" } else { "d2h" },
+            c.bytes
+        );
+    }
+    for k in &report.kernels {
+        println!(
+            "  [{:>6}..{:>6}] stream{} kernel {:<12} on SMs {}..{}",
+            k.started_at, k.completed_at, k.stream, k.name, k.partition.start, k.partition.end
+        );
+    }
+    let (ka, kb) = (&report.kernels[0], &report.kernels[1]);
+    assert!(
+        ka.partition.end <= kb.partition.start || kb.partition.end <= ka.partition.start,
+        "concurrent kernels own disjoint SM partitions"
+    );
+    assert!(
+        ka.started_at < kb.completed_at && kb.started_at < ka.completed_at,
+        "the two workers overlap in time"
+    );
+
+    let words = rt.copy_result(out_a).unwrap();
+    assert_eq!(words[5], 100 + 24 * 5, "alice's pipeline computed buf[5]");
+    println!("alice readback ok: buf[5] = {}", words[5]);
+
+    // The attack: Alice aims her own pointer at Bob's buffer. Her own
+    // arena metadata betrays her — the marked add escapes buf_a's extent,
+    // the OCU poisons, the EC faults, and nothing lands in Bob's memory.
+    let addr_a = lmi::core::DevicePtr::from_raw(buf_a).addr();
+    let addr_b = lmi::core::DevicePtr::from_raw(buf_b).addr();
+    let delta = addr_b - addr_a;
+    rt.launch(
+        s_alice,
+        Launch::new(cross_tenant_attack()).grid(1).block(1).param(buf_a).param(delta),
+    )
+    .unwrap();
+    rt.synchronize().unwrap();
+
+    let attack = rt.report().kernels.last().unwrap();
+    assert_eq!(attack.stats.violations.len(), 1, "the cross-tenant store faulted");
+    assert_eq!(rt.read(buf_b, 0, 4), 200, "bob's buffer is untouched");
+    assert!(rt.tenant(bob).owns(addr_b), "the target was bob's memory");
+
+    // Attribution: counters pin the violation on Alice's stream + tenant.
+    let c = rt.counters();
+    assert_eq!(c.get(Scope::Stream(s_alice), "violations"), 1);
+    assert_eq!(c.get(Scope::Tenant(alice), "violations"), 1);
+    assert_eq!(c.get(Scope::Tenant(bob), "violations"), 0);
+    println!(
+        "cross-tenant OOB caught: {} (attributed to stream{} / tenant{})",
+        attack.stats.violations[0].violation, s_alice, alice
+    );
+    println!(
+        "tenant counters: alice {{kernels: {}, violations: {}}}, bob {{kernels: {}, violations: {}}}",
+        c.get(Scope::Tenant(alice), "kernels"),
+        c.get(Scope::Tenant(alice), "violations"),
+        c.get(Scope::Tenant(bob), "kernels"),
+        c.get(Scope::Tenant(bob), "violations"),
+    );
+}

@@ -51,6 +51,7 @@ pub use lmi_compiler as compiler;
 pub use lmi_core as core;
 pub use lmi_isa as isa;
 pub use lmi_mem as mem;
+pub use lmi_runtime as runtime;
 pub use lmi_security as security;
 pub use lmi_sim as sim;
 pub use lmi_telemetry as telemetry;

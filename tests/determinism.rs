@@ -11,9 +11,10 @@ use lmi_alloc::AlignmentPolicy;
 use lmi_core::PtrConfig;
 use lmi_isa::{abi, HintBits, Instruction, MemRef, ProgramBuilder, Reg};
 use lmi_mem::layout;
+use lmi_runtime::{Runtime, RuntimeReport};
 use lmi_sim::{Gpu, GpuConfig, Launch, LmiMechanism, Mechanism, NullMechanism, SimStats};
 use lmi_telemetry::{Scope, SplitMix64, TelemetrySink, TraceRecord};
-use lmi_workloads::{all_workloads, prepare, WorkloadSpec};
+use lmi_workloads::{all_workloads, prepare, prepare_in, runtime_mixes, TrafficMix, WorkloadSpec};
 
 /// Everything observable about one run.
 #[derive(Debug, PartialEq)]
@@ -159,6 +160,87 @@ fn kernel_malloc_runs_are_bit_identical_across_thread_counts() {
         &[],
         "heap",
     );
+}
+
+/// Everything observable about one multi-stream runtime session.
+#[derive(Debug, PartialEq)]
+struct SessionImage {
+    report: RuntimeReport,
+    counters: Vec<(Scope, &'static str, u64)>,
+    event_times: Vec<Option<u64>>,
+    readbacks: Vec<Vec<u64>>,
+}
+
+/// Replays a [`TrafficMix`] through the async runtime at `threads` worker
+/// threads: per stream an upload → kernel → readback pipeline plus a
+/// completion event, then one synchronize.
+fn run_mix_at(mix: &TrafficMix, threads: usize) -> SessionImage {
+    let mut rt = Runtime::new(GpuConfig::small().with_sim_threads(threads));
+    let tenants: Vec<usize> =
+        mix.tenants.iter().map(|&protected| rt.add_tenant(protected)).collect();
+    let mut events = Vec::new();
+    let mut handles = Vec::new();
+    for (i, traffic) in mix.streams.iter().enumerate() {
+        let spec = mix.spec_of(i);
+        let tenant = tenants[traffic.tenant];
+        let prepared = prepare_in(&spec, &mut rt.tenant_mut(tenant).allocator);
+        let stream = rt.create_stream(tenant).unwrap();
+        let buf = prepared.launch.params[0];
+        let words: Vec<u64> = (0..traffic.h2d_words as u64).collect();
+        rt.memcpy_h2d(stream, buf, &words).unwrap();
+        rt.launch(stream, prepared.launch).unwrap();
+        handles.push(rt.memcpy_d2h(stream, buf, traffic.d2h_bytes).unwrap());
+        let ev = rt.create_event();
+        rt.record_event(stream, ev).unwrap();
+        events.push(ev);
+    }
+    rt.synchronize().unwrap();
+    SessionImage {
+        report: rt.report().clone(),
+        counters: rt.counters().iter().collect(),
+        event_times: events.iter().map(|&e| rt.event_time(e)).collect(),
+        readbacks: handles.iter().map(|&h| rt.copy_result(h).unwrap().to_vec()).collect(),
+    }
+}
+
+#[test]
+fn concurrent_runtime_streams_are_bit_identical_across_thread_counts() {
+    // The runtime layer extends the invariant to whole host programs:
+    // concurrent multi-tenant streams must produce bit-identical per-kernel
+    // SimStats, per-stream/per-tenant counters, event timestamps, and
+    // readback payloads at any `sim_threads`.
+    for mix in runtime_mixes() {
+        let serial = run_mix_at(&mix, 1);
+        assert!(serial.report.total_cycles > 0, "{}: session ran", mix.name);
+        assert!(
+            serial.event_times.iter().all(Option::is_some),
+            "{}: all completion events recorded",
+            mix.name
+        );
+        for threads in [2, 8] {
+            let parallel = run_mix_at(&mix, threads);
+            assert_eq!(
+                serial.report, parallel.report,
+                "{}: runtime report diverged at {threads} threads",
+                mix.name
+            );
+            assert_eq!(
+                serial.counters, parallel.counters,
+                "{}: stream/tenant counters diverged at {threads} threads",
+                mix.name
+            );
+            assert_eq!(
+                serial.event_times, parallel.event_times,
+                "{}: event timestamps diverged at {threads} threads",
+                mix.name
+            );
+            assert_eq!(
+                serial.readbacks, parallel.readbacks,
+                "{}: D2H payloads diverged at {threads} threads",
+                mix.name
+            );
+        }
+    }
 }
 
 #[test]
