@@ -28,15 +28,20 @@ use std::time::Instant;
 
 use lmi_bench::report::{self, ReportOpts};
 use lmi_bench::{geomean, print_row};
-use lmi_runtime::{Runtime, RuntimeReport};
+use lmi_runtime::{MetricsSnapshot, Runtime, RuntimeReport};
 use lmi_sim::GpuConfig;
-use lmi_telemetry::Json;
+use lmi_telemetry::{Json, Scope};
 use lmi_workloads::{prepare_in, runtime_mixes, TrafficMix};
 
 /// Builds a runtime, submits the whole mix, synchronizes, and returns
-/// the report plus the drain wall-clock. `serialize` chains each stream
-/// behind the previous via events — the back-to-back baseline.
-fn run_mix(mix: &TrafficMix, cfg: GpuConfig, serialize: bool) -> (RuntimeReport, f64) {
+/// the report, the session metrics snapshot, and the drain wall-clock.
+/// `serialize` chains each stream behind the previous via events — the
+/// back-to-back baseline.
+fn run_mix(
+    mix: &TrafficMix,
+    cfg: GpuConfig,
+    serialize: bool,
+) -> (RuntimeReport, MetricsSnapshot, f64) {
     let mut rt = Runtime::new(cfg);
     let tenants: Vec<usize> =
         mix.tenants.iter().map(|&protected| rt.add_tenant(protected)).collect();
@@ -70,7 +75,19 @@ fn run_mix(mix: &TrafficMix, cfg: GpuConfig, serialize: bool) -> (RuntimeReport,
     let t0 = Instant::now();
     rt.synchronize().expect("mix drains without deadlock");
     let wall = t0.elapsed().as_secs_f64();
-    (rt.report().clone(), wall)
+    (rt.report().clone(), rt.metrics_snapshot(), wall)
+}
+
+/// Session-wide kernel-latency tails (schema v3): p50/p99/max execution
+/// cycles and p99 queue wait, from the GPU-scope histograms.
+fn latency_json(snap: &MetricsSnapshot) -> Json {
+    let exec = snap.frame.histograms.get(Scope::Gpu, "kernel_exec_cycles");
+    let queue = snap.frame.histograms.get(Scope::Gpu, "kernel_queue_wait");
+    Json::obj()
+        .with("exec_p50", exec.map(|h| h.p50()).unwrap_or(0))
+        .with("exec_p99", exec.map(|h| h.p99()).unwrap_or(0))
+        .with("exec_max", exec.map(|h| h.max()).unwrap_or(0))
+        .with("queue_p99", queue.map(|h| h.p99()).unwrap_or(0))
 }
 
 /// Collects the determinism fingerprint of a mix at one thread count:
@@ -134,8 +151,8 @@ fn main() {
     let mut overlaps = Vec::new();
     let wall0 = Instant::now();
     for mix in runtime_mixes() {
-        let (concurrent, conc_wall) = run_mix(&mix, cfg.with_sim_threads(1), false);
-        let (serial, _) = run_mix(&mix, cfg.with_sim_threads(1), true);
+        let (concurrent, snap, conc_wall) = run_mix(&mix, cfg.with_sim_threads(1), false);
+        let (serial, _, _) = run_mix(&mix, cfg.with_sim_threads(1), true);
         // Determinism: the concurrent schedule is bit-identical at every
         // worker-thread count — report, counters, and event stamps.
         let (ref_report, ref_counters) = fingerprint(&mix, cfg, thread_matrix[0]);
@@ -190,6 +207,7 @@ fn main() {
                 .with("concurrent_cycles", concurrent.total_cycles)
                 .with("overlap_speedup", overlap)
                 .with("copies", concurrent.copies.len() as u64)
+                .with("kernel_latency", latency_json(&snap))
                 .with("kernels", Json::Arr(kernels))
                 .with(
                     "determinism",
@@ -223,7 +241,9 @@ fn main() {
                 Json::obj().with("geomean_overlap_speedup", gm).with("total_wall_s", total_secs),
             ),
     );
-    doc.set("schema_version", 2u64);
+    // v3: mix rows carry `kernel_latency` (p50/p99/max exec, p99 queue
+    // wait) from the session histograms.
+    doc.set("schema_version", 3u64);
     if let Err(e) = std::fs::write(&out_path, doc.to_pretty()) {
         eprintln!("warning: could not write {out_path}: {e}");
     } else {

@@ -43,6 +43,13 @@ pub struct GpuConfig {
     pub lsu_verdict_overlap: u32,
     /// Stop the faulting warp when a mechanism reports a violation.
     pub halt_on_violation: bool,
+    /// Sampling-profiler period in simulated cycles; `0` (the default)
+    /// disables sampling. Every `sample_period` cycles each SM records
+    /// its warp states, stall reasons and executing PCs into
+    /// [`crate::stats::SimStats::profile`]. Samples are taken in phase A
+    /// from SM-local state and absorbed canonically in the apply phase,
+    /// so profiles are bit-identical across `sim_threads`.
+    pub sample_period: u64,
 }
 
 impl GpuConfig {
@@ -62,6 +69,7 @@ impl GpuConfig {
             sim_threads: 0,
             lsu_verdict_overlap: 3,
             halt_on_violation: false,
+            sample_period: 0,
         }
     }
 
@@ -87,6 +95,13 @@ impl GpuConfig {
     /// Returns a copy with an explicit worker-thread count (`1` = serial).
     pub fn with_sim_threads(mut self, threads: usize) -> GpuConfig {
         self.sim_threads = threads;
+        self
+    }
+
+    /// Returns a copy with the sampling profiler enabled at `period`
+    /// cycles (`0` disables it again).
+    pub fn with_sample_period(mut self, period: u64) -> GpuConfig {
+        self.sample_period = period;
         self
     }
 

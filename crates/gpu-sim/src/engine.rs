@@ -117,6 +117,15 @@ fn apply_cycle(sm_id: usize, events: &mut CycleEvents, now: u64, shared: &mut Sh
             }
         }
     }
+    if let Some(sample) = events.sample.take() {
+        // Absorb the phase-A profiler sample into the owning kernel's
+        // profile. Runs here (single thread, ascending SM order) so the
+        // merged profile is canonical at every thread count.
+        let period = shared.cfg.sample_period;
+        let profile = &mut shared.kernel(sm_id).stats.profile;
+        profile.period = period;
+        profile.absorb(sm_id, &sample);
+    }
     for ev in &mut events.issues {
         apply_event(sm_id, ev, now, shared);
     }

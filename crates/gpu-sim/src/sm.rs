@@ -32,6 +32,7 @@ use lmi_core::ptr::ADDR_MASK;
 use lmi_isa::op::SpecialReg;
 use lmi_isa::{abi, Instruction, MemSpace, Opcode, OpcodeClass, Operand, Program, Reg};
 use lmi_mem::layout;
+use lmi_telemetry::{SmSample, WarpState};
 
 use crate::config::{GpuConfig, WARP_SIZE};
 use crate::exec;
@@ -199,12 +200,17 @@ pub(crate) struct CycleEvents {
     pub issues: Vec<IssueEvent>,
     /// Idle scheduler-slot counts, indexed by [`StallReason::index`].
     pub stalls: [u64; 4],
+    /// Profiler sample taken this cycle (phase A, SM-local), absorbed by
+    /// the apply phase into the kernel's profile. `None` when sampling is
+    /// off or the cycle is not on the period.
+    pub sample: Option<SmSample>,
 }
 
 impl CycleEvents {
     pub fn clear(&mut self) {
         self.issues.clear();
         self.stalls = [0; 4];
+        self.sample = None;
     }
 }
 
@@ -320,7 +326,49 @@ impl Sm {
             }
         }
 
+        if cfg.sample_period > 0 && now.is_multiple_of(cfg.sample_period) {
+            out.sample = Some(self.sample_warps(now, cfg, &out.issues));
+        }
+
         StepOutcome { issued_any, next_ready }
+    }
+
+    /// Classifies every resident warp for the sampling profiler. Runs in
+    /// phase A on SM-local state only (warp flags, scoreboard times, this
+    /// cycle's issue list), so the sample is independent of other SMs and
+    /// of the worker-thread count.
+    fn sample_warps(&self, now: u64, cfg: &GpuConfig, issues: &[IssueEvent]) -> SmSample {
+        let mut sample = SmSample::default();
+        for (w, warp) in self.warps.iter().enumerate() {
+            let state = if warp.done {
+                WarpState::Retired
+            } else if warp.at_barrier {
+                WarpState::Barrier
+            } else if let Some(ev) = issues.iter().find(|ev| ev.warp == w) {
+                sample.pcs.push((ev.pc as u32, 1));
+                WarpState::Issued
+            } else {
+                let (r, reason) = self.ready_info(w, cfg.lsu_verdict_overlap);
+                if r == u64::MAX {
+                    // Fell off the program end; retires at next issue.
+                    WarpState::Retired
+                } else if r <= now {
+                    // Eligible, but this cycle's scheduler slots went to
+                    // greedier/older warps.
+                    WarpState::Ready
+                } else {
+                    match reason {
+                        StallReason::Scoreboard => WarpState::Scoreboard,
+                        StallReason::LsuBusy => WarpState::LsuBusy,
+                        StallReason::OcuVerdict => WarpState::OcuVerdict,
+                        // Only the dispatch ramp leaves no binding hazard.
+                        StallReason::NoReadyWarp => WarpState::Ramp,
+                    }
+                }
+            };
+            sample.states[state.index()] += 1;
+        }
+        sample
     }
 
     /// Phase C: applies phase-B results to the warps (in issue order) and

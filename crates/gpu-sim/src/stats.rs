@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use lmi_core::Violation;
 use lmi_isa::MemSpace;
 use lmi_mem::CacheStats;
-use lmi_telemetry::{ForensicsRecord, Json};
+use lmi_telemetry::{ForensicsRecord, Json, KernelProfile};
 
 /// A recorded memory-safety violation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +98,9 @@ pub struct SimStats {
     /// Poison-to-fault provenance for each violation whose pointer was
     /// poisoned by the OCU earlier in the run (delayed termination, §XII-A).
     pub forensics: Vec<ForensicsRecord>,
+    /// Sampling-profiler output (warp states, stall reasons, hot PCs per
+    /// SM). Empty unless [`crate::GpuConfig::sample_period`] is set.
+    pub profile: KernelProfile,
 }
 
 impl SimStats {
@@ -231,6 +234,7 @@ impl SimStats {
                 "forensics",
                 Json::Arr(self.forensics.iter().map(ForensicsRecord::to_json).collect()),
             )
+            .with("profile", self.profile.to_json())
     }
 }
 
@@ -269,6 +273,15 @@ impl std::fmt::Display for SimStats {
                 100.0 * self.l2.hit_rate(),
                 self.mshr_merges,
                 self.dram_transactions
+            )?;
+        }
+        if !self.profile.is_empty() {
+            writeln!(
+                f,
+                "profile           {:>12}  samples (period {}, avg occupancy {:.1} warps)",
+                self.profile.samples(),
+                self.profile.period,
+                self.profile.avg_occupancy()
             )?;
         }
         write!(f, "violations        {:>12}", self.violations.len())?;

@@ -46,12 +46,20 @@
 //! ```
 
 pub mod copy;
+pub mod metrics;
 pub mod runtime;
 pub mod scheduler;
 pub mod stream;
 pub mod tenant;
 
 pub use copy::CopyConfig;
+pub use metrics::{MetricsSnapshot, TenantSlo};
 pub use runtime::{CopyReport, KernelReport, Runtime, RuntimeReport, SubmitError, SyncError};
 pub use stream::{CopyHandle, EventId, StreamId};
 pub use tenant::{Tenant, TenantMechanism};
+
+/// A multi-tenant runtime session. The serving-layer docs (and the
+/// metrics surface) talk about *sessions*; `Session` is that name for
+/// [`Runtime`] — `Session::metrics_snapshot()` is the observability
+/// entry point.
+pub type Session = Runtime;

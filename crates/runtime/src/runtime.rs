@@ -24,14 +24,19 @@
 //! cycles — never host time or host thread interleaving — so a runtime
 //! program produces bit-identical reports at any `sim_threads` setting.
 
+use std::collections::BTreeMap;
 use std::ops::Range;
 
 use lmi_alloc::AllocError;
 use lmi_core::DevicePtr;
 use lmi_sim::{Gpu, GpuConfig, Launch, LaunchError, ResidentKernel, SimStats};
-use lmi_telemetry::{CounterRegistry, EventTracer, Json, Scope, TelemetrySink, TraceEventKind};
+use lmi_telemetry::{
+    CounterRegistry, EventTracer, HistogramRegistry, Json, KernelProfile, MetricsFrame, Scope,
+    TelemetrySink, TraceEventKind,
+};
 
 use crate::copy::CopyConfig;
+use crate::metrics::{MetricsSnapshot, TenantSlo};
 use crate::scheduler::partition_sms;
 use crate::stream::{CopyHandle, EventId, StreamId, StreamOp, StreamState};
 use crate::tenant::{Tenant, TenantMechanism};
@@ -195,6 +200,12 @@ pub struct Runtime {
     d2h_results: Vec<Option<Vec<u64>>>,
     report: RuntimeReport,
     sink: TelemetrySink,
+    /// Latency histograms: kernel queue-wait / execution, copy durations
+    /// and poison-to-fault, each at GPU, stream and tenant scope.
+    hists: HistogramRegistry,
+    /// Sampling profiles merged across launches, keyed by kernel name
+    /// (empty unless the GPU config sets `sample_period`).
+    profiles: BTreeMap<String, KernelProfile>,
 }
 
 impl Runtime {
@@ -212,6 +223,8 @@ impl Runtime {
             d2h_results: Vec::new(),
             report: RuntimeReport::default(),
             sink: TelemetrySink::counters_only(),
+            hists: HistogramRegistry::new(),
+            profiles: BTreeMap::new(),
         }
     }
 
@@ -478,6 +491,9 @@ impl Runtime {
             _ => unreachable!("caller checked the head op"),
         };
         self.streams[sid].ready_at = end;
+        for scope in [Scope::Gpu, Scope::Stream(sid), Scope::Tenant(tenant)] {
+            self.hists.record(scope, "copy_cycles", end - start);
+        }
         self.sink.counters.inc(Scope::Stream(sid), "copies");
         self.sink.counters.add(Scope::Stream(sid), "copy_bytes", bytes);
         self.sink.counters.inc(Scope::Tenant(tenant), "copies");
@@ -599,9 +615,22 @@ impl Runtime {
             };
             let started = starts[i];
             let completed = origin + outcome.completed_at;
+            // The stream was ready at `ready_at`; the kernel only started
+            // once the previous cohort drained — that gap is queue wait.
+            let queue_wait = started.saturating_sub(self.streams[sid].ready_at);
             self.streams[sid].ready_at = completed;
             let stats = outcome.stats;
             let violations = stats.violations.len() as u64;
+            for scope in [Scope::Gpu, Scope::Stream(sid), Scope::Tenant(tenant)] {
+                self.hists.record(scope, "kernel_queue_wait", queue_wait);
+                self.hists.record(scope, "kernel_exec_cycles", completed - started);
+                for rec in &stats.forensics {
+                    self.hists.record(scope, "poison_to_fault", rec.latency_cycles());
+                }
+            }
+            if !stats.profile.is_empty() {
+                self.profiles.entry(launch.program.name.clone()).or_default().merge(&stats.profile);
+            }
             self.sink.counters.inc(Scope::Stream(sid), "kernels");
             self.sink.counters.add(Scope::Stream(sid), "kernel_cycles", stats.cycles);
             self.sink.counters.add(Scope::Stream(sid), "violations", violations);
@@ -660,6 +689,34 @@ impl Runtime {
     /// The timeline tracer (empty unless [`Runtime::with_tracing`]).
     pub fn tracer(&self) -> &EventTracer {
         &self.sink.tracer
+    }
+
+    /// The latency histograms (kernel queue-wait / execution, copy
+    /// durations, poison-to-fault) at GPU, stream and tenant scope.
+    pub fn histograms(&self) -> &HistogramRegistry {
+        &self.hists
+    }
+
+    /// Sampling profiles merged across launches, keyed by kernel name
+    /// (empty unless the GPU config sets `sample_period`).
+    pub fn profiles(&self) -> &BTreeMap<String, KernelProfile> {
+        &self.profiles
+    }
+
+    /// An owned, diffable snapshot of everything the session measured:
+    /// every counter scope, histogram and profile, plus the per-tenant
+    /// SLO table (violation/rejection rates, execution-latency tails).
+    /// Take one before and one after a workload and
+    /// [`MetricsSnapshot::diff`] isolates that workload's activity.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let frame = MetricsFrame {
+            counters: self.sink.counters.clone(),
+            histograms: self.hists.clone(),
+            profiles: self.profiles.clone(),
+            dropped_trace_events: self.sink.tracer.dropped(),
+        };
+        let tenants = TenantSlo::from_frame(&frame, self.tenants.len());
+        MetricsSnapshot { frame, total_cycles: self.report.total_cycles, tenants }
     }
 
     /// The underlying GPU (inspection: memory, caches, heap).

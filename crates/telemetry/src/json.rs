@@ -333,6 +333,11 @@ impl Parser<'_> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(b'-' | b'0'..=b'9') => self.number(),
+            // Explicit arms for the two IEEE tokens lenient parsers let
+            // through: exports must never emit them, so accepting them
+            // here would hide a corrupted document.
+            Some(b'N') => Err(self.error("`NaN` is not valid JSON")),
+            Some(b'I') => Err(self.error("`Infinity` is not valid JSON")),
             Some(_) => Err(self.error("unexpected character")),
             None => Err(self.error("unexpected end of input")),
         }
@@ -457,6 +462,9 @@ impl Parser<'_> {
             p.pos > before
         };
         if !digits(self) {
+            if self.peek() == Some(b'I') {
+                return Err(self.error("`-Infinity` is not valid JSON"));
+            }
             return Err(self.error("expected digits"));
         }
         let mut is_float = false;
@@ -486,7 +494,13 @@ impl Parser<'_> {
                 return Ok(Json::Int(v));
             }
         }
-        text.parse::<f64>().map(Json::Num).map_err(|_| self.error("bad number"))
+        match text.parse::<f64>() {
+            // `1e999` parses to infinity; a document that overflows f64
+            // is rejected rather than silently saturated.
+            Ok(v) if v.is_finite() => Ok(Json::Num(v)),
+            Ok(_) => Err(self.error("number out of range")),
+            Err(_) => Err(self.error("bad number")),
+        }
     }
 }
 
@@ -540,5 +554,23 @@ mod tests {
     fn non_finite_floats_become_null() {
         assert_eq!(Json::Num(f64::NAN).to_compact(), "null");
         assert_eq!(Json::Num(f64::INFINITY).to_compact(), "null");
+    }
+
+    #[test]
+    fn rejects_non_finite_tokens_with_clear_errors() {
+        for (doc, expect) in [
+            ("NaN", "`NaN` is not valid JSON"),
+            ("Infinity", "`Infinity` is not valid JSON"),
+            ("-Infinity", "`-Infinity` is not valid JSON"),
+            ("{\"v\": NaN}", "`NaN` is not valid JSON"),
+            ("[1, Infinity]", "`Infinity` is not valid JSON"),
+            ("1e999", "number out of range"),
+            ("-1e999", "number out of range"),
+        ] {
+            let err = parse(doc).unwrap_err().to_string();
+            assert!(err.contains(expect), "{doc:?} -> {err}");
+        }
+        // Large-but-finite exponents still parse.
+        assert_eq!(parse("1e308").unwrap(), Json::Num(1e308));
     }
 }

@@ -18,20 +18,33 @@
 //!   `--json` reports and by CI's validity check;
 //! * [`prng`] — a tiny deterministic SplitMix64 generator used for trace
 //!   sampling and by the workspace's randomized property tests (replacing
-//!   the external `proptest`/`rand` dependencies).
+//!   the external `proptest`/`rand` dependencies);
+//! * [`profiler`] — log-bucketed latency [`Histogram`]s with exact merge,
+//!   hot-PC tables and warp-state occupancy profiles filled by the
+//!   engine's cycle-driven sampling hook;
+//! * [`export`] — [`MetricsFrame`], a diffable snapshot of every counter,
+//!   histogram and profile, rendered as Prometheus text exposition or as
+//!   a JSON document.
 //!
 //! The crate depends only on `std`, so every other crate — including the
 //! leaf ISA crate — can use it from tests without dependency cycles.
 
+pub mod export;
 pub mod forensics;
 pub mod json;
 pub mod prng;
+pub mod profiler;
 pub mod registry;
 pub mod tracer;
 
+pub use export::{parse_prometheus, MetricsFrame, PromSample};
 pub use forensics::{FaultEvent, ForensicsLog, ForensicsRecord, PoisonEvent};
 pub use json::Json;
 pub use prng::SplitMix64;
+pub use profiler::{
+    Histogram, HistogramRegistry, KernelProfile, PcProfile, SmProfile, SmSample, WarpState,
+    WARP_STATES, WARP_STATE_NAMES,
+};
 pub use registry::{CounterRegistry, Scope};
 pub use tracer::{EventTracer, TraceEventKind, TraceRecord};
 

@@ -53,7 +53,7 @@ impl Scope {
 }
 
 /// The counter registry.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CounterRegistry {
     counters: BTreeMap<(Scope, &'static str), u64>,
     enabled: bool,

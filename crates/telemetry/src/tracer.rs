@@ -37,6 +37,9 @@ pub enum TraceEventKind {
     /// One copy-engine transfer (H2D or D2H), spanning its modeled
     /// latency + bandwidth cost.
     CopySpan,
+    /// Tracer bookkeeping (instant) — e.g. the `dropped_events` marker
+    /// the export synthesizes when the ring wrapped.
+    Meta,
 }
 
 impl TraceEventKind {
@@ -52,12 +55,19 @@ impl TraceEventKind {
             TraceEventKind::Stall => "sched",
             TraceEventKind::KernelSpan => "stream",
             TraceEventKind::CopySpan => "copy",
+            TraceEventKind::Meta => "trace",
         }
     }
 
     /// `true` for zero-duration (instant, phase `i`) events.
     pub fn is_instant(self) -> bool {
-        matches!(self, TraceEventKind::OcuPoison | TraceEventKind::EcFault | TraceEventKind::Stall)
+        matches!(
+            self,
+            TraceEventKind::OcuPoison
+                | TraceEventKind::EcFault
+                | TraceEventKind::Stall
+                | TraceEventKind::Meta
+        )
     }
 }
 
@@ -87,6 +97,9 @@ pub struct EventTracer {
     capacity: usize,
     /// Records evicted after the ring filled.
     dropped: u64,
+    /// Start cycle of the first evicted record — where the visible
+    /// timeline stops being complete.
+    first_drop_start: Option<u64>,
     enabled: bool,
 }
 
@@ -97,13 +110,20 @@ impl EventTracer {
             ring: VecDeque::with_capacity(capacity.clamp(1, 1 << 20)),
             capacity: capacity.max(1),
             dropped: 0,
+            first_drop_start: None,
             enabled: true,
         }
     }
 
     /// A tracer that records nothing (constant-time no-op on every hook).
     pub fn disabled() -> EventTracer {
-        EventTracer { ring: VecDeque::new(), capacity: 0, dropped: 0, enabled: false }
+        EventTracer {
+            ring: VecDeque::new(),
+            capacity: 0,
+            dropped: 0,
+            first_drop_start: None,
+            enabled: false,
+        }
     }
 
     /// `true` if recording.
@@ -163,7 +183,10 @@ impl EventTracer {
             return;
         }
         if self.ring.len() == self.capacity {
-            self.ring.pop_front();
+            let evicted = self.ring.pop_front();
+            if self.dropped == 0 {
+                self.first_drop_start = evicted.map(|r| r.start);
+            }
             self.dropped += 1;
         }
         self.ring.push_back(record);
@@ -195,7 +218,20 @@ impl EventTracer {
     /// golden tests — and humans reading the raw file — should not have
     /// to). One cycle maps to one microsecond of trace time.
     pub fn chrome_trace(&self) -> Json {
-        let mut records: Vec<&TraceRecord> = self.ring.iter().collect();
+        // When the ring wrapped, a single visible marker at the cycle of
+        // the first eviction says so in-timeline — overflow used to be
+        // discoverable only from the top-level `droppedEvents` field,
+        // which trace viewers don't surface.
+        let marker = (self.dropped > 0).then(|| TraceRecord {
+            name: "dropped_events",
+            kind: TraceEventKind::Meta,
+            sm: 0,
+            warp: 0,
+            start: self.first_drop_start.unwrap_or(0),
+            dur: 0,
+            args: vec![("count", self.dropped)],
+        });
+        let mut records: Vec<&TraceRecord> = self.ring.iter().chain(marker.as_ref()).collect();
         records.sort_by_key(|r| (r.start, r.sm, r.warp));
         let mut events = Vec::with_capacity(records.len());
         for r in records {
@@ -256,6 +292,36 @@ mod tests {
         assert_eq!(events[0].get("args").and_then(|a| a.get("pc")).and_then(Json::as_u64), Some(7));
         assert_eq!(events[1].get("ph").and_then(Json::as_str), Some("X"));
         assert_eq!(events[1].get("dur").and_then(Json::as_u64), Some(100));
+    }
+
+    #[test]
+    fn wrapped_ring_surfaces_a_dropped_events_marker() {
+        let mut t = EventTracer::new(2);
+        for i in 0..5u64 {
+            t.complete("tx", TraceEventKind::MemTransaction, 1, 2, i * 10, 3);
+        }
+        let doc = t.chrome_trace();
+        let events = doc.get("traceEvents").unwrap().items();
+        assert_eq!(events.len(), t.len() + 1, "retained records plus the marker");
+        let marker = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("dropped_events"))
+            .expect("marker present");
+        assert_eq!(marker.get("cat").and_then(Json::as_str), Some("trace"));
+        assert_eq!(marker.get("ph").and_then(Json::as_str), Some("i"));
+        assert_eq!(marker.get("s").and_then(Json::as_str), Some("t"));
+        // Anchored at the first eviction (record with start 0 was evicted
+        // first), counting every eviction since.
+        assert_eq!(marker.get("ts").and_then(Json::as_u64), Some(0));
+        let count = marker.get("args").and_then(|a| a.get("count")).and_then(Json::as_u64);
+        assert_eq!(count, Some(3));
+        assert_eq!(doc.get("droppedEvents").and_then(Json::as_u64), Some(3));
+
+        // No drops → no marker.
+        let mut clean = EventTracer::new(16);
+        clean.complete("tx", TraceEventKind::MemTransaction, 0, 0, 0, 1);
+        let doc = clean.chrome_trace();
+        assert_eq!(doc.get("traceEvents").unwrap().items().len(), 1);
     }
 
     #[test]

@@ -8,13 +8,22 @@
 //!   (seeded SplitMix64, as in `differential_fuzz`), the scoped counter
 //!   registry always agrees with the `SimStats` totals the same run
 //!   reports — the two observability paths cannot drift apart.
+//! * **Profiler/metrics contract**: histogram merge is associative and
+//!   order-independent; a sampled multi-tenant session's metrics snapshot
+//!   is bit-identical at 1/2/8 sim threads; sampling off changes no
+//!   existing stats; and the Prometheus exposition (what `profile --prom`
+//!   prints) round-trips against the JSON snapshot (what `profile --json`
+//!   prints), name for name, label for label, value for value.
 
 use lmi::compiler::ir::{Function, FunctionBuilder, IBinOp, Region, Ty};
 use lmi::compiler::{compile, CompileOptions};
 use lmi::core::{DevicePtr, PtrConfig};
 use lmi::mem::layout;
+use lmi::runtime::{MetricsSnapshot, Session};
 use lmi::sim::{Gpu, GpuConfig, Launch, LmiMechanism};
-use lmi::telemetry::{json, Scope, SplitMix64, TelemetrySink};
+use lmi::telemetry::export::metric_name;
+use lmi::telemetry::{json, parse_prometheus, Histogram, Scope, SplitMix64, TelemetrySink};
+use lmi::workloads::{prepare_in, runtime_mixes, TrafficMix};
 
 /// A random-but-safe straight-line kernel: a few strided global accesses,
 /// some arithmetic, one published result per thread.
@@ -51,17 +60,51 @@ fn random_kernel(rng: &mut SplitMix64) -> Function {
     b.build()
 }
 
-fn run_telemetered(kernel: &Function, sink: &mut TelemetrySink) -> lmi::sim::SimStats {
+fn run_telemetered_on(
+    kernel: &Function,
+    sink: &mut TelemetrySink,
+    gpu_cfg: GpuConfig,
+) -> lmi::sim::SimStats {
     let cfg = PtrConfig::default();
     let bin = compile(kernel, CompileOptions::default()).unwrap();
     let base_addr = layout::GLOBAL_BASE + 0x300000;
     let ptr = DevicePtr::encode(base_addr, 4096, &cfg).unwrap();
     let launch = Launch::new(bin.program).grid(2).block(64).param(ptr.raw());
-    let mut gpu = Gpu::new(GpuConfig::small());
+    let mut gpu = Gpu::new(gpu_cfg);
     for i in 0..1024u64 {
         gpu.memory.write(base_addr + i * 4, i.wrapping_mul(2654435761), 4);
     }
     gpu.run_with_telemetry(&launch, &mut LmiMechanism::default_config(), sink)
+}
+
+fn run_telemetered(kernel: &Function, sink: &mut TelemetrySink) -> lmi::sim::SimStats {
+    run_telemetered_on(kernel, sink, GpuConfig::small())
+}
+
+/// Replays a whole traffic mix through a runtime session (the `profile`
+/// bin's submission pattern) and returns its metrics snapshot.
+fn run_traffic_session(mix: &TrafficMix, threads: usize, period: u64) -> MetricsSnapshot {
+    let cfg = GpuConfig::small().with_sim_threads(threads).with_sample_period(period);
+    let mut rt = Session::new(cfg);
+    let tenants: Vec<usize> =
+        mix.tenants.iter().map(|&protected| rt.add_tenant(protected)).collect();
+    for (i, traffic) in mix.streams.iter().enumerate() {
+        let spec = mix.spec_of(i);
+        let tenant = tenants[traffic.tenant];
+        let prepared = prepare_in(&spec, &mut rt.tenant_mut(tenant).allocator);
+        let stream = rt.create_stream(tenant).expect("tenant exists");
+        let buf = prepared.launch.params[0];
+        let words: Vec<u64> = (0..traffic.h2d_words as u64).collect();
+        rt.memcpy_h2d(stream, buf, &words).expect("stream exists");
+        rt.launch(stream, prepared.launch).expect("workload launches are valid");
+        rt.memcpy_d2h(stream, buf, traffic.d2h_bytes).expect("stream exists");
+    }
+    rt.synchronize().expect("mix drains without deadlock");
+    rt.metrics_snapshot()
+}
+
+fn mix_named(name: &str) -> TrafficMix {
+    runtime_mixes().into_iter().find(|m| m.name == name).expect("known mix")
 }
 
 #[test]
@@ -148,4 +191,157 @@ fn registry_counters_agree_with_sim_stats_on_random_kernels() {
             .sum();
         assert_eq!(warp_issued, stats.issued, "case {case}: warp-scope issued");
     }
+}
+
+#[test]
+fn histogram_merge_is_associative_and_order_independent() {
+    let mut rng = SplitMix64::new(0x4157_0611);
+    for case in 0..8 {
+        // Random values spread across ~54 octaves of magnitude (small
+        // enough that 400 of them cannot overflow a u64 sum), recorded
+        // once into a reference and split across three parts.
+        let values: Vec<u64> =
+            (0..rng.range(3, 400)).map(|_| rng.next_u64() >> (10 + rng.below(54))).collect();
+        let mut reference = Histogram::new();
+        let mut parts = [Histogram::new(), Histogram::new(), Histogram::new()];
+        for (i, &v) in values.iter().enumerate() {
+            reference.record(v);
+            parts[i % 3].record(v);
+        }
+        let [a, b, c] = &parts;
+
+        // Associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        let mut left = a.clone();
+        left.merge(b);
+        left.merge(c);
+        let mut bc = b.clone();
+        bc.merge(c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "case {case}: merge must be associative");
+
+        // Order-independent, and splitting loses nothing: any permutation
+        // equals recording every value into one histogram.
+        let mut reversed = c.clone();
+        reversed.merge(a);
+        reversed.merge(b);
+        assert_eq!(left, reversed, "case {case}: merge must be order-independent");
+        assert_eq!(left, reference, "case {case}: merged parts must equal the whole");
+        assert_eq!(left.count(), values.len() as u64, "case {case}");
+        assert_eq!(left.sum(), values.iter().sum::<u64>(), "case {case}");
+    }
+}
+
+#[test]
+fn profiler_output_is_bit_identical_across_sim_threads() {
+    // The acceptance bar: with sampling enabled, a multi-tenant traffic
+    // session produces bit-identical profiler + histogram output at 1, 2
+    // and 8 sim threads. Samples are taken in phase A from SM-local state
+    // and absorbed in the apply phase in ascending SM order, so the whole
+    // snapshot — not just the profiles — must compare equal.
+    let mix = mix_named("quad-stream");
+    let reference = run_traffic_session(&mix, 1, 64);
+    assert!(!reference.frame.profiles.is_empty(), "sampling on must produce profiles");
+    assert!(
+        reference.frame.profiles.values().all(|p| p.samples() > 0),
+        "every profiled kernel must have samples"
+    );
+    assert!(!reference.frame.histograms.is_empty(), "latency histograms must be populated");
+    for threads in [2, 8] {
+        let other = run_traffic_session(&mix, threads, 64);
+        assert_eq!(reference, other, "metrics snapshot diverged at {threads} sim threads");
+    }
+}
+
+#[test]
+fn sampling_disabled_changes_no_existing_stats() {
+    // Default-off means exactly that: with the period at 0 the run's
+    // stats and counters are byte-for-byte what they were before the
+    // profiler existed; turning sampling on only ever *adds* a profile.
+    let mut rng = SplitMix64::new(0x0FF5);
+    for case in 0..4 {
+        let kernel = random_kernel(&mut rng);
+        let mut sink_off = TelemetrySink::counters_only();
+        let mut sink_on = TelemetrySink::counters_only();
+        let off = run_telemetered_on(&kernel, &mut sink_off, GpuConfig::small());
+        let on =
+            run_telemetered_on(&kernel, &mut sink_on, GpuConfig::small().with_sample_period(32));
+        assert!(off.profile.is_empty(), "case {case}: period 0 must not sample");
+        assert!(!on.profile.is_empty(), "case {case}: period 32 must sample");
+        let mut on_sans_profile = on.clone();
+        on_sans_profile.profile = Default::default();
+        assert_eq!(off, on_sans_profile, "case {case}: sampling altered pre-existing stats");
+        assert_eq!(sink_off.counters, sink_on.counters, "case {case}: counters diverged");
+    }
+}
+
+#[test]
+fn prometheus_exposition_round_trips_against_the_json_snapshot() {
+    // What `profile --prom` prints is `snap.to_prometheus()` and what
+    // `profile --json` wraps is `snap.to_json()`; parsing the former and
+    // walking the latter must yield the same numbers, name for name,
+    // label for label, value for value.
+    let mix = mix_named("dual-tenant");
+    let snap = run_traffic_session(&mix, 2, 64);
+    assert!(!snap.frame.is_empty());
+    let samples = parse_prometheus(&snap.to_prometheus()).expect("exposition must parse");
+    let doc = snap.to_json();
+    let find = |name: &str, labels: &[(&str, &str)]| -> f64 {
+        samples
+            .iter()
+            .find(|s| s.name == name && labels.iter().all(|(k, v)| s.label(k) == Some(*v)))
+            .unwrap_or_else(|| panic!("sample {name} {labels:?} missing from exposition"))
+            .value
+    };
+
+    // Every counter appears in both renderings with the same value.
+    let counters_json = doc.get("counters").expect("counters");
+    for (scope, name, v) in snap.frame.counters.iter() {
+        let label = scope.label();
+        assert_eq!(find(&metric_name(name), &[("scope", &label)]), v as f64, "{label}/{name}");
+        let jv = counters_json.get(&label).and_then(|s| s.get(name)).and_then(|n| n.as_u64());
+        assert_eq!(jv, Some(v), "JSON counter {label}/{name}");
+    }
+
+    // Every histogram's count and sum agree across all three sources.
+    let hists_json = doc.get("histograms").expect("histograms");
+    for (scope, name, h) in snap.frame.histograms.iter() {
+        let label = scope.label();
+        let family = metric_name(name);
+        let scoped: [(&str, &str); 1] = [("scope", &label)];
+        assert_eq!(find(&format!("{family}_count"), &scoped), h.count() as f64);
+        assert_eq!(find(&format!("{family}_sum"), &scoped), h.sum() as f64);
+        assert_eq!(
+            find(&format!("{family}_bucket"), &[("scope", &label), ("le", "+Inf")]),
+            h.count() as f64
+        );
+        let hj = hists_json.get(&label).and_then(|s| s.get(name)).expect("JSON histogram");
+        assert_eq!(hj.get("count").and_then(|n| n.as_u64()), Some(h.count()));
+        assert_eq!(hj.get("sum").and_then(|n| n.as_u64()), Some(h.sum()));
+    }
+
+    // Profiles: per-kernel sample totals and warp-state counts line up.
+    let profiles_json = doc.get("profiles").expect("profiles");
+    assert!(!snap.frame.profiles.is_empty());
+    for (kernel, p) in &snap.frame.profiles {
+        assert_eq!(find("lmi_profile_samples", &[("kernel", kernel)]), p.samples() as f64);
+        let pj = profiles_json.get(kernel).expect("JSON profile");
+        assert_eq!(pj.get("samples").and_then(|n| n.as_u64()), Some(p.samples()));
+        for (state, &n) in lmi::telemetry::WARP_STATE_NAMES.iter().zip(&p.states()) {
+            assert_eq!(
+                find("lmi_profile_warp_state", &[("kernel", kernel), ("state", state)]),
+                n as f64,
+                "{kernel}/{state}"
+            );
+        }
+    }
+
+    // Session framing: makespan gauge and the JSON field agree.
+    assert_eq!(find("lmi_session_total_cycles", &[]), snap.total_cycles as f64);
+    assert_eq!(doc.get("total_cycles").and_then(|n| n.as_u64()), Some(snap.total_cycles));
+    assert_eq!(
+        doc.get("tenants").expect("tenants").items().len(),
+        snap.tenants.len(),
+        "one SLO row per tenant"
+    );
 }
