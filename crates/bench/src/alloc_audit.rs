@@ -1,0 +1,90 @@
+//! Allocation auditing: a counting global allocator.
+//!
+//! The cycle loop's "zero allocations per cycle" claim (see DESIGN.md,
+//! *Hot path & allocation discipline*) is enforced empirically: a binary
+//! installs [`CountingAlloc`] as its `#[global_allocator]`, runs the same
+//! seeded workload at two iteration counts, and asserts the total
+//! allocation counts are **equal** — every allocation belongs to setup
+//! (launch lowering, warp tables, pool warm-up), none to steady state.
+//!
+//! Counting is process-global and lock-free (one relaxed atomic per
+//! alloc), cheap enough that `simbench` keeps it installed while timing
+//! and reports `allocs_per_kcycle` next to `kips`.
+//!
+//! ```no_run
+//! use lmi_bench::alloc_audit::CountingAlloc;
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAlloc = CountingAlloc::new();
+//!
+//! let before = CountingAlloc::allocations();
+//! // ... run the region under audit ...
+//! let delta = CountingAlloc::allocations() - before;
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of heap allocations since program start.
+///
+/// Static (not per-instance) so `CountingAlloc::allocations()` works
+/// without a reference to the installed allocator.
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Bytes requested across all allocations since program start.
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed global allocator that counts every allocation.
+///
+/// `realloc` counts as one allocation (it may move); `dealloc` is not
+/// counted — the audit cares about allocator traffic, not live bytes.
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// A new counting allocator (const, for `#[global_allocator]`).
+    pub const fn new() -> CountingAlloc {
+        CountingAlloc
+    }
+
+    /// Number of heap allocations made by the process so far.
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes requested by the process so far.
+    pub fn allocated_bytes() -> u64 {
+        ALLOCATED_BYTES.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> CountingAlloc {
+        CountingAlloc::new()
+    }
+}
+
+// SAFETY: delegates directly to `System`, which upholds the `GlobalAlloc`
+// contract; the counters are side effects with no aliasing.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}

@@ -26,6 +26,7 @@
 
 use std::time::Instant;
 
+use lmi_bench::alloc_audit::CountingAlloc;
 use lmi_bench::report::{self, ReportOpts};
 use lmi_bench::{geomean, print_row};
 use lmi_runtime::{MetricsSnapshot, Runtime, RuntimeReport};
@@ -33,15 +34,21 @@ use lmi_sim::GpuConfig;
 use lmi_telemetry::{Json, Scope};
 use lmi_workloads::{prepare_in, runtime_mixes, TrafficMix};
 
+// One relaxed atomic per allocation: cheap enough to keep installed while
+// timing, and it makes every baseline regeneration double as an
+// allocation audit of the drain loop (`allocs_per_kcycle` per row).
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
 /// Builds a runtime, submits the whole mix, synchronizes, and returns
-/// the report, the session metrics snapshot, and the drain wall-clock.
-/// `serialize` chains each stream behind the previous via events — the
-/// back-to-back baseline.
+/// the report, the session metrics snapshot, the drain wall-clock, and
+/// the heap allocations made during the drain. `serialize` chains each
+/// stream behind the previous via events — the back-to-back baseline.
 fn run_mix(
     mix: &TrafficMix,
     cfg: GpuConfig,
     serialize: bool,
-) -> (RuntimeReport, MetricsSnapshot, f64) {
+) -> (RuntimeReport, MetricsSnapshot, f64, u64) {
     let mut rt = Runtime::new(cfg);
     let tenants: Vec<usize> =
         mix.tenants.iter().map(|&protected| rt.add_tenant(protected)).collect();
@@ -72,10 +79,12 @@ fn run_mix(
             chain = Some(ev);
         }
     }
+    let a0 = CountingAlloc::allocations();
     let t0 = Instant::now();
     rt.synchronize().expect("mix drains without deadlock");
     let wall = t0.elapsed().as_secs_f64();
-    (rt.report().clone(), rt.metrics_snapshot(), wall)
+    let allocs = CountingAlloc::allocations() - a0;
+    (rt.report().clone(), rt.metrics_snapshot(), wall, allocs)
 }
 
 /// Session-wide kernel-latency tails (schema v3): p50/p99/max execution
@@ -141,7 +150,7 @@ fn main() {
     );
     print_row(
         "mix",
-        &["streams", "serial cyc", "conc cyc", "overlap", "kernels", "wall ms"]
+        &["streams", "serial cyc", "conc cyc", "overlap", "kernels", "wall ms", "kips", "al/kcyc"]
             .iter()
             .map(|s| s.to_string())
             .collect::<Vec<_>>(),
@@ -151,8 +160,9 @@ fn main() {
     let mut overlaps = Vec::new();
     let wall0 = Instant::now();
     for mix in runtime_mixes() {
-        let (concurrent, snap, conc_wall) = run_mix(&mix, cfg.with_sim_threads(1), false);
-        let (serial, _, _) = run_mix(&mix, cfg.with_sim_threads(1), true);
+        let (concurrent, snap, conc_wall, conc_allocs) =
+            run_mix(&mix, cfg.with_sim_threads(1), false);
+        let (serial, _, _, _) = run_mix(&mix, cfg.with_sim_threads(1), true);
         // Determinism: the concurrent schedule is bit-identical at every
         // worker-thread count — report, counters, and event stamps.
         let (ref_report, ref_counters) = fingerprint(&mix, cfg, thread_matrix[0]);
@@ -172,6 +182,15 @@ fn main() {
             );
         }
         overlaps.push(overlap);
+        // Simulator throughput over the concurrent drain: total issued
+        // warp-instructions per wall-clock second, in thousands.
+        let issued: u64 = concurrent.kernels.iter().map(|k| k.stats.issued).sum();
+        let kips = if conc_wall > 0.0 { issued as f64 / conc_wall / 1e3 } else { 0.0 };
+        let allocs_per_kcycle = if concurrent.total_cycles > 0 {
+            conc_allocs as f64 / (concurrent.total_cycles as f64 / 1e3)
+        } else {
+            0.0
+        };
         print_row(
             mix.name,
             &[
@@ -181,6 +200,8 @@ fn main() {
                 format!("{overlap:.2}x"),
                 format!("{}", concurrent.kernels.len()),
                 format!("{:.1}", conc_wall * 1e3),
+                format!("{kips:.0}"),
+                format!("{allocs_per_kcycle:.2}"),
             ],
         );
         let kernels = concurrent
@@ -213,7 +234,9 @@ fn main() {
                     "determinism",
                     Json::Arr(thread_matrix.iter().map(|&t| Json::from(t as u64)).collect()),
                 )
-                .with("wall_ms", conc_wall * 1e3),
+                .with("wall_ms", conc_wall * 1e3)
+                .with("kips", kips)
+                .with("allocs_per_kcycle", allocs_per_kcycle),
         );
     }
     let total_secs = wall0.elapsed().as_secs_f64();
@@ -243,7 +266,10 @@ fn main() {
     );
     // v3: mix rows carry `kernel_latency` (p50/p99/max exec, p99 queue
     // wait) from the session histograms.
-    doc.set("schema_version", 3u64);
+    // v4: mix rows carry `kips` (issued warp-instructions per wall-clock
+    // second, thousands) and `allocs_per_kcycle` (heap allocations during
+    // the drain per thousand simulated cycles — the allocation audit).
+    doc.set("schema_version", 4u64);
     if let Err(e) = std::fs::write(&out_path, doc.to_pretty()) {
         eprintln!("warning: could not write {out_path}: {e}");
     } else {

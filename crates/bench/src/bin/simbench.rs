@@ -27,11 +27,19 @@ use std::time::Instant;
 
 use lmi_alloc::AlignmentPolicy;
 use lmi_baselines::GpuShield;
+use lmi_bench::alloc_audit::CountingAlloc;
 use lmi_bench::report::{self, ReportOpts};
-use lmi_bench::{geomean, print_row};
+use lmi_bench::{format_row, geomean};
 use lmi_sim::{Gpu, GpuConfig, LmiMechanism, NullMechanism, SimStats};
 use lmi_telemetry::Json;
 use lmi_workloads::{all_workloads, prepare, PreparedWorkload, WorkloadSpec};
+
+// Counting the allocator while timing is deliberate: one relaxed atomic
+// per allocation is noise, and it lets every benchmark run double as an
+// allocation audit (`allocs_per_kcycle` should stay near zero — setup
+// only, nothing proportional to cycles).
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
 
 /// The fixed kernel set: compute-heavy, wavefront/barrier-heavy, and
 /// memory/traffic-heavy — the three simulator hot paths.
@@ -71,33 +79,37 @@ impl lmi_workloads::prepare::RegisterBuffers for ShieldAdapter<'_> {
     }
 }
 
-/// One timed simulation. Returns the stats and the wall-clock seconds of
-/// the `Gpu::run` call alone (setup/teardown excluded).
+/// One timed simulation. Returns the stats, the wall-clock seconds of the
+/// `Gpu::run` call alone (setup/teardown excluded), and the heap
+/// allocations made during that same window.
 fn run_once(
     cfg: &GpuConfig,
     threads: usize,
     prepared: &PreparedWorkload,
     mech: Mech,
-) -> (SimStats, f64) {
+) -> (SimStats, f64, u64) {
     let mut gpu = Gpu::with_heap_policy(cfg.with_sim_threads(threads), mech.policy());
-    let (stats, secs) = match mech {
+    let (stats, secs, allocs) = match mech {
         Mech::Null => {
+            let a0 = CountingAlloc::allocations();
             let t0 = Instant::now();
             let s = gpu.run(&prepared.launch, &mut NullMechanism);
-            (s, t0.elapsed().as_secs_f64())
+            (s, t0.elapsed().as_secs_f64(), CountingAlloc::allocations() - a0)
         }
         Mech::Lmi => {
             let mut m = LmiMechanism::default_config();
+            let a0 = CountingAlloc::allocations();
             let t0 = Instant::now();
             let s = gpu.run(&prepared.launch, &mut m);
-            (s, t0.elapsed().as_secs_f64())
+            (s, t0.elapsed().as_secs_f64(), CountingAlloc::allocations() - a0)
         }
         Mech::GpuShield => {
             let mut m = GpuShield::new();
             prepared.register_with(&mut ShieldAdapter(&mut m));
+            let a0 = CountingAlloc::allocations();
             let t0 = Instant::now();
             let s = gpu.run(&prepared.launch, &mut m);
-            (s, t0.elapsed().as_secs_f64())
+            (s, t0.elapsed().as_secs_f64(), CountingAlloc::allocations() - a0)
         }
     };
     assert!(
@@ -106,7 +118,7 @@ fn run_once(
         mech.name(),
         stats.violations.first()
     );
-    (stats, secs)
+    (stats, secs, allocs)
 }
 
 fn spec_for(name: &str, quick: bool) -> WorkloadSpec {
@@ -124,6 +136,18 @@ fn spec_for(name: &str, quick: bool) -> WorkloadSpec {
 fn kips(issued: u64, secs: f64) -> f64 {
     if secs > 0.0 {
         issued as f64 / secs / 1e3
+    } else {
+        0.0
+    }
+}
+
+/// Heap allocations per thousand simulated cycles. The hot path is
+/// allocation-free (see `tests/alloc_audit.rs`), so this amortizes
+/// launch-time setup over the run and should stay near zero for any
+/// non-trivial kernel.
+fn allocs_per_kcycle(allocs: u64, cycles: u64) -> f64 {
+    if cycles > 0 {
+        allocs as f64 / (cycles as f64 / 1e3)
     } else {
         0.0
     }
@@ -152,21 +176,33 @@ fn main() {
     let threads = threads_arg.unwrap_or(host_cores).clamp(1, cfg.num_sms);
     let rev = report::git_rev();
 
-    println!(
+    // With `--json`, stdout carries the JSON document alone (so
+    // `simbench --json | jsonlint` works, like `probe` and `profile`);
+    // the human-readable table moves to stderr.
+    let json_mode = opts.json;
+    let say = |line: String| {
+        if json_mode {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+
+    say(format!(
         "simbench: {} SMs, {} worker thread(s) vs serial, {} host core(s), rev {}{}",
         cfg.num_sms,
         threads,
         host_cores,
         rev,
         if quick { " [quick]" } else { "" },
-    );
-    print_row(
+    ));
+    say(format_row(
         "kernel/mech",
-        &["cycles", "kinsts", "serial ms", "par ms", "speedup", "kips"]
+        &["cycles", "kinsts", "serial ms", "par ms", "speedup", "kips", "alloc/kcyc"]
             .iter()
             .map(|s| s.to_string())
             .collect::<Vec<_>>(),
-    );
+    ));
 
     let mut runs = Vec::new();
     let mut speedups = Vec::new();
@@ -175,8 +211,8 @@ fn main() {
         let spec = spec_for(kernel, quick);
         for mech in MECHANISMS {
             let prepared = prepare(&spec, mech.policy());
-            let (serial_stats, serial_secs) = run_once(&cfg, 1, &prepared, mech);
-            let (par_stats, par_secs) = run_once(&cfg, threads, &prepared, mech);
+            let (serial_stats, serial_secs, serial_allocs) = run_once(&cfg, 1, &prepared, mech);
+            let (par_stats, par_secs, par_allocs) = run_once(&cfg, threads, &prepared, mech);
             // Free determinism check: the parallel engine must reproduce
             // the serial schedule bit-for-bit on every benchmark cell.
             assert_eq!(
@@ -187,7 +223,7 @@ fn main() {
             );
             let speedup = if par_secs > 0.0 { serial_secs / par_secs } else { 1.0 };
             speedups.push(speedup);
-            print_row(
+            say(format_row(
                 &format!("{kernel}/{}", mech.name()),
                 &[
                     format!("{}", serial_stats.cycles),
@@ -196,8 +232,9 @@ fn main() {
                     format!("{:.1}", par_secs * 1e3),
                     format!("{speedup:.2}x"),
                     format!("{:.0}", kips(par_stats.issued, par_secs)),
+                    format!("{:.2}", allocs_per_kcycle(serial_allocs, serial_stats.cycles)),
                 ],
-            );
+            ));
             runs.push(
                 Json::obj()
                     .with("kernel", kernel)
@@ -211,14 +248,22 @@ fn main() {
                         "serial",
                         Json::obj()
                             .with("wall_ms", serial_secs * 1e3)
-                            .with("kips", kips(serial_stats.issued, serial_secs)),
+                            .with("kips", kips(serial_stats.issued, serial_secs))
+                            .with(
+                                "allocs_per_kcycle",
+                                allocs_per_kcycle(serial_allocs, serial_stats.cycles),
+                            ),
                     )
                     .with(
                         "parallel",
                         Json::obj()
                             .with("threads", threads)
                             .with("wall_ms", par_secs * 1e3)
-                            .with("kips", kips(par_stats.issued, par_secs)),
+                            .with("kips", kips(par_stats.issued, par_secs))
+                            .with(
+                                "allocs_per_kcycle",
+                                allocs_per_kcycle(par_allocs, par_stats.cycles),
+                            ),
                     )
                     .with("speedup", speedup),
             );
@@ -229,14 +274,14 @@ fn main() {
     let gm = geomean(speedups.iter().copied());
     let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
     let max = speedups.iter().copied().fold(0.0f64, f64::max);
-    println!(
+    say(format!(
         "\ngeomean speedup {gm:.2}x (min {min:.2}x, max {max:.2}x) at {threads} thread(s); \
          total {total_secs:.1}s"
-    );
+    ));
     if host_cores < threads {
-        println!(
+        say(format!(
             "note: only {host_cores} host core(s) — thread-level speedup needs real parallelism"
-        );
+        ));
     }
 
     let doc = report::envelope(
@@ -261,7 +306,7 @@ fn main() {
     if let Err(e) = std::fs::write(&out_path, doc.to_pretty()) {
         eprintln!("warning: could not write {out_path}: {e}");
     } else {
-        println!("report written to {out_path}");
+        say(format!("report written to {out_path}"));
     }
     if opts.json {
         report::emit(&doc);

@@ -5,6 +5,7 @@
 //! micro-benchmarks (`benches/`). The per-experiment index lives in
 //! `DESIGN.md`; measured-vs-paper numbers are recorded in `EXPERIMENTS.md`.
 
+pub mod alloc_audit;
 pub mod harness;
 pub mod report;
 
@@ -183,13 +184,18 @@ pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
     }
 }
 
+/// Formats an aligned row: name column then fixed-width numeric columns.
+pub fn format_row(name: &str, cols: &[String]) -> String {
+    let mut row = format!("{name:<24}");
+    for c in cols {
+        row.push_str(&format!(" {c:>12}"));
+    }
+    row
+}
+
 /// Prints an aligned row: name column then fixed-width numeric columns.
 pub fn print_row(name: &str, cols: &[String]) {
-    print!("{name:<24}");
-    for c in cols {
-        print!(" {c:>12}");
-    }
-    println!();
+    println!("{}", format_row(name, cols));
 }
 
 #[cfg(test)]

@@ -34,6 +34,7 @@
 
 pub mod abi;
 pub mod asm;
+pub mod decoded;
 pub mod instr;
 pub mod microcode;
 pub mod op;
@@ -41,6 +42,7 @@ pub mod program;
 pub mod reg;
 pub mod space;
 
+pub use decoded::{DecodeError, DecodedInstr, DecodedStream};
 pub use instr::{HintBits, Instruction, MemRef, Operand, Predicate};
 pub use microcode::{CodecError, ComputeCapability, Microcode};
 pub use op::{Opcode, OpcodeClass};

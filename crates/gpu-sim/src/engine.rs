@@ -46,9 +46,9 @@ use lmi_mem::{MemoryHierarchy, SparseMemory};
 use lmi_telemetry::{FaultEvent, PoisonEvent, Scope, TelemetrySink, TraceEventKind};
 
 use crate::config::GpuConfig;
-use crate::lsu::coalesce;
+use crate::lsu::coalesce_into;
 use crate::mechanism::{Mechanism, MemAccessCtx};
-use crate::sm::{CycleEvents, IssueEvent, LaneMem, OpResult, SharedOp, Sm};
+use crate::sm::{CycleEvents, EventPool, IssueEvent, LaneMem, OpResult, SharedOp, Sm};
 use crate::stats::{SimStats, ViolationEvent};
 
 /// Per-kernel shared state: each kernel resident on the GPU owns its own
@@ -126,12 +126,19 @@ fn apply_cycle(sm_id: usize, events: &mut CycleEvents, now: u64, shared: &mut Sh
         profile.period = period;
         profile.absorb(sm_id, &sample);
     }
-    for ev in &mut events.issues {
-        apply_event(sm_id, ev, now, shared);
+    let CycleEvents { issues, pool, .. } = events;
+    for ev in issues.iter_mut() {
+        apply_event(sm_id, ev, pool, now, shared);
     }
 }
 
-fn apply_event(sm_id: usize, ev: &mut IssueEvent, now: u64, shared: &mut SharedCtx<'_>) {
+fn apply_event(
+    sm_id: usize,
+    ev: &mut IssueEvent,
+    pool: &mut EventPool,
+    now: u64,
+    shared: &mut SharedCtx<'_>,
+) {
     if let Some(op) = ev.opcode {
         let stats = &mut *shared.kernel(sm_id).stats;
         stats.issued += 1;
@@ -151,14 +158,24 @@ fn apply_event(sm_id: usize, ev: &mut IssueEvent, now: u64, shared: &mut SharedC
     let mnemonic = ev.opcode.map(|op| op.mnemonic()).unwrap_or("");
     ev.result = match ev.shared.take() {
         Some(SharedOp::MarkedInt { dst, pair, lanes }) => {
-            Some(apply_marked_int(sm_id, ev, mnemonic, dst, pair, lanes, now, shared))
+            let r = apply_marked_int(sm_id, ev, mnemonic, dst, pair, &lanes, pool, now, shared);
+            pool.put_triples(lanes);
+            Some(r)
         }
         Some(SharedOp::Heap { dst, pair, malloc, lanes }) => {
-            Some(apply_heap(sm_id, ev, mnemonic, dst, pair, malloc, lanes, now, shared))
+            let r = apply_heap(sm_id, ev, mnemonic, dst, pair, malloc, &lanes, pool, now, shared);
+            pool.put_pairs(lanes);
+            Some(r)
         }
-        Some(SharedOp::Mem { dst, pair, width, is_store, space, lanes, lines }) => Some(apply_mem(
-            sm_id, ev, mnemonic, dst, pair, width, is_store, space, lanes, lines, now, shared,
-        )),
+        Some(SharedOp::Mem { dst, pair, width, is_store, space, lanes, mut lines }) => {
+            let r = apply_mem(
+                sm_id, ev, mnemonic, dst, pair, width, is_store, space, &lanes, &mut lines, pool,
+                now, shared,
+            );
+            pool.put_lane_mem(lanes);
+            pool.put_lines(lines);
+            Some(r)
+        }
         None => None,
     };
     shared.sink.counters.inc(Scope::Sm(sm_id), "issued");
@@ -186,15 +203,16 @@ fn apply_marked_int(
     mnemonic: &'static str,
     dst: Reg,
     pair: bool,
-    lanes: Vec<(usize, u64, u64)>,
+    lanes: &[(usize, u64, u64)],
+    pool: &mut EventPool,
     now: u64,
     shared: &mut SharedCtx<'_>,
 ) -> OpResult {
     let mech_name = shared.kernel(sm_id).mechanism.name();
     let issue_index = shared.kernel(sm_id).stats.issued;
     let mut extra_delay = 0u32;
-    let mut writes = Vec::with_capacity(lanes.len());
-    for (l, input, raw) in lanes {
+    let mut writes = pool.take_pairs();
+    for &(l, input, raw) in lanes {
         let mech = &mut shared.kernel(sm_id).mechanism;
         let check = mech.on_marked_int(input, raw);
         extra_delay = extra_delay.max(mech.marked_int_delay());
@@ -259,13 +277,14 @@ fn apply_heap(
     dst: Reg,
     pair: bool,
     malloc: bool,
-    lanes: Vec<(usize, u64)>,
+    lanes: &[(usize, u64)],
+    pool: &mut EventPool,
     now: u64,
     shared: &mut SharedCtx<'_>,
 ) -> OpResult {
-    let mut writes = Vec::new();
+    let mut writes = pool.take_pairs();
     let mut violation = None;
-    for (l, value) in lanes {
+    for &(l, value) in lanes {
         let gtid = ev.base_tid + l as u64;
         let slot = shared.kernel(sm_id);
         if malloc {
@@ -332,8 +351,9 @@ fn apply_mem(
     width: u8,
     is_store: bool,
     space: MemSpace,
-    lanes: Vec<LaneMem>,
-    lines: Vec<u64>,
+    lanes: &[LaneMem],
+    lines: &mut Vec<u64>,
+    pool: &mut EventPool,
     now: u64,
     shared: &mut SharedCtx<'_>,
 ) -> OpResult {
@@ -342,11 +362,11 @@ fn apply_mem(
     // unique id shared by every lane of this warp-level issue.
     let issue_index = shared.kernel(sm_id).stats.issued;
     let mech_name = shared.kernel(sm_id).mechanism.name();
-    let mut ok: Vec<LaneMem> = Vec::with_capacity(lanes.len());
+    let mut ok = pool.take_lane_mem();
     let mut faulted = false;
     let mut extra_cycles = 0u32;
-    let mut metadata_addrs: Vec<u64> = Vec::new();
-    for lm in lanes {
+    let mut metadata_addrs = pool.take_lines();
+    for &lm in lanes {
         let ctx = MemAccessCtx {
             space,
             raw: lm.raw,
@@ -405,11 +425,13 @@ fn apply_mem(
     if faulted && shared.cfg.halt_on_violation {
         // The faulting access never issues: no timing, no data movement,
         // no pc advance — the warp halts.
+        pool.put_lane_mem(ok);
+        pool.put_lines(metadata_addrs);
         return OpResult {
             dst,
             pair,
             write_width: width,
-            writes: Vec::new(),
+            writes: pool.take_pairs(),
             ready_at: None,
             verdict_at: None,
             ready_mem_at: None,
@@ -437,14 +459,16 @@ fn apply_mem(
     } else {
         // Phase A coalesced assuming all lanes pass the check; a
         // (non-halting) fault drops lanes, so recompute from the survivors.
-        let lines = if faulted {
-            coalesce(ok.iter().map(|m| m.timing_addr), shared.cfg.hierarchy.l1.line_bytes)
-        } else {
-            lines
-        };
+        if faulted {
+            coalesce_into(
+                ok.iter().map(|m| m.timing_addr),
+                shared.cfg.hierarchy.l1.line_bytes,
+                lines,
+            );
+        }
         shared.kernel(sm_id).stats.transactions += lines.len() as u64;
         line_count = lines.len() as u64;
-        for line in lines {
+        for &line in lines.iter() {
             done_at = done_at.max(shared.hierarchy.access_dram_backed(sm_id, line, t));
         }
     }
@@ -463,17 +487,18 @@ fn apply_mem(
     }
 
     // Data movement.
-    let mut writes = Vec::new();
+    let mut writes = pool.take_pairs();
     if is_store {
         for lm in &ok {
             shared.memory.write(lm.vaddr, lm.store_value, width);
         }
     } else {
-        writes.reserve(ok.len());
         for lm in &ok {
             writes.push((lm.lane, shared.memory.read(lm.vaddr, width)));
         }
     }
+    pool.put_lane_mem(ok);
+    pool.put_lines(metadata_addrs);
     OpResult {
         dst,
         pair,

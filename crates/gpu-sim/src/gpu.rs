@@ -8,6 +8,7 @@ use std::sync::Arc;
 
 use lmi_alloc::{AlignmentPolicy, DeviceHeap};
 use lmi_core::PtrConfig;
+use lmi_isa::DecodedStream;
 use lmi_mem::{layout, CacheStats, MemoryHierarchy, SparseMemory};
 use lmi_telemetry::{Scope, TelemetrySink};
 
@@ -187,7 +188,10 @@ impl Gpu {
         sink: &mut TelemetrySink,
     ) -> Result<SimStats, LaunchError> {
         launch.validate(&self.cfg)?;
-        let program = Arc::new(launch.program.clone());
+        // Lower the program to its flat decoded form exactly once; the
+        // cycle loop never decodes again. Corrupt microcode (bad ISETP
+        // immediates, unknown S2R selectors) is rejected here.
+        let stream = Arc::new(DecodedStream::lower(&launch.program)?);
         let ctx = Arc::new(LaunchCtx {
             params: launch.params.clone(),
             stack_bytes: self.cfg.stack_bytes,
@@ -195,10 +199,10 @@ impl Gpu {
             layout_tid_base: 0,
             layout_block_base: 0,
         });
-        let regs = program.regs_per_thread.max(8) as usize;
+        let regs = launch.program.regs_per_thread.max(8) as usize;
 
         let mut sms: Vec<Sm> = (0..self.cfg.num_sms)
-            .map(|id| Sm::new(id, Arc::clone(&program), Arc::clone(&ctx)))
+            .map(|id| Sm::new(id, Arc::clone(&stream), Arc::clone(&ctx)))
             .collect();
         for block in 0..launch.grid_blocks {
             sms[block % self.cfg.num_sms].add_block(block, launch, regs);
@@ -301,7 +305,7 @@ impl Gpu {
         let mut kernel_of_sm = vec![0usize; self.cfg.num_sms];
         for (k, job) in jobs.iter().enumerate() {
             let launch = job.launch;
-            let program = Arc::new(launch.program.clone());
+            let stream = Arc::new(DecodedStream::lower(&launch.program)?);
             let ctx = Arc::new(LaunchCtx {
                 params: launch.params.clone(),
                 stack_bytes: self.cfg.stack_bytes,
@@ -309,11 +313,11 @@ impl Gpu {
                 layout_tid_base: k as u64 * LAYOUT_TID_STRIDE,
                 layout_block_base: k as u64 * LAYOUT_BLOCK_STRIDE,
             });
-            let regs = program.regs_per_thread.max(8) as usize;
+            let regs = launch.program.regs_per_thread.max(8) as usize;
             let mut part: Vec<Sm> = job
                 .partition
                 .clone()
-                .map(|id| Sm::new(id, Arc::clone(&program), Arc::clone(&ctx)))
+                .map(|id| Sm::new(id, Arc::clone(&stream), Arc::clone(&ctx)))
                 .collect();
             let plen = part.len();
             for block in 0..launch.grid_blocks {
@@ -417,6 +421,25 @@ mod tests {
     use lmi_isa::instr::CmpOp;
     use lmi_isa::reg::PredReg;
     use lmi_isa::{abi, HintBits, Instruction, MemRef, MemSpace, ProgramBuilder, Reg};
+
+    #[test]
+    fn corrupted_cmp_immediate_is_rejected_at_launch() {
+        // A bit-flipped ISETP comparison immediate used to fall back to
+        // `CmpOp::Eq` silently inside the cycle loop. Lowering now rejects
+        // the program at launch with a typed error, before any SM runs.
+        let mut b = ProgramBuilder::new("corrupt");
+        b.push(Instruction::isetp(PredReg(0), Reg(0), CmpOp::Lt, 4));
+        b.push(Instruction::exit());
+        let mut program = b.build();
+        program.instructions[0].srcs[2] = lmi_isa::Operand::Imm(99);
+        let launch = Launch::new(program);
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let err = gpu.try_run(&launch, &mut NullMechanism).unwrap_err();
+        assert_eq!(
+            err,
+            LaunchError::Decode(lmi_isa::DecodeError::BadCmpImmediate { pc: 0, value: 99 })
+        );
+    }
 
     #[test]
     fn empty_kernel_terminates() {

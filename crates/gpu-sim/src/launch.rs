@@ -42,6 +42,10 @@ pub enum LaunchError {
         /// SMs on the GPU.
         num_sms: usize,
     },
+    /// The program failed to lower into a decoded stream: an instruction
+    /// carries a malformed immediate (corrupted microcode). Surfacing this
+    /// at launch keeps the cycle loop decode-free — it never re-validates.
+    Decode(lmi_isa::DecodeError),
 }
 
 impl std::fmt::Display for LaunchError {
@@ -60,11 +64,18 @@ impl std::fmt::Display for LaunchError {
             LaunchError::BadPartition { start, end, num_sms } => {
                 write!(f, "SM partition {start}..{end} is invalid on a {num_sms}-SM GPU")
             }
+            LaunchError::Decode(e) => write!(f, "program failed to decode: {e}"),
         }
     }
 }
 
 impl std::error::Error for LaunchError {}
+
+impl From<lmi_isa::DecodeError> for LaunchError {
+    fn from(e: lmi_isa::DecodeError) -> LaunchError {
+        LaunchError::Decode(e)
+    }
+}
 
 /// A kernel launch: program, geometry, and parameters.
 ///

@@ -6,11 +6,11 @@
 //!
 //! * **Phase A** (`Sm::step_phase_a`) — scheduling, operand fetch, ALU
 //!   execution and address generation. Touches *only* this SM's state
-//!   (warps, program, launch context), so any number of SMs can run phase A
-//!   concurrently. Operations that must touch shared state (the memory
-//!   hierarchy, the functional store, the device heap, the mechanism,
-//!   statistics, telemetry) are not executed; they are recorded as
-//!   `SharedOp`s on the cycle's `IssueEvent` list.
+//!   (warps, decoded stream, launch context), so any number of SMs can run
+//!   phase A concurrently. Operations that must touch shared state (the
+//!   memory hierarchy, the functional store, the device heap, the
+//!   mechanism, statistics, telemetry) are not executed; they are recorded
+//!   as `SharedOp`s on the cycle's `IssueEvent` list.
 //! * **Phase B** (`engine::apply_cycle`) — a single thread walks every SM's
 //!   events in canonical (sm, scheduler) order and applies the shared
 //!   operations, producing an `OpResult` per deferred op. Because the
@@ -24,20 +24,28 @@
 //! (loads have multi-cycle latency; the issuing warp cannot issue again
 //! this cycle), so deferring them within the cycle does not change what any
 //! phase-A code can observe — the equivalence argument for determinism.
+//!
+//! ## Allocation discipline
+//!
+//! The cycle loop is **allocation-free in steady state** (audited by
+//! `tests/alloc_audit.rs`): instructions come pre-decoded from an
+//! [`lmi_isa::DecodedStream`] lowered once at launch, the GTO scheduler
+//! iterates its warp slice in place instead of collecting candidate lists,
+//! lane sets walk the execution mask bit-by-bit, and every deferred-op
+//! payload (`SharedOp`/`OpResult` lane and line lists) is drawn from the
+//! per-SM `EventPool` and returned to it after application.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use lmi_core::ptr::ADDR_MASK;
-use lmi_isa::op::SpecialReg;
-use lmi_isa::{abi, Instruction, MemSpace, Opcode, OpcodeClass, Operand, Program, Reg};
+use lmi_isa::{abi, DecodedInstr, DecodedStream, MemSpace, Opcode, OpcodeClass, Operand, Reg};
 use lmi_mem::layout;
 use lmi_telemetry::{SmSample, WarpState};
 
 use crate::config::{GpuConfig, WARP_SIZE};
 use crate::exec;
 use crate::launch::Launch;
-use crate::lsu::coalesce;
+use crate::lsu::coalesce_into;
 use crate::warp::{LaneMask, Warp};
 
 /// Per-launch context needed to resolve constant-bank reads.
@@ -79,16 +87,26 @@ impl LaunchCtx {
     }
 }
 
+/// Per-block barrier bookkeeping, rebuilt-free: one record per resident
+/// block, counters reset and re-accumulated in a single pass per phase C.
+#[derive(Debug)]
+struct BlockBarrier {
+    block: usize,
+    resident: usize,
+    waiting: usize,
+    done: usize,
+}
+
 /// One streaming multiprocessor.
 pub(crate) struct Sm {
     pub id: usize,
-    program: Arc<Program>,
+    stream: Arc<DecodedStream>,
     launch: Arc<LaunchCtx>,
     pub warps: Vec<Warp>,
     /// Greedy warp per scheduler (GTO: greedy-then-oldest).
     greedy: Vec<Option<usize>>,
-    /// warps per block resident on this SM (for barrier release).
-    block_warps: HashMap<usize, usize>,
+    /// Blocks resident on this SM (for barrier release).
+    blocks: Vec<BlockBarrier>,
     /// First cycle at which every resident warp had retired. Set in phase C
     /// with the cycle both drivers pass in, so it is identical at every
     /// thread count; resident multi-kernel runs use it for per-kernel
@@ -194,6 +212,57 @@ pub(crate) struct IssueEvent {
     pub result: Option<OpResult>,
 }
 
+/// Typed freelists for the deferred-op payload buffers. Phase A draws
+/// empty (but capacity-retaining) `Vec`s, phase B/C return them after
+/// consumption, so in steady state no cycle touches the heap. Each SM owns
+/// one pool inside its [`CycleEvents`]; the single-leader apply phase has
+/// exclusive access to the owning SM's pool while applying its events.
+#[derive(Debug, Default)]
+pub(crate) struct EventPool {
+    lane_mem: Vec<Vec<LaneMem>>,
+    pairs: Vec<Vec<(usize, u64)>>,
+    triples: Vec<Vec<(usize, u64, u64)>>,
+    lines: Vec<Vec<u64>>,
+}
+
+impl EventPool {
+    pub fn take_lane_mem(&mut self) -> Vec<LaneMem> {
+        self.lane_mem.pop().unwrap_or_default()
+    }
+
+    pub fn put_lane_mem(&mut self, mut v: Vec<LaneMem>) {
+        v.clear();
+        self.lane_mem.push(v);
+    }
+
+    pub fn take_pairs(&mut self) -> Vec<(usize, u64)> {
+        self.pairs.pop().unwrap_or_default()
+    }
+
+    pub fn put_pairs(&mut self, mut v: Vec<(usize, u64)>) {
+        v.clear();
+        self.pairs.push(v);
+    }
+
+    pub fn take_triples(&mut self) -> Vec<(usize, u64, u64)> {
+        self.triples.pop().unwrap_or_default()
+    }
+
+    pub fn put_triples(&mut self, mut v: Vec<(usize, u64, u64)>) {
+        v.clear();
+        self.triples.push(v);
+    }
+
+    pub fn take_lines(&mut self) -> Vec<u64> {
+        self.lines.pop().unwrap_or_default()
+    }
+
+    pub fn put_lines(&mut self, mut v: Vec<u64>) {
+        v.clear();
+        self.lines.push(v);
+    }
+}
+
 /// Everything one SM produced in one cycle.
 #[derive(Debug, Default)]
 pub(crate) struct CycleEvents {
@@ -204,6 +273,8 @@ pub(crate) struct CycleEvents {
     /// the apply phase into the kernel's profile. `None` when sampling is
     /// off or the cycle is not on the period.
     pub sample: Option<SmSample>,
+    /// Recycled payload buffers; survives `clear()` by design.
+    pub pool: EventPool,
 }
 
 impl CycleEvents {
@@ -222,14 +293,14 @@ pub(crate) struct StepOutcome {
 }
 
 impl Sm {
-    pub fn new(id: usize, program: Arc<Program>, ctx: Arc<LaunchCtx>) -> Sm {
+    pub fn new(id: usize, stream: Arc<DecodedStream>, ctx: Arc<LaunchCtx>) -> Sm {
         Sm {
             id,
-            program,
+            stream,
             launch: ctx,
             warps: Vec::new(),
             greedy: Vec::new(),
-            block_warps: HashMap::new(),
+            blocks: Vec::new(),
             done_cycle: None,
         }
     }
@@ -248,7 +319,10 @@ impl Sm {
             warp.start_cycle = ((id as u64 + 1) * (7 + launch.phase * 5)) % 31;
             self.warps.push(warp);
         }
-        *self.block_warps.entry(block).or_insert(0) += warps;
+        match self.blocks.iter_mut().find(|b| b.block == block) {
+            Some(b) => b.resident += warps,
+            None => self.blocks.push(BlockBarrier { block, resident: warps, waiting: 0, done: 0 }),
+        }
     }
 
     pub fn all_done(&self) -> bool {
@@ -268,52 +342,80 @@ impl Sm {
         if self.greedy.len() != cfg.schedulers_per_sm {
             self.greedy = vec![None; cfg.schedulers_per_sm];
         }
+        // One atomic refcount bump per SM-cycle buys `&DecodedStream`
+        // borrows inside `&mut self` methods.
+        let stream = Arc::clone(&self.stream);
         let mut issued_any = false;
         let mut next_ready = u64::MAX;
+        let nwarps = self.warps.len();
 
         for sched in 0..cfg.schedulers_per_sm {
-            let candidates: Vec<usize> = (sched..self.warps.len())
-                .step_by(cfg.schedulers_per_sm)
-                .filter(|&w| !self.warps[w].done && !self.warps[w].at_barrier)
-                .collect();
-            if candidates.is_empty() {
+            // GTO: greedy warp first, then oldest — examined in place, in
+            // exactly the order the old candidate-list walk used, stopping
+            // at the first ready warp (later candidates are never probed,
+            // so they feed neither `next_ready` nor stall attribution).
+            let greedy = self.greedy[sched].filter(|&g| {
+                let w = &self.warps[g];
+                !w.done && !w.at_barrier
+            });
+            let mut any_candidate = false;
+            let mut picked = None;
+            // Stall attribution: the binding constraint of the candidate
+            // that would issue soonest.
+            let mut soonest: Option<(u64, StallReason)> = None;
+            if let Some(g) = greedy {
+                any_candidate = true;
+                let (r, reason) = self.ready_info(g, cfg.lsu_verdict_overlap);
+                if r <= now {
+                    picked = Some(g);
+                } else {
+                    next_ready = next_ready.min(r);
+                    soonest = Some((r, reason));
+                }
+            }
+            if picked.is_none() {
+                let mut w = sched;
+                while w < nwarps {
+                    if Some(w) != greedy {
+                        let warp = &self.warps[w];
+                        if !warp.done && !warp.at_barrier {
+                            any_candidate = true;
+                            let (r, reason) = self.ready_info(w, cfg.lsu_verdict_overlap);
+                            if r <= now {
+                                picked = Some(w);
+                                break;
+                            }
+                            next_ready = next_ready.min(r);
+                            if soonest.is_none_or(|(s, _)| r < s) {
+                                soonest = Some((r, reason));
+                            }
+                        }
+                    }
+                    w += cfg.schedulers_per_sm;
+                }
+            }
+            if !any_candidate {
                 // At a barrier (or between blocks): the slot idles with no
                 // candidate, but only count it while work remains.
-                let any_live = (sched..self.warps.len())
-                    .step_by(cfg.schedulers_per_sm)
-                    .any(|w| !self.warps[w].done);
+                let mut w = sched;
+                let mut any_live = false;
+                while w < nwarps {
+                    if !self.warps[w].done {
+                        any_live = true;
+                        break;
+                    }
+                    w += cfg.schedulers_per_sm;
+                }
                 if any_live {
                     out.stalls[StallReason::NoReadyWarp.index()] += 1;
                 }
                 continue;
             }
-            // GTO: greedy warp first, then oldest.
-            let mut order = candidates.clone();
-            if let Some(g) = self.greedy[sched] {
-                if let Some(pos) = order.iter().position(|&w| w == g) {
-                    order.remove(pos);
-                    order.insert(0, g);
-                }
-            }
-            let mut picked = None;
-            // Stall attribution: the binding constraint of the candidate
-            // that would issue soonest.
-            let mut soonest: Option<(u64, StallReason)> = None;
-            for &w in &order {
-                let (r, reason) = self.ready_info(w, cfg.lsu_verdict_overlap);
-                if r <= now {
-                    picked = Some(w);
-                    break;
-                }
-                next_ready = next_ready.min(r);
-                if soonest.is_none_or(|(s, _)| r < s) {
-                    soonest = Some((r, reason));
-                }
-            }
             match picked {
                 Some(w) => {
-                    let ev = self.issue_phase_a(w, now, cfg);
-                    out.issues.push(ev);
+                    let CycleEvents { issues, pool, .. } = out;
+                    let ev = self.issue_phase_a(&stream, w, now, cfg, pool);
+                    issues.push(ev);
                     self.greedy[sched] = Some(w);
                     issued_any = true;
                     // The warp can issue again next cycle (in-order).
@@ -376,8 +478,9 @@ impl Sm {
     /// do after executing each instruction. `now` stamps `done_cycle` the
     /// first time the SM drains.
     pub fn apply_results(&mut self, events: &mut CycleEvents, now: u64) {
-        for ev in &mut events.issues {
-            if let Some(r) = ev.result.take() {
+        let CycleEvents { issues, pool, .. } = events;
+        for ev in issues.iter_mut() {
+            if let Some(mut r) = ev.result.take() {
                 let warp = &mut self.warps[ev.warp];
                 for &(l, v) in &r.writes {
                     if r.write_width == 8 {
@@ -386,6 +489,7 @@ impl Sm {
                         warp.write(l, r.dst, v as u32);
                     }
                 }
+                pool.put_pairs(std::mem::take(&mut r.writes));
                 if let Some(t) = r.ready_at {
                     warp.set_ready_at(r.dst, t);
                     if r.pair {
@@ -424,15 +528,15 @@ impl Sm {
     /// future).
     fn ready_info(&self, w: usize, verdict_overlap: u32) -> (u64, StallReason) {
         let warp = &self.warps[w];
-        let ins = match self.program.instructions.get(warp.pc) {
-            Some(i) => i,
+        let di = match self.stream.get(warp.pc) {
+            Some(d) => d,
             // Fell off the program: treated as exit at issue.
             None => return (u64::MAX, StallReason::NoReadyWarp),
         };
         // The launch/dispatch ramp: not a pipeline hazard.
         let mut ready = warp.start_cycle;
         let mut reason = StallReason::NoReadyWarp;
-        for r in ins.source_regs() {
+        for &r in di.source_regs() {
             let t = warp.ready_at(r);
             if t > ready {
                 ready = t;
@@ -443,12 +547,12 @@ impl Sm {
                 };
             }
         }
-        if ins.opcode.is_mem() && ins.opcode != Opcode::Ldc {
+        if di.opcode.is_mem() && di.opcode != Opcode::Ldc {
             // The LSU's EC consumes the final (possibly poisoned) extent, so
             // it must wait for the OCU verdict on the address registers.
-            if let Some(mem) = &ins.mem {
+            if let Some(mem) = &di.mem {
                 let mut verdict = warp.verdict_at(mem.addr);
-                if mem.addr.is_valid_pair_base() {
+                if di.mem_addr_pair {
                     verdict = verdict.max(warp.verdict_at(mem.addr.pair_high()));
                 }
                 let v = verdict.saturating_sub(verdict_overlap as u64);
@@ -458,16 +562,16 @@ impl Sm {
                 }
             }
         }
-        if let Some(p) = &ins.pred {
+        if let Some(p) = &di.pred {
             let t = warp.pred_ready_at(p.reg);
             if t > ready {
                 ready = t;
                 reason = StallReason::Scoreboard;
             }
         }
-        if ins.opcode == Opcode::Isetp {
+        if di.opcode == Opcode::Isetp {
             // WAW on the destination predicate.
-            let t = warp.pred_ready_at(lmi_isa::PredReg(ins.dst.0 & 7));
+            let t = warp.pred_ready_at(lmi_isa::PredReg(di.dst.0 & 7));
             if t > ready {
                 ready = t;
                 reason = StallReason::Scoreboard;
@@ -478,7 +582,14 @@ impl Sm {
 
     /// Issues warp `w`'s next instruction: local work executes now, shared
     /// work is recorded on the returned event.
-    fn issue_phase_a(&mut self, w: usize, now: u64, cfg: &GpuConfig) -> IssueEvent {
+    fn issue_phase_a(
+        &mut self,
+        stream: &DecodedStream,
+        w: usize,
+        now: u64,
+        cfg: &GpuConfig,
+        pool: &mut EventPool,
+    ) -> IssueEvent {
         let warp = &mut self.warps[w];
         let mut ev = IssueEvent {
             warp: w,
@@ -493,8 +604,8 @@ impl Sm {
             shared: None,
             result: None,
         };
-        let ins = match self.program.instructions.get(warp.pc).cloned() {
-            Some(i) => i,
+        let di = match stream.get(warp.pc) {
+            Some(d) => d,
             None => {
                 warp.retire_lanes(warp.mask);
                 ev.retired_local = self.warps[w].done;
@@ -502,26 +613,34 @@ impl Sm {
             }
         };
         warp.last_issue = now;
-        ev.opcode = Some(ins.opcode);
-        ev.activate = ins.hints.activate;
+        ev.opcode = Some(di.opcode);
+        ev.activate = di.hints.activate;
 
-        // Per-lane guard predicate.
-        let exec_mask: LaneMask = warp
-            .active_lanes()
-            .filter(|&l| match &ins.pred {
-                Some(p) => warp.read_pred(l, p.reg) != p.negated,
-                None => true,
-            })
-            .fold(0, |m, l| m | (1 << l));
+        // Per-lane guard predicate. Unpredicated instructions (the common
+        // case) take the warp mask verbatim — no per-lane work at all.
+        let exec_mask: LaneMask = match di.pred {
+            None => warp.mask,
+            Some(p) => {
+                let mut m: LaneMask = 0;
+                let mut bits = warp.mask;
+                while bits != 0 {
+                    let l = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    if warp.read_pred(l, p.reg) != p.negated {
+                        m |= 1 << l;
+                    }
+                }
+                m
+            }
+        };
 
-        match ins.opcode {
+        match di.opcode {
             Opcode::Exit => {
                 let warp = &mut self.warps[w];
-                let mask = if exec_mask == 0 { 0 } else { exec_mask };
-                if mask == 0 {
+                if exec_mask == 0 {
                     warp.pc += 1;
                 } else {
-                    warp.retire_lanes(mask);
+                    warp.retire_lanes(exec_mask);
                 }
             }
             Opcode::Nop => self.warps[w].pc += 1,
@@ -532,10 +651,7 @@ impl Sm {
             }
             Opcode::Bra => {
                 let warp = &mut self.warps[w];
-                let target = match ins.srcs[0] {
-                    Operand::Imm(t) => t.max(0) as usize,
-                    _ => warp.pc + 1,
-                };
+                let target = di.bra_target;
                 let active = warp.mask;
                 if exec_mask == 0 {
                     warp.pc += 1;
@@ -550,45 +666,34 @@ impl Sm {
             }
             Opcode::S2r => {
                 let warp = &mut self.warps[w];
-                let sel = match ins.srcs[0] {
-                    Operand::Imm(v) => v as i64,
-                    _ => 0,
-                };
-                let special = SpecialReg::from_selector(sel).unwrap_or(SpecialReg::TidX);
+                let special = di.special;
                 let tpb = self.launch.threads_per_block as u64;
-                let lanes: Vec<usize> = warp.active_lanes().collect();
-                for l in lanes {
-                    if exec_mask & (1 << l) == 0 {
-                        continue;
-                    }
+                let mut bits = exec_mask;
+                while bits != 0 {
+                    let l = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
                     let gtid = warp.base_tid + l as u64;
                     let v = match special {
-                        SpecialReg::TidX => gtid % tpb,
-                        SpecialReg::CtaIdX => gtid / tpb,
-                        SpecialReg::NtidX => tpb,
-                        SpecialReg::LaneId => l as u64,
-                        SpecialReg::WarpId => warp.id as u64,
+                        lmi_isa::op::SpecialReg::TidX => gtid % tpb,
+                        lmi_isa::op::SpecialReg::CtaIdX => gtid / tpb,
+                        lmi_isa::op::SpecialReg::NtidX => tpb,
+                        lmi_isa::op::SpecialReg::LaneId => l as u64,
+                        lmi_isa::op::SpecialReg::WarpId => warp.id as u64,
                     };
-                    warp.write(l, ins.dst, v as u32);
+                    warp.write(l, di.dst, v as u32);
                 }
-                warp.set_ready_at(ins.dst, now + 2);
+                warp.set_ready_at(di.dst, now + 2);
                 warp.pc += 1;
             }
             Opcode::Isetp => {
-                let pred = lmi_isa::PredReg(ins.dst.0 & 7);
-                let cmp = match ins.srcs[2] {
-                    Operand::Imm(v) => {
-                        lmi_isa::instr::CmpOp::decode(v).unwrap_or(lmi_isa::instr::CmpOp::Eq)
-                    }
-                    _ => lmi_isa::instr::CmpOp::Eq,
-                };
-                let lanes: Vec<usize> = self.warps[w].active_lanes().collect();
-                for l in lanes {
-                    if exec_mask & (1 << l) == 0 {
-                        continue;
-                    }
-                    let a = self.fetch32(w, l, &ins.srcs[0]) as i32 as i64;
-                    let b = self.fetch32(w, l, &ins.srcs[1]) as i32 as i64;
+                let pred = lmi_isa::PredReg(di.dst.0 & 7);
+                let cmp = di.cmp;
+                let mut bits = exec_mask;
+                while bits != 0 {
+                    let l = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let a = self.fetch32(w, l, &di.srcs[0]) as i32 as i64;
+                    let b = self.fetch32(w, l, &di.srcs[1]) as i32 as i64;
                     let warp = &mut self.warps[w];
                     warp.write_pred(l, pred, cmp.eval(a, b));
                 }
@@ -597,31 +702,30 @@ impl Sm {
                 warp.pc += 1;
             }
             Opcode::Malloc | Opcode::Free => {
-                self.issue_heap_phase_a(w, &ins, exec_mask, &mut ev);
+                self.issue_heap_phase_a(w, di, exec_mask, &mut ev, pool);
             }
             op if op.class() == OpcodeClass::IntAlu => {
-                self.issue_int_phase_a(w, &ins, exec_mask, now, cfg, &mut ev);
+                self.issue_int_phase_a(w, di, exec_mask, now, cfg, &mut ev, pool);
             }
             op if op.class() == OpcodeClass::Fpu => {
-                let lanes: Vec<usize> = self.warps[w].active_lanes().collect();
-                for l in lanes {
-                    if exec_mask & (1 << l) == 0 {
-                        continue;
-                    }
-                    let a = self.fetch32(w, l, &ins.srcs[0]);
-                    let b = self.fetch32(w, l, &ins.srcs[1]);
-                    let c = self.fetch32(w, l, &ins.srcs[2]);
-                    let v = exec::fpu(ins.opcode, a, b, c);
-                    self.warps[w].write(l, ins.dst, v);
+                let mut bits = exec_mask;
+                while bits != 0 {
+                    let l = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let a = self.fetch32(w, l, &di.srcs[0]);
+                    let b = self.fetch32(w, l, &di.srcs[1]);
+                    let c = self.fetch32(w, l, &di.srcs[2]);
+                    let v = exec::fpu(di.opcode, a, b, c);
+                    self.warps[w].write(l, di.dst, v);
                 }
                 let lat =
-                    if ins.opcode == Opcode::Mufu { cfg.fpu_latency * 2 } else { cfg.fpu_latency };
+                    if di.opcode == Opcode::Mufu { cfg.fpu_latency * 2 } else { cfg.fpu_latency };
                 let warp = &mut self.warps[w];
-                warp.set_ready_at(ins.dst, now + lat as u64);
+                warp.set_ready_at(di.dst, now + lat as u64);
                 warp.pc += 1;
             }
             op if op.is_mem() => {
-                self.issue_mem_phase_a(w, &ins, exec_mask, now, cfg, &mut ev);
+                self.issue_mem_phase_a(w, di, exec_mask, now, cfg, &mut ev, pool);
             }
             other => panic!("unhandled opcode {other}"),
         }
@@ -653,78 +757,77 @@ impl Sm {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn issue_int_phase_a(
         &mut self,
         w: usize,
-        ins: &Instruction,
+        di: &DecodedInstr,
         exec_mask: LaneMask,
         now: u64,
         cfg: &GpuConfig,
         ev: &mut IssueEvent,
+        pool: &mut EventPool,
     ) {
-        let wide = ins.opcode.is_wide();
-        let lanes: Vec<usize> = self.warps[w].active_lanes().collect();
-        if wide && ins.hints.activate {
+        let wide = di.wide;
+        if wide && di.hints.activate {
             // The OCU check consults the mechanism — shared state — so the
             // whole writeback defers to phase B.
-            let mut checked: Vec<(usize, u64, u64)> = Vec::with_capacity(lanes.len());
-            for l in lanes {
-                if exec_mask & (1 << l) == 0 {
-                    continue;
-                }
-                let a = self.fetch64(w, l, &ins.srcs[0]);
-                let b = self.fetch64(w, l, &ins.srcs[1]);
-                let c = match ins.srcs[2] {
+            let mut checked = pool.take_triples();
+            let mut bits = exec_mask;
+            while bits != 0 {
+                let l = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let a = self.fetch64(w, l, &di.srcs[0]);
+                let b = self.fetch64(w, l, &di.srcs[1]);
+                let c = match di.srcs[2] {
                     Operand::Imm(v) => v as u64,
                     ref other => self.fetch64(w, l, other),
                 };
-                let v = exec::alu64(ins.opcode, a, b, c);
-                let input = if ins.hints.select == 0 { a } else { b };
+                let v = exec::alu64(di.opcode, a, b, c);
+                let input = if di.hints.select == 0 { a } else { b };
                 checked.push((l, input, v));
             }
             if !checked.is_empty() {
-                ev.shared = Some(SharedOp::MarkedInt {
-                    dst: ins.dst,
-                    pair: ins.dst.is_valid_pair_base(),
-                    lanes: checked,
-                });
+                ev.shared =
+                    Some(SharedOp::MarkedInt { dst: di.dst, pair: di.dst_pair, lanes: checked });
                 return;
             }
             // No active lane: nothing to check, nothing written — the
             // scoreboard update below matches the serial no-lane path.
+            pool.put_triples(checked);
         } else {
-            for l in lanes {
-                if exec_mask & (1 << l) == 0 {
-                    continue;
-                }
+            let mut bits = exec_mask;
+            while bits != 0 {
+                let l = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
                 if wide {
-                    let a = self.fetch64(w, l, &ins.srcs[0]);
-                    let b = self.fetch64(w, l, &ins.srcs[1]);
-                    let c = match ins.srcs[2] {
+                    let a = self.fetch64(w, l, &di.srcs[0]);
+                    let b = self.fetch64(w, l, &di.srcs[1]);
+                    let c = match di.srcs[2] {
                         Operand::Imm(v) => v as u64,
                         ref other => self.fetch64(w, l, other),
                     };
-                    let v = exec::alu64(ins.opcode, a, b, c);
-                    self.warps[w].write64(l, ins.dst, v);
+                    let v = exec::alu64(di.opcode, a, b, c);
+                    self.warps[w].write64(l, di.dst, v);
                 } else {
-                    let a = self.fetch32(w, l, &ins.srcs[0]);
-                    let b = self.fetch32(w, l, &ins.srcs[1]);
-                    let c = self.fetch32(w, l, &ins.srcs[2]);
-                    let v = exec::alu32(ins.opcode, a, b, c);
+                    let a = self.fetch32(w, l, &di.srcs[0]);
+                    let b = self.fetch32(w, l, &di.srcs[1]);
+                    let c = self.fetch32(w, l, &di.srcs[2]);
+                    let v = exec::alu32(di.opcode, a, b, c);
                     // 32-bit marked ops (hand-written programs) check the low
                     // word only — the compiler marks wide ops exclusively, so
                     // the OCU path above is the one that matters.
-                    self.warps[w].write(l, ins.dst, v);
+                    self.warps[w].write(l, di.dst, v);
                 }
             }
         }
         let warp = &mut self.warps[w];
         let done_at = now + cfg.int_latency as u64;
-        warp.set_ready_at(ins.dst, done_at);
-        warp.set_verdict_at(ins.dst, done_at);
-        if wide && ins.dst.is_valid_pair_base() {
-            warp.set_ready_at(ins.dst.pair_high(), done_at);
-            warp.set_verdict_at(ins.dst.pair_high(), done_at);
+        warp.set_ready_at(di.dst, done_at);
+        warp.set_verdict_at(di.dst, done_at);
+        if wide && di.dst_pair {
+            warp.set_ready_at(di.dst.pair_high(), done_at);
+            warp.set_verdict_at(di.dst.pair_high(), done_at);
         }
         warp.pc += 1;
     }
@@ -732,54 +835,50 @@ impl Sm {
     fn issue_heap_phase_a(
         &mut self,
         w: usize,
-        ins: &Instruction,
+        di: &DecodedInstr,
         exec_mask: LaneMask,
         ev: &mut IssueEvent,
+        pool: &mut EventPool,
     ) {
         // Heap calls always defer (even with no active lane the serial path
         // still counted the call and advanced pc — phase B reproduces that).
-        let malloc = ins.opcode == Opcode::Malloc;
-        let mut lanes: Vec<(usize, u64)> = Vec::new();
-        let lane_ids: Vec<usize> = self.warps[w].active_lanes().collect();
-        for l in lane_ids {
-            if exec_mask & (1 << l) == 0 {
-                continue;
-            }
+        let malloc = di.opcode == Opcode::Malloc;
+        let mut lanes = pool.take_pairs();
+        let mut bits = exec_mask;
+        while bits != 0 {
+            let l = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
             let value = if malloc {
-                self.fetch32(w, l, &ins.srcs[0]) as u64
+                self.fetch32(w, l, &di.srcs[0]) as u64
             } else {
-                self.fetch64(w, l, &ins.srcs[0])
+                self.fetch64(w, l, &di.srcs[0])
             };
             lanes.push((l, value));
         }
-        ev.shared = Some(SharedOp::Heap {
-            dst: ins.dst,
-            pair: ins.dst.is_valid_pair_base(),
-            malloc,
-            lanes,
-        });
+        ev.shared = Some(SharedOp::Heap { dst: di.dst, pair: di.dst_pair, malloc, lanes });
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn issue_mem_phase_a(
         &mut self,
         w: usize,
-        ins: &Instruction,
+        di: &DecodedInstr,
         exec_mask: LaneMask,
         now: u64,
         cfg: &GpuConfig,
         ev: &mut IssueEvent,
+        pool: &mut EventPool,
     ) {
-        let mem = ins.mem.expect("memory instruction carries a MemRef");
-        let space = ins.opcode.mem_space().unwrap_or(MemSpace::Global);
+        let mem = di.mem.expect("memory instruction carries a MemRef");
+        let space = di.mem_space.unwrap_or(MemSpace::Global);
         ev.mem_space = Some(space);
 
         // Constant loads resolve against the launch context — fully local.
-        if ins.opcode == Opcode::Ldc {
-            let lanes: Vec<usize> = self.warps[w].active_lanes().collect();
-            for l in lanes {
-                if exec_mask & (1 << l) == 0 {
-                    continue;
-                }
+        if di.opcode == Opcode::Ldc {
+            let mut bits = exec_mask;
+            while bits != 0 {
+                let l = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
                 let warp = &self.warps[w];
                 let v = self.launch.const_read(
                     warp.block,
@@ -789,16 +888,16 @@ impl Sm {
                 );
                 let warp = &mut self.warps[w];
                 if mem.width == 8 {
-                    warp.write64(l, ins.dst, v);
+                    warp.write64(l, di.dst, v);
                 } else {
-                    warp.write(l, ins.dst, v as u32);
+                    warp.write(l, di.dst, v as u32);
                 }
             }
             let warp = &mut self.warps[w];
             let done_at = now + cfg.const_latency as u64;
-            warp.set_ready_at_mem(ins.dst, done_at);
-            if mem.width == 8 && ins.dst.is_valid_pair_base() {
-                warp.set_ready_at_mem(ins.dst.pair_high(), done_at);
+            warp.set_ready_at_mem(di.dst, done_at);
+            if mem.width == 8 && di.dst_pair {
+                warp.set_ready_at_mem(di.dst.pair_high(), done_at);
             }
             warp.pc += 1;
             return;
@@ -806,8 +905,8 @@ impl Sm {
 
         // Address generation and store-data collection are per-lane local
         // work; the mechanism check, timing and data movement defer.
-        let is_store = ins.opcode.is_store();
-        let value_reg = match ins.srcs[0] {
+        let is_store = di.is_store;
+        let value_reg = match di.srcs[0] {
             Operand::Reg(r) => r,
             _ => Reg::RZ,
         };
@@ -832,11 +931,11 @@ impl Sm {
             }
             lmi_mem::layout::LOCAL_BASE + (warp_base * stack_bytes) + offset * 32 + lane as u64 * 4
         };
-        let mut lanes: Vec<LaneMem> = Vec::new();
-        for l in warp.active_lanes() {
-            if exec_mask & (1 << l) == 0 {
-                continue;
-            }
+        let mut lanes = pool.take_lane_mem();
+        let mut bits = exec_mask;
+        while bits != 0 {
+            let l = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
             let raw = warp.read64(l, mem.addr).wrapping_add(mem.offset as i64 as u64);
             let vaddr = raw & ADDR_MASK;
             let store_value = if is_store {
@@ -856,14 +955,17 @@ impl Sm {
                 store_value,
             });
         }
-        let lines = if space == MemSpace::Shared {
-            Vec::new()
-        } else {
-            coalesce(lanes.iter().map(|m| m.timing_addr), cfg.hierarchy.l1.line_bytes)
-        };
+        let mut lines = pool.take_lines();
+        if space != MemSpace::Shared {
+            coalesce_into(
+                lanes.iter().map(|m| m.timing_addr),
+                cfg.hierarchy.l1.line_bytes,
+                &mut lines,
+            );
+        }
         ev.shared = Some(SharedOp::Mem {
-            dst: ins.dst,
-            pair: mem.width == 8 && ins.dst.is_valid_pair_base(),
+            dst: di.dst,
+            pair: mem.width == 8 && di.dst_pair,
             width: mem.width,
             is_store,
             space,
@@ -873,16 +975,26 @@ impl Sm {
     }
 
     fn release_barriers(&mut self) {
-        let mut waiting: HashMap<usize, usize> = HashMap::new();
+        if !self.warps.iter().any(|w| w.at_barrier) {
+            return;
+        }
+        for b in &mut self.blocks {
+            b.waiting = 0;
+            b.done = 0;
+        }
         for warp in &self.warps {
-            if warp.at_barrier {
-                *waiting.entry(warp.block).or_insert(0) += 1;
+            if let Some(b) = self.blocks.iter_mut().find(|b| b.block == warp.block) {
+                if warp.at_barrier {
+                    b.waiting += 1;
+                } else if warp.done {
+                    b.done += 1;
+                }
             }
         }
-        for (block, count) in waiting {
-            let resident = self.block_warps.get(&block).copied().unwrap_or(0);
-            let done = self.warps.iter().filter(|w| w.block == block && w.done).count();
-            if count + done >= resident {
+        for i in 0..self.blocks.len() {
+            let b = &self.blocks[i];
+            if b.waiting > 0 && b.waiting + b.done >= b.resident {
+                let block = b.block;
                 for warp in &mut self.warps {
                     if warp.block == block {
                         warp.at_barrier = false;

@@ -332,12 +332,16 @@ impl Runtime {
     }
 
     /// Enqueues a kernel launch. The launch is validated against the
-    /// whole GPU up front: a kernel that could never run is rejected
-    /// *now* (and counted under `rejected` for the stream and tenant)
-    /// instead of panicking inside the simulator.
+    /// whole GPU up front — geometry *and* decodability: a kernel that
+    /// could never run (or whose program carries corrupted immediates)
+    /// is rejected *now* (and counted under `rejected` for the stream
+    /// and tenant) instead of panicking inside the simulator.
     pub fn launch(&mut self, stream: StreamId, launch: Launch) -> Result<(), SubmitError> {
         self.check_stream(stream)?;
-        if let Err(e) = launch.validate(self.gpu.config()) {
+        let checked = launch.validate(self.gpu.config()).and_then(|()| {
+            lmi_isa::DecodedStream::lower(&launch.program).map(|_| ()).map_err(Into::into)
+        });
+        if let Err(e) = checked {
             let tenant = self.streams[stream].tenant;
             self.sink.counters.inc(Scope::Stream(stream), "rejected");
             self.sink.counters.inc(Scope::Tenant(tenant), "rejected");

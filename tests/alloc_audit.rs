@@ -1,0 +1,90 @@
+//! Allocation audit of the steady-state cycle loop.
+//!
+//! The hot-path contract (DESIGN.md, *Hot path & allocation discipline*):
+//! after warm-up, the cycle loop performs **zero heap allocations per
+//! cycle**. Every allocation belongs to launch-time setup — program
+//! lowering into a [`lmi_isa::DecodedStream`], warp tables, event-pool
+//! warm-up — never to steady state.
+//!
+//! The audit installs a counting `#[global_allocator]` and runs the same
+//! seeded multi-SM workload at `N` and `2N` loop iterations on fresh GPUs.
+//! Doubling the simulated cycle count must leave the total allocation
+//! count **exactly equal**: any per-cycle allocation would show up as a
+//! difference proportional to the extra cycles. A warm-up run first
+//! absorbs one-time lazy process state so it cannot skew the comparison.
+//!
+//! This file deliberately holds a single `#[test]` — the allocator is
+//! process-global, and a lone test keeps the measured window free of
+//! harness concurrency.
+
+use lmi_bench::alloc_audit::CountingAlloc;
+use lmi_isa::instr::CmpOp;
+use lmi_isa::{HintBits, Instruction, MemRef, PredReg, ProgramBuilder, Reg};
+use lmi_sim::{Gpu, GpuConfig, Launch, LmiMechanism, SimStats};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+/// A heap-quiet looping kernel that exercises every pooled payload path:
+/// kernel malloc (heap pairs, outside the loop), loads and stores through
+/// an extent-carrying pointer (lane records + coalesced lines), a marked
+/// pointer add checked by the OCU (triples), and predicate/branch control
+/// flow — `iters` round trips per lane.
+fn audit_launch(iters: i32) -> Launch {
+    let mut b = ProgramBuilder::new("alloc-audit");
+    b.push(Instruction::s2r(Reg(0), lmi_isa::op::SpecialReg::TidX));
+    b.push(Instruction::mov(Reg(1), 256));
+    b.push(Instruction::malloc(Reg(4), Reg(1)));
+    b.push(Instruction::mov(Reg(2), 0));
+    let top = b.label();
+    b.push(Instruction::iadd3(Reg(2), Reg(2), 1));
+    b.push(Instruction::stg(MemRef::new(Reg(4), 0, 4), Reg(2)));
+    b.push(Instruction::ldg(Reg(8), MemRef::new(Reg(4), 0, 4)));
+    // Marked pointer arithmetic: the OCU checks operand 0 each trip.
+    b.push(Instruction::iadd64(Reg(4), Reg(4), 0).with_hints(HintBits::check_operand(0)));
+    b.push(Instruction::isetp(PredReg(0), Reg(2), CmpOp::Lt, iters));
+    b.branch_if(top, PredReg(0), false);
+    b.push(Instruction::exit());
+    // Every SM of `GpuConfig::small()` holds two blocks: multi-SM, with
+    // intra-SM scheduler contention.
+    Launch::new(b.build()).grid(16).block(64)
+}
+
+/// Runs the audit kernel and returns `(heap allocations, stats)`.
+fn measured_run(threads: usize, iters: i32) -> (u64, SimStats) {
+    let mut gpu = Gpu::new(GpuConfig::small().with_sim_threads(threads));
+    let mut mech = LmiMechanism::default_config();
+    let launch = audit_launch(iters);
+    let before = CountingAlloc::allocations();
+    let stats = gpu.run(&launch, &mut mech);
+    (CountingAlloc::allocations() - before, stats)
+}
+
+#[test]
+fn cycle_loop_is_allocation_free_after_warmup() {
+    const N: i32 = 400;
+    for threads in [1, 2] {
+        // Warm-up: absorbs lazy process-wide state (thread stacks, TLS,
+        // allocator internals) so the measured pair sees identical setup.
+        let _ = measured_run(threads, N);
+
+        let (allocs_n, stats_n) = measured_run(threads, N);
+        let (allocs_2n, stats_2n) = measured_run(threads, 2 * N);
+
+        assert!(!stats_n.violated() && !stats_2n.violated(), "audit kernel is violation-free");
+        assert!(
+            stats_2n.cycles > stats_n.cycles + u64::try_from(N).unwrap(),
+            "doubling iterations must add cycles ({} vs {})",
+            stats_n.cycles,
+            stats_2n.cycles,
+        );
+        assert_eq!(
+            allocs_n,
+            allocs_2n,
+            "heap allocations grew with cycle count at sim_threads={threads}: \
+             {allocs_n} for {N} iterations vs {allocs_2n} for {} — the cycle loop \
+             allocated in steady state",
+            2 * N,
+        );
+    }
+}

@@ -270,3 +270,44 @@ fn random_kernels_property_bit_identical_across_thread_counts() {
         );
     }
 }
+
+#[test]
+fn fast_forward_skips_identically_across_thread_counts() {
+    // One warp per SM running a chain of dependent MUFUs: after every
+    // issue the sole warp stalls on the scoreboard for the full MUFU
+    // latency, so every simulated cycle between issues is dead. The
+    // engine's `next_ready` fast-forward must skip those cycles — and the
+    // serial driver and the parallel leader must skip to the *identical*
+    // cycle, which the bit-identity assertion below enforces via
+    // `SimStats` (cycles, stalls, samples) and the full telemetry image.
+    const CHAIN: u64 = 64;
+    let cfg = GpuConfig::small();
+    let mufu_latency = u64::from(cfg.fpu_latency) * 2;
+    let mut b = ProgramBuilder::new("ff-chain");
+    for _ in 0..CHAIN {
+        b.push(Instruction::float2(lmi_isa::Opcode::Mufu, Reg(8), Reg(8), Reg(8)));
+    }
+    b.push(Instruction::exit());
+    let launch = Launch::new(b.build()).grid(cfg.num_sms).block(32).phase(7);
+    assert_thread_invariant(cfg, &launch, || Box::new(NullMechanism), &[], "fast-forward chain");
+
+    // The skip actually happened: each issue records at most one
+    // scoreboard-stall cycle (the probe that discovers the dependency)
+    // instead of `latency - 1` of them, yet the clock still advances the
+    // full dependency chain.
+    let mut gpu = Gpu::new(cfg);
+    let mut mech = NullMechanism;
+    let stats = gpu.run(&launch, &mut mech);
+    assert!(
+        stats.cycles >= (CHAIN - 1) * mufu_latency,
+        "dependency chain must pay full latency ({} cycles for chain of {CHAIN})",
+        stats.cycles,
+    );
+    assert!(
+        stats.stalls.scoreboard <= stats.issued,
+        "fast-forward must collapse stall runs to one probe per issue \
+         ({} scoreboard stalls vs {} issues)",
+        stats.stalls.scoreboard,
+        stats.issued,
+    );
+}
