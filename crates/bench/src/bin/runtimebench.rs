@@ -141,10 +141,14 @@ fn main() {
     let cfg = if quick { GpuConfig::small() } else { GpuConfig::table4() };
     let thread_matrix: &[usize] = if quick { &[1, 2] } else { &[1, 2, 8] };
     let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // Bank count of every GPU this process builds (`LMI_MEM_BANKS`, else
+    // monolithic); recorded in the envelope because the baseline is
+    // bit-identical across bank counts but the wall-clock columns are not.
+    let mem_banks = cfg.resolve_mem_banks();
 
     println!(
-        "runtimebench: {} SMs, determinism matrix sim_threads={thread_matrix:?}, \
-         {host_cores} host core(s){}",
+        "runtimebench: {} SMs, {mem_banks} memory bank(s), determinism matrix \
+         sim_threads={thread_matrix:?}, {host_cores} host core(s){}",
         cfg.num_sms,
         if quick { " [quick]" } else { "" },
     );
@@ -186,6 +190,16 @@ fn main() {
         // warp-instructions per wall-clock second, in thousands.
         let issued: u64 = concurrent.kernels.iter().map(|k| k.stats.issued).sum();
         let kips = if conc_wall > 0.0 { issued as f64 / conc_wall / 1e3 } else { 0.0 };
+        // Leader-serial share of phase-B work units over the whole mix:
+        // the serial section the bank-sharded memory pipeline shrinks.
+        let (pb_serial, pb_banked) = concurrent.kernels.iter().fold((0u64, 0u64), |(s, b), k| {
+            (s + k.stats.phase_b_serial_items, b + k.stats.phase_b_banked_items)
+        });
+        let phase_b_serial_fraction = if pb_serial + pb_banked > 0 {
+            pb_serial as f64 / (pb_serial + pb_banked) as f64
+        } else {
+            0.0
+        };
         let allocs_per_kcycle = if concurrent.total_cycles > 0 {
             conc_allocs as f64 / (concurrent.total_cycles as f64 / 1e3)
         } else {
@@ -236,7 +250,8 @@ fn main() {
                 )
                 .with("wall_ms", conc_wall * 1e3)
                 .with("kips", kips)
-                .with("allocs_per_kcycle", allocs_per_kcycle),
+                .with("allocs_per_kcycle", allocs_per_kcycle)
+                .with("phase_b_serial_fraction", phase_b_serial_fraction),
         );
     }
     let total_secs = wall0.elapsed().as_secs_f64();
@@ -253,6 +268,7 @@ fn main() {
             .with("git_rev", report::git_rev())
             .with("quick", quick)
             .with("num_sms", cfg.num_sms)
+            .with("mem_banks", mem_banks)
             .with("host_cores", host_cores)
             .with(
                 "determinism_threads",
@@ -269,7 +285,12 @@ fn main() {
     // v4: mix rows carry `kips` (issued warp-instructions per wall-clock
     // second, thousands) and `allocs_per_kcycle` (heap allocations during
     // the drain per thousand simulated cycles — the allocation audit).
-    doc.set("schema_version", 4u64);
+    // v5: the envelope carries `mem_banks` and mix rows carry
+    // `phase_b_serial_fraction` (leader-serial share of phase-B work
+    // units) from the bank-sharded memory pipeline; generated on a GPU
+    // whose shared L2/MSHR/DRAM state is address-interleaved across
+    // `mem_banks` banks, bit-identical to monolithic.
+    doc.set("schema_version", 5u64);
     if let Err(e) = std::fs::write(&out_path, doc.to_pretty()) {
         eprintln!("warning: could not write {out_path}: {e}");
     } else {

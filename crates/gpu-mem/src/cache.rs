@@ -109,20 +109,32 @@ impl Cache {
     }
 
     /// Looks up `addr`, filling the line on a miss. Returns `true` on hit.
+    ///
+    /// One pass over the set tracks the hit way and the LRU victim
+    /// together (invalid ways sort as `last_used = 0`, first such way
+    /// wins ties — same victim the old two-scan `find` + `min_by_key`
+    /// picked).
     pub fn access(&mut self, addr: u64) -> bool {
         self.tick += 1;
         let tick = self.tick;
         let (index, tag) = self.index_and_tag(addr);
         let set = &mut self.sets[index];
-        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
-            line.last_used = tick;
-            self.stats.hits += 1;
-            return true;
+        let mut victim = 0usize;
+        let mut victim_key = u64::MAX;
+        for (way, line) in set.iter_mut().enumerate() {
+            if line.valid && line.tag == tag {
+                line.last_used = tick;
+                self.stats.hits += 1;
+                return true;
+            }
+            let key = if line.valid { line.last_used } else { 0 };
+            if key < victim_key {
+                victim_key = key;
+                victim = way;
+            }
         }
         self.stats.misses += 1;
-        let victim =
-            set.iter_mut().min_by_key(|l| if l.valid { l.last_used } else { 0 }).expect("ways > 0");
-        *victim = Line { tag, last_used: tick, valid: true };
+        set[victim] = Line { tag, last_used: tick, valid: true };
         false
     }
 
@@ -209,6 +221,51 @@ mod tests {
         c.access(0x1000);
         c.flush();
         assert!(!c.probe(0x1000));
+    }
+
+    /// The fused single-pass `access` must be observationally identical to
+    /// the reference two-scan version (hit `find`, then victim
+    /// `min_by_key`) it replaced: same hit/miss stream, same stats, same
+    /// resident lines.
+    #[test]
+    fn single_pass_access_matches_two_scan_reference() {
+        struct RefCache {
+            c: Cache,
+        }
+        impl RefCache {
+            fn access(&mut self, addr: u64) -> bool {
+                self.c.tick += 1;
+                let tick = self.c.tick;
+                let (index, tag) = self.c.index_and_tag(addr);
+                let set = &mut self.c.sets[index];
+                if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+                    line.last_used = tick;
+                    self.c.stats.hits += 1;
+                    return true;
+                }
+                self.c.stats.misses += 1;
+                let victim = set
+                    .iter_mut()
+                    .min_by_key(|l| if l.valid { l.last_used } else { 0 })
+                    .expect("ways > 0");
+                *victim = Line { tag, last_used: tick, valid: true };
+                false
+            }
+        }
+        let mut fused = tiny();
+        let mut reference = RefCache { c: tiny() };
+        // Deterministic pseudo-random address stream over a footprint a few
+        // times the capacity, so hits, misses and evictions all occur.
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..4096 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let addr = (x >> 33) % 1024;
+            assert_eq!(fused.access(addr), reference.access(addr));
+        }
+        assert_eq!(fused.stats(), reference.c.stats());
+        for addr in (0..1024).step_by(64) {
+            assert_eq!(fused.probe(addr), reference.c.probe(addr), "addr {addr:#x}");
+        }
     }
 
     #[test]

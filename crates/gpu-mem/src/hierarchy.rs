@@ -1,9 +1,13 @@
-//! The composed L1 → L2 → DRAM lookup path.
+//! Configuration of the composed L1 → L2 → DRAM lookup path.
+//!
+//! The monolithic `MemoryHierarchy` struct that used to live here was
+//! split for the bank-sharded memory pipeline: per-SM L1s now live with
+//! their SMs (SM-local phase-A state in `lmi-sim`), and the shared L2 +
+//! MSHR + DRAM state is sharded into address-interleaved banks in
+//! [`crate::banks`].
 
-use std::collections::HashMap;
-
-use crate::cache::{Cache, CacheConfig, CacheStats};
-use crate::dram::{Dram, DramConfig};
+use crate::cache::CacheConfig;
+use crate::dram::DramConfig;
 
 /// Configuration of the full hierarchy (defaults follow paper Table IV).
 #[derive(Debug, Clone, Copy)]
@@ -30,164 +34,5 @@ impl HierarchyConfig {
             dram: DramConfig::default(),
             shared_latency: 25,
         }
-    }
-}
-
-/// The memory hierarchy timing model.
-#[derive(Debug)]
-pub struct MemoryHierarchy {
-    cfg: HierarchyConfig,
-    l1: Vec<Cache>,
-    l2: Cache,
-    dram: Dram,
-    /// MSHR-style merge of in-flight line fills: line -> fill-ready cycle.
-    /// A request for a line already being fetched waits for that fill
-    /// instead of issuing a redundant DRAM transaction.
-    inflight: HashMap<u64, u64>,
-    /// Merged (MSHR-hit) requests, for statistics.
-    mshr_merges: u64,
-}
-
-impl MemoryHierarchy {
-    /// Builds the hierarchy.
-    pub fn new(cfg: HierarchyConfig) -> MemoryHierarchy {
-        MemoryHierarchy {
-            cfg,
-            l1: (0..cfg.num_l1).map(|_| Cache::new(cfg.l1)).collect(),
-            l2: Cache::new(cfg.l2),
-            dram: Dram::new(cfg.dram),
-            inflight: HashMap::new(),
-            mshr_merges: 0,
-        }
-    }
-
-    /// The configuration.
-    pub fn config(&self) -> &HierarchyConfig {
-        &self.cfg
-    }
-
-    /// Performs a DRAM-backed access (global/local/heap) from SM `sm`
-    /// at time `now`; returns the completion cycle.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `sm` is out of range.
-    pub fn access_dram_backed(&mut self, sm: usize, addr: u64, now: u64) -> u64 {
-        let l1 = &mut self.l1[sm];
-        if l1.access(addr) {
-            return now + self.cfg.l1.hit_latency as u64;
-        }
-        if self.l2.access(addr) {
-            return now + self.cfg.l2.hit_latency as u64;
-        }
-        // MSHR merge: if this line is already being fetched, ride the fill.
-        let line = addr & !(self.cfg.l2.line_bytes - 1);
-        if let Some(&ready) = self.inflight.get(&line) {
-            if ready > now {
-                self.mshr_merges += 1;
-                return ready;
-            }
-        }
-        let data_at = self.dram.access(addr, now + self.cfg.l2.hit_latency as u64);
-        self.inflight.insert(line, data_at);
-        if self.inflight.len() > 4096 {
-            self.inflight.retain(|_, &mut r| r > now);
-        }
-        data_at
-    }
-
-    /// MSHR-merged request count.
-    pub fn mshr_merges(&self) -> u64 {
-        self.mshr_merges
-    }
-
-    /// Performs a shared-memory access (fixed low latency, no cache path).
-    pub fn access_shared(&self, now: u64) -> u64 {
-        now + self.cfg.shared_latency as u64
-    }
-
-    /// An L2-latency access used for metadata fetches that bypass the L1
-    /// (e.g. GPUShield bounds-table fills on RCache misses).
-    pub fn metadata_fetch(&mut self, addr: u64, now: u64) -> u64 {
-        if self.l2.access(addr) {
-            return now + self.cfg.l2.hit_latency as u64;
-        }
-        let line = addr & !(self.cfg.l2.line_bytes - 1);
-        if let Some(&ready) = self.inflight.get(&line) {
-            if ready > now {
-                self.mshr_merges += 1;
-                return ready;
-            }
-        }
-        let data_at = self.dram.access(addr, now + self.cfg.l2.hit_latency as u64);
-        self.inflight.insert(line, data_at);
-        data_at
-    }
-
-    /// Per-SM L1 statistics.
-    pub fn l1_stats(&self, sm: usize) -> CacheStats {
-        self.l1[sm].stats()
-    }
-
-    /// L2 statistics.
-    pub fn l2_stats(&self) -> CacheStats {
-        self.l2.stats()
-    }
-
-    /// Total DRAM transactions.
-    pub fn dram_transactions(&self) -> u64 {
-        self.dram.transactions()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn small() -> MemoryHierarchy {
-        MemoryHierarchy::new(HierarchyConfig::table4(2))
-    }
-
-    #[test]
-    fn cold_access_reaches_dram() {
-        let mut h = small();
-        let done = h.access_dram_backed(0, 0x10_0000, 0);
-        // L1 miss + L2 miss: latency includes L2 lookup plus DRAM.
-        assert!(done >= 200 + 350, "got {done}");
-        assert_eq!(h.dram_transactions(), 1);
-    }
-
-    #[test]
-    fn warm_access_hits_l1() {
-        let mut h = small();
-        h.access_dram_backed(0, 0x10_0000, 0);
-        let done = h.access_dram_backed(0, 0x10_0000, 1000);
-        assert_eq!(done, 1000 + 30);
-    }
-
-    #[test]
-    fn l2_serves_other_sms_after_one_fill() {
-        let mut h = small();
-        h.access_dram_backed(0, 0x10_0000, 0);
-        // A different SM misses its own L1 but hits the shared L2.
-        let done = h.access_dram_backed(1, 0x10_0000, 1000);
-        assert_eq!(done, 1000 + 200);
-        assert_eq!(h.dram_transactions(), 1);
-    }
-
-    #[test]
-    fn shared_memory_is_fast_and_uncached() {
-        let h = small();
-        assert_eq!(h.access_shared(500), 525);
-        assert_eq!(h.dram_transactions(), 0);
-    }
-
-    #[test]
-    fn metadata_fetch_uses_l2_path() {
-        let mut h = small();
-        let cold = h.metadata_fetch(0x40_0000, 0);
-        assert!(cold >= 200 + 350);
-        let warm = h.metadata_fetch(0x40_0000, 1000);
-        assert_eq!(warm, 1000 + 200);
     }
 }

@@ -34,6 +34,15 @@ pub struct GpuConfig {
     /// engine is deterministic: every thread count produces bit-identical
     /// [`crate::stats::SimStats`].
     pub sim_threads: usize,
+    /// Number of address-interleaved memory banks the shared L2 + MSHR +
+    /// DRAM + backing store shard into (`crate::engine`'s bank-parallel
+    /// apply). `0` means "auto": honor the `LMI_MEM_BANKS` environment
+    /// variable if set, otherwise run monolithic (1 bank). Any value is
+    /// clamped to the largest count the hierarchy geometry supports
+    /// ([`lmi_mem::max_supported_banks`]). Like `sim_threads`, the setting
+    /// is perf-only: every bank count produces bit-identical
+    /// [`crate::stats::SimStats`].
+    pub mem_banks: usize,
     /// Cycles of the LSU front-end (operand collection + address
     /// generation) that overlap the OCU's pipelined verdict: a dependent
     /// memory access only stalls for `max(0, verdict - ready - overlap)`
@@ -67,6 +76,7 @@ impl GpuConfig {
             const_latency: 8,
             heap_call_latency: 600,
             sim_threads: 0,
+            mem_banks: 0,
             lsu_verdict_overlap: 3,
             halt_on_violation: false,
             sample_period: 0,
@@ -105,6 +115,12 @@ impl GpuConfig {
         self
     }
 
+    /// Returns a copy with an explicit memory-bank count (`1` = monolithic).
+    pub fn with_mem_banks(mut self, banks: usize) -> GpuConfig {
+        self.mem_banks = banks;
+        self
+    }
+
     /// Resolves [`GpuConfig::sim_threads`] to an effective worker count:
     /// an explicit setting wins, then the `LMI_SIM_THREADS` environment
     /// variable, then serial; the result is clamped to `num_sms` (a worker
@@ -120,6 +136,24 @@ impl GpuConfig {
                 .unwrap_or(1)
         };
         requested.clamp(1, self.num_sms.max(1))
+    }
+
+    /// Resolves [`GpuConfig::mem_banks`] to an effective bank count: an
+    /// explicit setting wins, then the `LMI_MEM_BANKS` environment
+    /// variable, then monolithic; the result is clamped to the largest
+    /// count the hierarchy geometry supports (banks must divide the L2 set
+    /// count and the DRAM channel count evenly).
+    pub fn resolve_mem_banks(&self) -> usize {
+        let requested = if self.mem_banks != 0 {
+            self.mem_banks
+        } else {
+            std::env::var("LMI_MEM_BANKS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(1)
+        };
+        lmi_mem::max_supported_banks(&self.hierarchy, requested)
     }
 }
 
@@ -143,6 +177,16 @@ mod tests {
         assert_eq!(cfg.resolve_sim_threads(), 3);
         assert_eq!(GpuConfig::small().with_sim_threads(64).resolve_sim_threads(), 8);
         assert_eq!(GpuConfig::security().with_sim_threads(8).resolve_sim_threads(), 1);
+    }
+
+    #[test]
+    fn mem_banks_resolution_clamps_to_geometry() {
+        // Table IV: 1536 L2 sets, 32 DRAM channels — powers of two divide
+        // both; 5 divides neither, so it clamps down to 4.
+        assert_eq!(GpuConfig::small().with_mem_banks(4).resolve_mem_banks(), 4);
+        assert_eq!(GpuConfig::small().with_mem_banks(5).resolve_mem_banks(), 4);
+        assert_eq!(GpuConfig::small().with_mem_banks(1000).resolve_mem_banks(), 32);
+        assert_eq!(GpuConfig::small().with_mem_banks(1).resolve_mem_banks(), 1);
     }
 
     #[test]

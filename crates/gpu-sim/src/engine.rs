@@ -1,54 +1,65 @@
-//! The simulation engine: serial and parallel deterministic drivers.
+//! The simulation engine: the deterministic bank-sharded cycle driver.
 //!
-//! Both drivers execute the three-phase cycle protocol described in
-//! [`crate::sm`]:
+//! One driver executes the phase protocol described in [`crate::sm`] at any
+//! worker-thread count (1 = serial) and any memory-bank count (1 =
+//! monolithic), always bit-identically:
 //!
-//! * the **serial** driver interleaves the phases per SM (A, B, C for SM 0,
-//!   then SM 1, …) — byte-for-byte the schedule the original single-thread
-//!   engine executed;
-//! * the **parallel** driver runs phase A for every SM concurrently on a
-//!   worker pool, then the leader (the calling thread) applies phase B for
-//!   every SM in ascending SM order, then phase C runs concurrently again.
+//! * **Phase A** — every SM concurrently: schedule, execute ALU work,
+//!   probe the SM-local L1, and route L1 misses + per-lane data movement
+//!   into per-SM per-bank queues.
+//! * **Phase B-check** — the leader (the calling thread) walks every SM's
+//!   events in ascending (slot, issue) order: statistics, counters,
+//!   mechanism checks (each memory op gets a [`MemVerdict`]), heap calls,
+//!   violations and forensics. Mechanism metadata fetches are routed to
+//!   their owning banks. This is the only genuinely serial section; its
+//!   size is surfaced as [`SimStats::phase_b_serial_items`] vs
+//!   [`SimStats::phase_b_banked_items`]
+//!   (`crate::stats::SimStats::phase_b_serial_fraction`).
+//! * **Metadata pass** (only on cycles with metadata traffic) — each bank,
+//!   applied by a fixed worker (`bank % threads`), performs its metadata
+//!   fetches in canonical (slot, op) order and publishes each op's
+//!   completion via an atomic max.
+//! * **Bank pass** (only on cycles with memory traffic) — each bank drains
+//!   its queues in canonical (slot, queue) order: L2/MSHR/DRAM line fills
+//!   (timing) and byte movement through the bank's shard of the store
+//!   (functional), gated on the op's verdict. Banks partition the address
+//!   space at line granularity, so no two banks ever touch the same
+//!   cache set, DRAM channel group, or store byte — running them
+//!   concurrently is exactly the monolithic sequence, reordered across
+//!   independent state.
+//! * **Phase B-final** (only when tracing) — the leader emits memory
+//!   transaction spans from the assembled completion times.
+//! * **Phase C** — every SM concurrently applies results to its warps;
+//!   memory-op timing is assembled from the bank-published atomics.
 //!
-//! Phase A reads and writes only SM-private state, and phase C writes only
-//! SM-private state, so reordering them across SMs cannot change anything.
-//! All shared state — the memory hierarchy, the functional store, the
-//! device heap, the mechanism, statistics, telemetry — is touched only in
-//! phase B, always by one thread, always in the same canonical order.
-//! Cache hit/miss sequences, heap allocation order, counters, trace-ring
-//! contents and forensics are therefore **bit-identical at every thread
-//! count**, including 1.
+//! Every pass is ordered canonically and every inter-pass hand-off is an
+//! atomic max over values that are themselves canonical, so cycle counts,
+//! cache hit/miss sequences, heap order, counters, trace contents and
+//! forensics are **bit-identical at every thread count and bank count**.
 //!
-//! Synchronization is three sense-reversing spin barriers per simulated
-//! cycle (phase-A done, phase-B done, phase-C done). Per-cycle reductions
-//! (did anyone issue? when is the next warp ready? is everyone done?) go
-//! through double-buffered atomic accumulators indexed by iteration parity;
-//! the leader resets the off-parity buffer during phase B, while every
-//! worker is parked between barriers. After the phase-C barrier every
-//! thread computes the next cycle number from the same accumulator with the
-//! same pure function, so the threads never disagree on the clock.
-//!
-//! A panic on any thread (simulator bugs, mechanism asserts) is caught,
-//! recorded, and re-raised on the calling thread after every worker has
-//! drained out of the barrier protocol — a panicking SM cannot deadlock
-//! the pool.
+//! Synchronization is a sense-reversing spin barrier between passes;
+//! memory-quiet cycles skip the bank barriers entirely (the leader decides
+//! during B-check and publishes the schedule in atomic flags every thread
+//! reads after the B-check barrier). Per-cycle reductions go through
+//! double-buffered accumulators indexed by iteration parity, and a panic on
+//! any thread poisons the pool, drains every worker out of the barrier
+//! protocol, and re-raises on the calling thread.
 
 use std::ops::Range;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
-use std::sync::Mutex;
+use std::sync::{Mutex, RwLock};
 
 use lmi_alloc::{AllocError, DeviceHeap};
 use lmi_core::error::TemporalKind;
 use lmi_core::Violation;
-use lmi_isa::{MemSpace, OpcodeClass, Reg};
-use lmi_mem::{MemoryHierarchy, SparseMemory};
+use lmi_isa::{OpcodeClass, Reg};
+use lmi_mem::{BankRouter, BankedHierarchy, BankedMemory, Cache, MemBank, SparseMemory};
 use lmi_telemetry::{FaultEvent, PoisonEvent, Scope, TelemetrySink, TraceEventKind};
 
 use crate::config::GpuConfig;
-use crate::lsu::coalesce_into;
 use crate::mechanism::{Mechanism, MemAccessCtx};
-use crate::sm::{CycleEvents, EventPool, IssueEvent, LaneMem, OpResult, SharedOp, Sm};
+use crate::sm::{BankReq, CycleEvents, EventPool, IssueEvent, MemVerdict, SharedOp, Sm};
 use crate::stats::{SimStats, ViolationEvent};
 
 /// Per-kernel shared state: each kernel resident on the GPU owns its own
@@ -60,18 +71,15 @@ pub(crate) struct KernelSlot<'a> {
     pub heap: &'a DeviceHeap,
 }
 
-/// The shared-state half of the machine, borrowed once per run (the serial
-/// engine used to rebuild an equivalent struct per SM per cycle).
-///
-/// Machine-wide state (hierarchy, functional store, telemetry) is one
-/// instance; kernel-owned state lives in [`KernelSlot`]s, routed by
-/// `kernel_of_sm` so concurrent kernels on disjoint SM partitions keep
-/// their mechanisms, heaps and stats separate while *sharing* the L2/DRAM
-/// — contention between tenants is modeled, isolation of metadata is not
-/// compromised.
+/// The shared-state half of the machine, borrowed once per run. The
+/// banked hierarchy/store are split into per-bank cells by the engine;
+/// kernel-owned state lives in [`KernelSlot`]s, routed by `kernel_of_sm`
+/// so concurrent kernels on disjoint SM partitions keep their mechanisms,
+/// heaps and stats separate while *sharing* the L2/DRAM — contention
+/// between tenants is modeled, isolation of metadata is not compromised.
 pub(crate) struct SharedCtx<'a> {
-    pub hierarchy: &'a mut MemoryHierarchy,
-    pub memory: &'a mut SparseMemory,
+    pub hierarchy: &'a mut BankedHierarchy,
+    pub memory: &'a mut BankedMemory,
     pub kernels: Vec<KernelSlot<'a>>,
     /// SM index → index into `kernels`.
     pub kernel_of_sm: Vec<usize>,
@@ -79,32 +87,160 @@ pub(crate) struct SharedCtx<'a> {
     pub sink: &'a mut TelemetrySink,
 }
 
-impl<'a> SharedCtx<'a> {
+/// Leader-only state: everything phase B-check touches. Only ever accessed
+/// by the calling thread, so `&mut dyn Mechanism` / `&mut TelemetrySink`
+/// never cross a thread boundary.
+struct LeaderCtx<'l, 'a> {
+    kernels: &'l mut Vec<KernelSlot<'a>>,
+    kernel_of_sm: &'l [usize],
+    cfg: &'l GpuConfig,
+    sink: &'l mut TelemetrySink,
+    /// Reused per-op metadata-address scratch (sorted + deduped).
+    meta_scratch: Vec<u64>,
+}
+
+impl<'l, 'a> LeaderCtx<'l, 'a> {
     /// The kernel slot owning SM `sm_id`. Borrow is statement-scoped, so
-    /// callers interleave slot access with `sink`/`hierarchy` access freely.
+    /// callers interleave slot access with `sink` access freely.
     fn kernel(&mut self, sm_id: usize) -> &mut KernelSlot<'a> {
         &mut self.kernels[self.kernel_of_sm[sm_id]]
     }
 }
 
+/// One address-interleaved shard of the shared memory system: the timing
+/// model (L2 slice + MSHRs + DRAM channel group) and the matching shard of
+/// the functional store. Exclusively owned by one bank worker per pass;
+/// the mutex is never contended (fixed bank→worker assignment), it only
+/// carries the `&mut` across the thread boundary.
+struct BankCell<'m> {
+    timing: &'m mut MemBank,
+    store: &'m mut SparseMemory,
+}
+
+/// One metadata fetch routed to a bank by the B-check (slot = index into
+/// the engine's slot list, op = index into that SM's issue list, local =
+/// bank-compacted address).
+struct MetaReq {
+    slot: u32,
+    op: u32,
+    local: u64,
+}
+
+/// The bank-parallel half of the machine, shared by every thread.
+struct Machine<'m> {
+    cells: Vec<Mutex<BankCell<'m>>>,
+    /// Per-bank metadata queues, filled by the leader in canonical order.
+    /// Capacity survives the per-cycle `clear()`.
+    meta_q: Vec<Mutex<Vec<MetaReq>>>,
+    /// Cycle schedule, decided by the leader during B-check: does a
+    /// metadata pass / a bank pass run this cycle? Every thread reads the
+    /// flags after the B-check barrier, so the barrier count always agrees.
+    meta_flag: AtomicBool,
+    bank_flag: AtomicBool,
+    router: BankRouter,
+    banks: usize,
+    /// Run-constant: the tracer needs a leader-only B-final step.
+    tracer_on: bool,
+}
+
+/// One SM's slot: the SM, its own L1 (SM-local phase-A state), and its
+/// cycle events. Behind a `RwLock`: phases A/C take the write lock from
+/// the owning worker only; the bank passes take read locks (their writes
+/// go through the events' atomics).
+struct SmSlot<'l> {
+    sm: Sm,
+    l1: &'l mut Cache,
+    events: CycleEvents,
+}
+
 /// Runs the machine to completion and returns the final cycle number.
-pub(crate) fn run(sms: &mut Vec<Sm>, shared: &mut SharedCtx<'_>, threads: usize) -> u64 {
+/// `l1s[i]` is SM `sms[i]`'s L1 cache (owned by the GPU so warmth and
+/// statistics persist across launches).
+pub(crate) fn run(
+    sms: &mut Vec<Sm>,
+    l1s: Vec<&mut Cache>,
+    shared: &mut SharedCtx<'_>,
+    threads: usize,
+) -> u64 {
     let threads = threads.clamp(1, sms.len().max(1));
-    if threads <= 1 {
-        run_serial(sms, shared)
-    } else {
-        run_parallel(sms, shared, threads)
+    assert_eq!(l1s.len(), sms.len(), "one L1 per SM");
+    let SharedCtx { hierarchy, memory, kernels, kernel_of_sm, cfg, sink } = shared;
+    let banks = hierarchy.num_banks();
+    assert_eq!(banks, memory.num_banks(), "timing and store must shard identically");
+    let router = hierarchy.router();
+    let machine = Machine {
+        cells: hierarchy
+            .banks_mut()
+            .iter_mut()
+            .zip(memory.banks_mut().iter_mut())
+            .map(|(timing, store)| Mutex::new(BankCell { timing, store }))
+            .collect(),
+        meta_q: (0..banks).map(|_| Mutex::new(Vec::new())).collect(),
+        meta_flag: AtomicBool::new(false),
+        bank_flag: AtomicBool::new(false),
+        router,
+        banks,
+        tracer_on: sink.tracer.is_enabled(),
+    };
+    let mut leader = LeaderCtx { kernels, kernel_of_sm, cfg, sink, meta_scratch: Vec::new() };
+
+    let slots: Vec<RwLock<SmSlot>> = sms
+        .drain(..)
+        .zip(l1s)
+        .map(|(sm, l1)| {
+            let mut events = CycleEvents::default();
+            events.ensure_banks(banks);
+            RwLock::new(SmSlot { sm, l1, events })
+        })
+        .collect();
+    // Contiguous SM ranges; the remainder goes to the front groups.
+    let n = slots.len();
+    let (base, rem) = (n / threads, n % threads);
+    let mut ranges = Vec::with_capacity(threads);
+    let mut start = 0;
+    for t in 0..threads {
+        let len = base + usize::from(t < rem);
+        ranges.push(start..start + len);
+        start += len;
     }
+    let ctl = Ctl::new(threads);
+    let cfg_v = **cfg;
+    let mut final_cycle = 0u64;
+    if threads == 1 {
+        final_cycle = leader_loop(&slots, &machine, ranges[0].clone(), threads, &mut leader, &ctl);
+    } else {
+        std::thread::scope(|scope| {
+            for (t, range) in ranges.iter().enumerate().skip(1) {
+                let (slots, machine, ctl, range) = (&slots, &machine, &ctl, range.clone());
+                scope.spawn(move || worker_loop(slots, machine, range, t, threads, &cfg_v, ctl));
+            }
+            final_cycle =
+                leader_loop(&slots, &machine, ranges[0].clone(), threads, &mut leader, &ctl);
+        });
+    }
+    sms.extend(slots.into_iter().map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()).sm));
+    if let Some(payload) = ctl.payload.lock().unwrap_or_else(|e| e.into_inner()).take() {
+        panic::resume_unwind(payload);
+    }
+    final_cycle
 }
 
 // ---------------------------------------------------------------------------
-// Phase B: canonical application of one SM's cycle events.
+// Phase B-check: canonical application of one SM's cycle events.
 
-/// Applies everything SM `sm_id` deferred this cycle, in issue order.
-fn apply_cycle(sm_id: usize, events: &mut CycleEvents, now: u64, shared: &mut SharedCtx<'_>) {
+/// Applies everything SM `sm_id` (slot `slot_idx`) deferred this cycle, in
+/// issue order, and routes its bank work.
+fn apply_cycle(
+    sm_id: usize,
+    slot_idx: usize,
+    events: &mut CycleEvents,
+    now: u64,
+    machine: &Machine<'_>,
+    leader: &mut LeaderCtx<'_, '_>,
+) {
     if events.stalls != [0; 4] {
         let s = &events.stalls;
-        let stats = &mut *shared.kernel(sm_id).stats;
+        let stats = &mut *leader.kernel(sm_id).stats;
         stats.stalls.scoreboard += s[0];
         stats.stalls.lsu_busy += s[1];
         stats.stalls.ocu_verdict += s[2];
@@ -113,7 +249,7 @@ fn apply_cycle(sm_id: usize, events: &mut CycleEvents, now: u64, shared: &mut Sh
             ["stall.scoreboard", "stall.lsu_busy", "stall.ocu_verdict", "stall.no_ready_warp"];
         for (count, name) in s.iter().zip(NAMES) {
             if *count > 0 {
-                shared.sink.counters.add(Scope::Sm(sm_id), name, *count);
+                leader.sink.counters.add(Scope::Sm(sm_id), name, *count);
             }
         }
     }
@@ -121,26 +257,37 @@ fn apply_cycle(sm_id: usize, events: &mut CycleEvents, now: u64, shared: &mut Sh
         // Absorb the phase-A profiler sample into the owning kernel's
         // profile. Runs here (single thread, ascending SM order) so the
         // merged profile is canonical at every thread count.
-        let period = shared.cfg.sample_period;
-        let profile = &mut shared.kernel(sm_id).stats.profile;
+        let period = leader.cfg.sample_period;
+        let profile = &mut leader.kernel(sm_id).stats.profile;
         profile.period = period;
         profile.absorb(sm_id, &sample);
     }
-    let CycleEvents { issues, pool, .. } = events;
-    for ev in issues.iter_mut() {
-        apply_event(sm_id, ev, pool, now, shared);
+    let CycleEvents { issues, pool, bank_q, .. } = events;
+    for (op_idx, ev) in issues.iter_mut().enumerate() {
+        apply_event(sm_id, slot_idx, op_idx as u32, ev, pool, now, machine, leader);
+    }
+    if bank_q.iter().any(|q| !q.is_empty()) {
+        machine.bank_flag.store(true, SeqCst);
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn apply_event(
     sm_id: usize,
+    slot_idx: usize,
+    op_idx: u32,
     ev: &mut IssueEvent,
     pool: &mut EventPool,
     now: u64,
-    shared: &mut SharedCtx<'_>,
+    machine: &Machine<'_>,
+    leader: &mut LeaderCtx<'_, '_>,
 ) {
+    // Every event costs the leader one walk step — the serial half of the
+    // `phase_b_serial_fraction` stat. Deterministic: the issue list is
+    // identical at every thread and bank count.
+    leader.kernel(sm_id).stats.phase_b_serial_items += 1;
     if let Some(op) = ev.opcode {
-        let stats = &mut *shared.kernel(sm_id).stats;
+        let stats = &mut *leader.kernel(sm_id).stats;
         stats.issued += 1;
         match op.class() {
             OpcodeClass::IntAlu => stats.int_issued += 1,
@@ -152,38 +299,40 @@ fn apply_event(
         }
     }
     if let Some(space) = ev.mem_space {
-        shared.kernel(sm_id).stats.record_mem(space);
-        shared.sink.counters.inc(Scope::Sm(sm_id), "mem_insts");
+        leader.kernel(sm_id).stats.record_mem(space);
+        leader.sink.counters.inc(Scope::Sm(sm_id), "mem_insts");
     }
     let mnemonic = ev.opcode.map(|op| op.mnemonic()).unwrap_or("");
     ev.result = match ev.shared.take() {
         Some(SharedOp::MarkedInt { dst, pair, lanes }) => {
-            let r = apply_marked_int(sm_id, ev, mnemonic, dst, pair, &lanes, pool, now, shared);
+            let r = apply_marked_int(sm_id, ev, mnemonic, dst, pair, &lanes, pool, now, leader);
             pool.put_triples(lanes);
             Some(r)
         }
         Some(SharedOp::Heap { dst, pair, malloc, lanes }) => {
-            let r = apply_heap(sm_id, ev, mnemonic, dst, pair, malloc, &lanes, pool, now, shared);
+            let r = apply_heap(sm_id, ev, mnemonic, dst, pair, malloc, &lanes, pool, now, leader);
             pool.put_pairs(lanes);
             Some(r)
         }
-        Some(SharedOp::Mem { dst, pair, width, is_store, space, lanes, mut lines }) => {
-            let r = apply_mem(
-                sm_id, ev, mnemonic, dst, pair, width, is_store, space, &lanes, &mut lines, pool,
-                now, shared,
-            );
-            pool.put_lane_mem(lanes);
-            pool.put_lines(lines);
-            Some(r)
+        Some(op @ SharedOp::Mem { .. }) => {
+            // The mechanism check runs here (serial, canonical); timing and
+            // data movement were already routed to the banks in phase A and
+            // stay gated on this verdict. The op itself rides to phase C.
+            let verdict = check_mem(sm_id, slot_idx, op_idx, ev, &op, machine, leader, now);
+            ev.verdict = Some(verdict);
+            ev.shared = Some(op);
+            None
         }
         None => None,
     };
-    shared.sink.counters.inc(Scope::Sm(sm_id), "issued");
-    shared.sink.counters.inc(Scope::Warp { sm: sm_id, warp: ev.warp }, "issued");
-    let retiring = ev.retired_local || ev.result.as_ref().is_some_and(|r| r.retire);
-    if retiring && shared.sink.tracer.is_enabled() {
+    leader.sink.counters.inc(Scope::Sm(sm_id), "issued");
+    leader.sink.counters.inc(Scope::Warp { sm: sm_id, warp: ev.warp }, "issued");
+    let retiring = ev.retired_local
+        || ev.result.as_ref().is_some_and(|r| r.retire)
+        || ev.verdict.is_some_and(|v| v.cancelled);
+    if retiring && leader.sink.tracer.is_enabled() {
         // The warp retires this cycle: emit its residency span.
-        shared.sink.tracer.complete_with(
+        leader.sink.tracer.complete_with(
             "warp",
             TraceEventKind::WarpSpan,
             sm_id,
@@ -206,21 +355,21 @@ fn apply_marked_int(
     lanes: &[(usize, u64, u64)],
     pool: &mut EventPool,
     now: u64,
-    shared: &mut SharedCtx<'_>,
-) -> OpResult {
-    let mech_name = shared.kernel(sm_id).mechanism.name();
-    let issue_index = shared.kernel(sm_id).stats.issued;
+    leader: &mut LeaderCtx<'_, '_>,
+) -> crate::sm::OpResult {
+    let mech_name = leader.kernel(sm_id).mechanism.name();
+    let issue_index = leader.kernel(sm_id).stats.issued;
     let mut extra_delay = 0u32;
     let mut writes = pool.take_pairs();
     for &(l, input, raw) in lanes {
-        let mech = &mut shared.kernel(sm_id).mechanism;
+        let mech = &mut leader.kernel(sm_id).mechanism;
         let check = mech.on_marked_int(input, raw);
         extra_delay = extra_delay.max(mech.marked_int_delay());
         writes.push((l, check.value));
         if check.poisoned {
             // Delayed termination (§XII-A): remember where the pointer died
             // so a later EC fault can report it.
-            shared.sink.forensics.record_poison(PoisonEvent {
+            leader.sink.forensics.record_poison(PoisonEvent {
                 sm: sm_id,
                 warp: ev.warp,
                 lane: l,
@@ -229,9 +378,9 @@ fn apply_marked_int(
                 cycle: now,
                 instr_index: issue_index,
             });
-            shared.sink.counters.inc(Scope::Mechanism(mech_name), "poisoned");
-            if shared.sink.tracer.is_enabled() {
-                shared.sink.tracer.instant(
+            leader.sink.counters.inc(Scope::Mechanism(mech_name), "poisoned");
+            if leader.sink.tracer.is_enabled() {
+                leader.sink.tracer.instant(
                     "poison",
                     TraceEventKind::OcuPoison,
                     sm_id,
@@ -242,9 +391,9 @@ fn apply_marked_int(
             }
         }
     }
-    shared.sink.counters.inc(Scope::Mechanism(mech_name), "checks");
-    if shared.sink.tracer.is_enabled() {
-        shared.sink.tracer.complete_with(
+    leader.sink.counters.inc(Scope::Mechanism(mech_name), "checks");
+    if leader.sink.tracer.is_enabled() {
+        leader.sink.tracer.complete_with(
             mnemonic,
             TraceEventKind::OcuCheck,
             sm_id,
@@ -254,8 +403,8 @@ fn apply_marked_int(
             &[("pc", ev.pc as u64)],
         );
     }
-    let done_at = now + shared.cfg.int_latency as u64;
-    OpResult {
+    let done_at = now + leader.cfg.int_latency as u64;
+    crate::sm::OpResult {
         dst,
         pair,
         write_width: 8,
@@ -280,13 +429,13 @@ fn apply_heap(
     lanes: &[(usize, u64)],
     pool: &mut EventPool,
     now: u64,
-    shared: &mut SharedCtx<'_>,
-) -> OpResult {
+    leader: &mut LeaderCtx<'_, '_>,
+) -> crate::sm::OpResult {
     let mut writes = pool.take_pairs();
     let mut violation = None;
     for &(l, value) in lanes {
         let gtid = ev.base_tid + l as u64;
-        let slot = shared.kernel(sm_id);
+        let slot = leader.kernel(sm_id);
         if malloc {
             let ptr = slot.heap.malloc(gtid as usize, value).unwrap_or(0);
             writes.push((l, ptr));
@@ -302,31 +451,31 @@ fn apply_heap(
             }
         }
     }
-    let ready_mem_at = if malloc { Some(now + shared.cfg.heap_call_latency as u64) } else { None };
-    shared.sink.counters.inc(Scope::Sm(sm_id), "heap_calls");
-    if shared.sink.tracer.is_enabled() {
-        shared.sink.tracer.complete_with(
+    let ready_mem_at = if malloc { Some(now + leader.cfg.heap_call_latency as u64) } else { None };
+    leader.sink.counters.inc(Scope::Sm(sm_id), "heap_calls");
+    if leader.sink.tracer.is_enabled() {
+        leader.sink.tracer.complete_with(
             mnemonic,
             TraceEventKind::HeapCall,
             sm_id,
             ev.warp,
             now,
-            shared.cfg.heap_call_latency as u64,
+            leader.cfg.heap_call_latency as u64,
             &[("pc", ev.pc as u64)],
         );
     }
     let mut retire = false;
     if let Some((lane, v)) = violation {
-        shared.kernel(sm_id).stats.violations.push(ViolationEvent {
+        leader.kernel(sm_id).stats.violations.push(ViolationEvent {
             sm: sm_id,
             warp: ev.warp,
             pc: ev.pc,
             global_tid: ev.base_tid + lane as u64,
             violation: v,
         });
-        retire = shared.cfg.halt_on_violation;
+        retire = leader.cfg.halt_on_violation;
     }
-    OpResult {
+    crate::sm::OpResult {
         dst,
         pair,
         write_width: 8,
@@ -339,63 +488,63 @@ fn apply_heap(
     }
 }
 
-/// A non-constant memory access: mechanism check, hierarchy timing, and
-/// functional data movement.
+/// The mechanism check of a deferred memory access — the only part of a
+/// memory op the leader still runs. Produces the verdict the bank passes
+/// and phase C consume, charges the transaction statistics, and routes
+/// metadata fetches to their owning banks.
 #[allow(clippy::too_many_arguments)]
-fn apply_mem(
+fn check_mem(
     sm_id: usize,
+    slot_idx: usize,
+    op_idx: u32,
     ev: &IssueEvent,
-    mnemonic: &'static str,
-    dst: Reg,
-    pair: bool,
-    width: u8,
-    is_store: bool,
-    space: MemSpace,
-    lanes: &[LaneMem],
-    lines: &mut Vec<u64>,
-    pool: &mut EventPool,
+    op: &SharedOp,
+    machine: &Machine<'_>,
+    leader: &mut LeaderCtx<'_, '_>,
     now: u64,
-    shared: &mut SharedCtx<'_>,
-) -> OpResult {
+) -> MemVerdict {
+    let SharedOp::Mem { width, is_store, space, lanes, line_count, bank_items, .. } = op else {
+        unreachable!("check_mem is only called for SharedOp::Mem");
+    };
     let pc = ev.pc;
     // `stats.issued` was already bumped for this instruction, so it is a
     // unique id shared by every lane of this warp-level issue.
-    let issue_index = shared.kernel(sm_id).stats.issued;
-    let mech_name = shared.kernel(sm_id).mechanism.name();
-    let mut ok = pool.take_lane_mem();
+    let issue_index = leader.kernel(sm_id).stats.issued;
+    let mech_name = leader.kernel(sm_id).mechanism.name();
+    let mut survivors: crate::warp::LaneMask = 0;
     let mut faulted = false;
     let mut extra_cycles = 0u32;
-    let mut metadata_addrs = pool.take_lines();
+    leader.meta_scratch.clear();
     for &lm in lanes {
         let ctx = MemAccessCtx {
-            space,
+            space: *space,
             raw: lm.raw,
             vaddr: lm.vaddr,
-            width,
-            is_store,
+            width: *width,
+            is_store: *is_store,
             global_tid: ev.base_tid + lm.lane as u64,
             pc,
             lane: lm.lane,
             issue_index,
         };
-        let check = shared.kernel(sm_id).mechanism.on_mem_access(&ctx);
+        let check = leader.kernel(sm_id).mechanism.on_mem_access(&ctx);
         extra_cycles = extra_cycles.max(check.extra_cycles);
         if let Some(addr) = check.metadata_addr {
-            metadata_addrs.push(addr);
+            leader.meta_scratch.push(addr);
         }
         match check.violation {
             Some(v) => {
                 faulted = true;
-                shared.kernel(sm_id).stats.violations.push(ViolationEvent {
+                leader.kernel(sm_id).stats.violations.push(ViolationEvent {
                     sm: sm_id,
                     warp: ev.warp,
                     pc,
                     global_tid: ctx.global_tid,
                     violation: v,
                 });
-                shared.sink.counters.inc(Scope::Mechanism(mech_name), "faults");
-                if shared.sink.tracer.is_enabled() {
-                    shared.sink.tracer.instant(
+                leader.sink.counters.inc(Scope::Mechanism(mech_name), "faults");
+                if leader.sink.tracer.is_enabled() {
+                    leader.sink.tracer.instant(
                         "fault",
                         TraceEventKind::EcFault,
                         sm_id,
@@ -407,7 +556,7 @@ fn apply_mem(
                 // Close the poison→fault provenance loop (§XII-A): if this
                 // lane's pointer was poisoned earlier, report the latency
                 // between poisoning and detection.
-                if let Some(record) = shared.sink.forensics.record_fault(FaultEvent {
+                if let Some(record) = leader.sink.forensics.record_fault(FaultEvent {
                     sm: sm_id,
                     warp: ev.warp,
                     lane: lm.lane,
@@ -415,142 +564,165 @@ fn apply_mem(
                     cycle: now,
                     instr_index: issue_index,
                 }) {
-                    shared.kernel(sm_id).stats.forensics.push(record);
+                    leader.kernel(sm_id).stats.forensics.push(record);
                 }
             }
-            None => ok.push(lm),
+            None => survivors |= 1 << lm.lane,
         }
     }
 
-    if faulted && shared.cfg.halt_on_violation {
+    if faulted && leader.cfg.halt_on_violation {
         // The faulting access never issues: no timing, no data movement,
-        // no pc advance — the warp halts.
-        pool.put_lane_mem(ok);
-        pool.put_lines(metadata_addrs);
-        return OpResult {
-            dst,
-            pair,
-            write_width: width,
-            writes: pool.take_pairs(),
-            ready_at: None,
-            verdict_at: None,
-            ready_mem_at: None,
-            advance_pc: false,
-            retire: true,
-        };
+        // no pc advance — the warp halts. The bank queues' entries for
+        // this op are skipped by the verdict gate.
+        return MemVerdict { survivors, cancelled: true, extra_cycles };
     }
 
-    // Timing: mechanism metadata fetches complete FIRST (bounds must be
-    // known before the access may issue — check-before-access), then the
-    // coalesced transactions (or the fixed shared-memory path).
-    metadata_addrs.sort_unstable();
-    metadata_addrs.dedup();
-    let issued_at = now;
-    let mut access_start = now;
-    for addr in &metadata_addrs {
-        access_start = access_start.max(shared.hierarchy.metadata_fetch(*addr, now));
+    leader.kernel(sm_id).stats.transactions += line_count;
+    leader.sink.counters.add(Scope::Sm(sm_id), "transactions", *line_count);
+
+    // Route the mechanism's metadata fetches (bounds must be known before
+    // the access may issue — check-before-access; the banks gate the data
+    // fills on the published metadata completion).
+    leader.meta_scratch.sort_unstable();
+    leader.meta_scratch.dedup();
+    let metas = leader.meta_scratch.len() as u64;
+    if metas > 0 {
+        for &addr in &leader.meta_scratch {
+            let bank = machine.router.bank_of(addr);
+            machine.meta_q[bank].lock().unwrap().push(MetaReq {
+                slot: slot_idx as u32,
+                op: op_idx,
+                local: machine.router.localize(addr),
+            });
+        }
+        machine.meta_flag.store(true, SeqCst);
     }
-    let t = access_start;
-    let mut done_at = t;
-    let mut line_count = 1u64;
-    if space == MemSpace::Shared {
-        done_at = shared.hierarchy.access_shared(t);
-        shared.kernel(sm_id).stats.transactions += 1;
-    } else {
-        // Phase A coalesced assuming all lanes pass the check; a
-        // (non-halting) fault drops lanes, so recompute from the survivors.
-        if faulted {
-            coalesce_into(
-                ok.iter().map(|m| m.timing_addr),
-                shared.cfg.hierarchy.l1.line_bytes,
-                lines,
+    leader.kernel(sm_id).stats.phase_b_banked_items += *bank_items as u64 + metas;
+    MemVerdict { survivors, cancelled: false, extra_cycles }
+}
+
+// ---------------------------------------------------------------------------
+// Bank passes.
+
+/// The banks this worker owns: a fixed interleaved assignment, so a bank is
+/// applied by the same thread every cycle (cache-warm) and by construction
+/// never by two threads at once.
+fn owned_banks(banks: usize, t: usize, threads: usize) -> impl Iterator<Item = usize> {
+    (t..banks).step_by(threads.max(1))
+}
+
+/// Metadata pass: each bank performs its queued metadata fetches in
+/// canonical (slot, op, address) order — exactly the order the leader
+/// enqueued them — and publishes each op's completion cycle.
+fn meta_pass(
+    slots: &[RwLock<SmSlot<'_>>],
+    machine: &Machine<'_>,
+    now: u64,
+    t: usize,
+    threads: usize,
+) {
+    for b in owned_banks(machine.banks, t, threads) {
+        let mut q = machine.meta_q[b].lock().unwrap();
+        if q.is_empty() {
+            continue;
+        }
+        let mut cell = machine.cells[b].lock().unwrap();
+        for req in q.iter() {
+            let done = cell.timing.access(req.local, now);
+            let s = slots[req.slot as usize].read().unwrap();
+            s.events.issues[req.op as usize].meta_done.fetch_max(done, SeqCst);
+        }
+        q.clear();
+    }
+}
+
+/// Bank pass: each bank drains every SM's queue for it, slots ascending,
+/// queue order within a slot — the canonical order restricted to this
+/// bank's (disjoint) slice of the address space.
+fn bank_pass(
+    slots: &[RwLock<SmSlot<'_>>],
+    machine: &Machine<'_>,
+    now: u64,
+    t: usize,
+    threads: usize,
+) {
+    for b in owned_banks(machine.banks, t, threads) {
+        let mut cell = machine.cells[b].lock().unwrap();
+        let BankCell { timing, store } = &mut *cell;
+        for slot in slots {
+            let s = slot.read().unwrap();
+            for req in &s.events.bank_q[b] {
+                match *req {
+                    BankReq::Fill { op, local } => {
+                        let ev = &s.events.issues[op as usize];
+                        let v = ev.verdict.expect("mem op verdict set in B-check");
+                        if v.cancelled {
+                            continue;
+                        }
+                        let start = now.max(ev.meta_done.load(SeqCst));
+                        let done = timing.access(local, start);
+                        ev.data_done.fetch_max(done, SeqCst);
+                    }
+                    BankReq::Move { op, lane_pos, local, width, shift, value } => {
+                        let ev = &s.events.issues[op as usize];
+                        let v = ev.verdict.expect("mem op verdict set in B-check");
+                        if v.cancelled {
+                            continue;
+                        }
+                        let Some(SharedOp::Mem { is_store, lanes, atoms, .. }) = &ev.shared else {
+                            unreachable!("Move targets a memory op");
+                        };
+                        if v.survivors & (1 << lanes[lane_pos as usize].lane) == 0 {
+                            continue;
+                        }
+                        if *is_store {
+                            store.write(local, value, width);
+                        } else {
+                            let part = store.read(local, width) << (8 * shift as u32);
+                            atoms[lane_pos as usize].fetch_or(part, SeqCst);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Phase B-final (tracer runs only): emit one memory-transaction span per
+/// live memory op, from the completion times the banks published.
+fn b_final(slots: &[RwLock<SmSlot<'_>>], leader: &mut LeaderCtx<'_, '_>, now: u64) {
+    for slot in slots {
+        let s = slot.read().unwrap();
+        for ev in &s.events.issues {
+            let Some(SharedOp::Mem { line_count, .. }) = &ev.shared else {
+                continue;
+            };
+            let Some(v) = ev.verdict else { continue };
+            if v.cancelled || v.survivors == 0 {
+                continue;
+            }
+            let done = ev.mem_done_at(now, leader.cfg).expect("live mem op completes");
+            let mnemonic = ev.opcode.map(|op| op.mnemonic()).unwrap_or("");
+            leader.sink.tracer.complete_with(
+                mnemonic,
+                TraceEventKind::MemTransaction,
+                s.sm.id,
+                ev.warp,
+                now,
+                done.saturating_sub(now).max(1),
+                &[
+                    ("pc", ev.pc as u64),
+                    ("lines", *line_count),
+                    ("lanes", v.survivors.count_ones() as u64),
+                ],
             );
         }
-        shared.kernel(sm_id).stats.transactions += lines.len() as u64;
-        line_count = lines.len() as u64;
-        for &line in lines.iter() {
-            done_at = done_at.max(shared.hierarchy.access_dram_backed(sm_id, line, t));
-        }
-    }
-    done_at += extra_cycles as u64;
-    shared.sink.counters.add(Scope::Sm(sm_id), "transactions", line_count);
-    if shared.sink.tracer.is_enabled() && !ok.is_empty() {
-        shared.sink.tracer.complete_with(
-            mnemonic,
-            TraceEventKind::MemTransaction,
-            sm_id,
-            ev.warp,
-            issued_at,
-            done_at.saturating_sub(issued_at).max(1),
-            &[("pc", pc as u64), ("lines", line_count), ("lanes", ok.len() as u64)],
-        );
-    }
-
-    // Data movement.
-    let mut writes = pool.take_pairs();
-    if is_store {
-        for lm in &ok {
-            shared.memory.write(lm.vaddr, lm.store_value, width);
-        }
-    } else {
-        for lm in &ok {
-            writes.push((lm.lane, shared.memory.read(lm.vaddr, width)));
-        }
-    }
-    pool.put_lane_mem(ok);
-    pool.put_lines(metadata_addrs);
-    OpResult {
-        dst,
-        pair,
-        write_width: width,
-        writes,
-        ready_at: None,
-        verdict_at: None,
-        ready_mem_at: if is_store { None } else { Some(done_at) },
-        advance_pc: true,
-        retire: false,
     }
 }
 
 // ---------------------------------------------------------------------------
-// Serial driver.
-
-/// The single-thread schedule: phases A, B, C per SM, SMs in order — the
-/// exact sequence the original monolithic `Sm::step` executed.
-fn run_serial(sms: &mut [Sm], shared: &mut SharedCtx<'_>) -> u64 {
-    let mut events: Vec<CycleEvents> = sms.iter().map(|_| CycleEvents::default()).collect();
-    let mut cycle: u64 = 0;
-    loop {
-        let mut issued_any = false;
-        let mut next_ready = u64::MAX;
-        for (sm, ev) in sms.iter_mut().zip(events.iter_mut()) {
-            let outcome = sm.step_phase_a(cycle, shared.cfg, ev);
-            issued_any |= outcome.issued_any;
-            next_ready = next_ready.min(outcome.next_ready);
-            apply_cycle(sm.id, ev, cycle, shared);
-            sm.apply_results(ev, cycle);
-        }
-        if sms.iter().all(|sm| sm.all_done()) {
-            break;
-        }
-        cycle = if issued_any || next_ready == u64::MAX {
-            cycle + 1
-        } else {
-            // Fast-forward over scoreboard stalls.
-            next_ready.max(cycle + 1)
-        };
-        debug_assert!(cycle < 1_000_000_000, "runaway simulation");
-    }
-    cycle
-}
-
-// ---------------------------------------------------------------------------
-// Parallel driver.
-
-struct SmSlot {
-    sm: Sm,
-    events: CycleEvents,
-}
+// The cycle loop.
 
 /// Per-cycle reduction accumulator (one of two, indexed by iteration
 /// parity: the off-parity buffer is reset by the leader during phase B
@@ -578,8 +750,7 @@ impl CycleAcc {
 }
 
 /// Decides the next cycle from a fully-accumulated [`CycleAcc`]; `None`
-/// terminates. Pure, so every thread reaches the same answer. Mirrors the
-/// serial loop's advance exactly.
+/// terminates. Pure, so every thread reaches the same answer.
 fn advance(now: u64, acc: &CycleAcc) -> Option<u64> {
     if acc.all_done.load(SeqCst) {
         return None;
@@ -587,6 +758,7 @@ fn advance(now: u64, acc: &CycleAcc) -> Option<u64> {
     let next = if acc.issued_any.load(SeqCst) || acc.next_ready.load(SeqCst) == u64::MAX {
         now + 1
     } else {
+        // Fast-forward over scoreboard stalls.
         acc.next_ready.load(SeqCst).max(now + 1)
     };
     debug_assert!(next < 1_000_000_000, "runaway simulation");
@@ -671,7 +843,8 @@ impl Ctl {
 }
 
 fn phase_a_range(
-    slots: &[Mutex<SmSlot>],
+    slots: &[RwLock<SmSlot<'_>>],
+    machine: &Machine<'_>,
     range: &Range<usize>,
     now: u64,
     cfg: &GpuConfig,
@@ -680,9 +853,9 @@ fn phase_a_range(
     let mut issued = false;
     let mut next = u64::MAX;
     for slot in &slots[range.clone()] {
-        let mut s = slot.lock().unwrap();
-        let SmSlot { sm, events } = &mut *s;
-        let outcome = sm.step_phase_a(now, cfg, events);
+        let mut s = slot.write().unwrap();
+        let SmSlot { sm, l1, events } = &mut *s;
+        let outcome = sm.step_phase_a(now, cfg, events, l1, &machine.router);
         issued |= outcome.issued_any;
         next = next.min(outcome.next_ready);
     }
@@ -692,12 +865,18 @@ fn phase_a_range(
     acc.next_ready.fetch_min(next, SeqCst);
 }
 
-fn phase_c_range(slots: &[Mutex<SmSlot>], range: &Range<usize>, now: u64, acc: &CycleAcc) {
+fn phase_c_range(
+    slots: &[RwLock<SmSlot<'_>>],
+    range: &Range<usize>,
+    now: u64,
+    cfg: &GpuConfig,
+    acc: &CycleAcc,
+) {
     let mut all = true;
     for slot in &slots[range.clone()] {
-        let mut s = slot.lock().unwrap();
-        let SmSlot { sm, events } = &mut *s;
-        sm.apply_results(events, now);
+        let mut s = slot.write().unwrap();
+        let SmSlot { sm, events, .. } = &mut *s;
+        sm.apply_results(events, now, cfg);
         all &= sm.all_done();
     }
     if !all {
@@ -705,19 +884,61 @@ fn phase_c_range(slots: &[Mutex<SmSlot>], range: &Range<usize>, now: u64, acc: &
     }
 }
 
-fn worker_loop(slots: &[Mutex<SmSlot>], range: Range<usize>, cfg: &GpuConfig, ctl: &Ctl) {
+/// The conditional bank barriers of one cycle: every thread reads the
+/// schedule flags (published by the leader before the B-check barrier
+/// released), so the barrier count always agrees. Returns `false` on
+/// poisoning.
+fn bank_sync_phases(
+    slots: &[RwLock<SmSlot<'_>>],
+    machine: &Machine<'_>,
+    now: u64,
+    t: usize,
+    threads: usize,
+    ctl: &Ctl,
+    sense: &mut bool,
+) -> bool {
+    if machine.meta_flag.load(SeqCst) {
+        ctl.guard(|| meta_pass(slots, machine, now, t, threads));
+        if !ctl.sync(sense) {
+            return false;
+        }
+    }
+    if machine.bank_flag.load(SeqCst) {
+        ctl.guard(|| bank_pass(slots, machine, now, t, threads));
+        if !ctl.sync(sense) {
+            return false;
+        }
+    }
+    true
+}
+
+fn worker_loop(
+    slots: &[RwLock<SmSlot<'_>>],
+    machine: &Machine<'_>,
+    range: Range<usize>,
+    t: usize,
+    threads: usize,
+    cfg: &GpuConfig,
+    ctl: &Ctl,
+) {
     let mut sense = false;
     let mut now = 0u64;
     let mut parity = 0usize;
     loop {
-        ctl.guard(|| phase_a_range(slots, &range, now, cfg, &ctl.acc[parity]));
+        ctl.guard(|| phase_a_range(slots, machine, &range, now, cfg, &ctl.acc[parity]));
         if !ctl.sync(&mut sense) {
             break; // A-done
         }
         if !ctl.sync(&mut sense) {
-            break; // B-done (the leader applied shared state)
+            break; // B-check done (the leader ran the serial section)
         }
-        ctl.guard(|| phase_c_range(slots, &range, now, &ctl.acc[parity]));
+        if !bank_sync_phases(slots, machine, now, t, threads, ctl, &mut sense) {
+            break;
+        }
+        if machine.tracer_on && !ctl.sync(&mut sense) {
+            break; // B-final done (leader-only span emission)
+        }
+        ctl.guard(|| phase_c_range(slots, &range, now, cfg, &ctl.acc[parity]));
         if !ctl.sync(&mut sense) {
             break; // C-done
         }
@@ -730,28 +951,32 @@ fn worker_loop(slots: &[Mutex<SmSlot>], range: Range<usize>, cfg: &GpuConfig, ct
 }
 
 fn leader_loop(
-    slots: &[Mutex<SmSlot>],
+    slots: &[RwLock<SmSlot<'_>>],
+    machine: &Machine<'_>,
     range: Range<usize>,
-    shared: &mut SharedCtx<'_>,
+    threads: usize,
+    leader: &mut LeaderCtx<'_, '_>,
     ctl: &Ctl,
 ) -> u64 {
-    let cfg = *shared.cfg;
+    let cfg = *leader.cfg;
     let mut sense = false;
     let mut now = 0u64;
     let mut parity = 0usize;
     loop {
-        ctl.guard(|| phase_a_range(slots, &range, now, &cfg, &ctl.acc[parity]));
+        ctl.guard(|| phase_a_range(slots, machine, &range, now, &cfg, &ctl.acc[parity]));
         if !ctl.sync(&mut sense) {
             break;
         }
-        // Phase B: shared state, ascending SM order. The leader is the
-        // calling thread, so `&mut dyn Mechanism` / `&mut TelemetrySink`
-        // never cross a thread boundary.
+        // Phase B-check: the serial section, ascending slot order. The
+        // schedule flags are published before the barrier releases, so
+        // every thread agrees on this cycle's barrier count.
         ctl.guard(|| {
-            for slot in slots {
-                let mut s = slot.lock().unwrap();
-                let SmSlot { sm, events } = &mut *s;
-                apply_cycle(sm.id, events, now, shared);
+            machine.meta_flag.store(false, SeqCst);
+            machine.bank_flag.store(false, SeqCst);
+            for (slot_idx, slot) in slots.iter().enumerate() {
+                let mut s = slot.write().unwrap();
+                let SmSlot { sm, events, .. } = &mut *s;
+                apply_cycle(sm.id, slot_idx, events, now, machine, leader);
             }
             // Workers are parked between the A and C barriers: safe to
             // recycle the off-parity accumulator for the next cycle.
@@ -760,7 +985,16 @@ fn leader_loop(
         if !ctl.sync(&mut sense) {
             break;
         }
-        ctl.guard(|| phase_c_range(slots, &range, now, &ctl.acc[parity]));
+        if !bank_sync_phases(slots, machine, now, 0, threads, ctl, &mut sense) {
+            break;
+        }
+        if machine.tracer_on {
+            ctl.guard(|| b_final(slots, leader, now));
+            if !ctl.sync(&mut sense) {
+                break;
+            }
+        }
+        ctl.guard(|| phase_c_range(slots, &range, now, &cfg, &ctl.acc[parity]));
         if !ctl.sync(&mut sense) {
             break;
         }
@@ -771,35 +1005,4 @@ fn leader_loop(
         parity ^= 1;
     }
     now
-}
-
-fn run_parallel(sms: &mut Vec<Sm>, shared: &mut SharedCtx<'_>, threads: usize) -> u64 {
-    let n = sms.len();
-    let slots: Vec<Mutex<SmSlot>> =
-        sms.drain(..).map(|sm| Mutex::new(SmSlot { sm, events: CycleEvents::default() })).collect();
-    // Contiguous SM ranges; the remainder goes to the front groups.
-    let (base, rem) = (n / threads, n % threads);
-    let mut ranges = Vec::with_capacity(threads);
-    let mut start = 0;
-    for t in 0..threads {
-        let len = base + usize::from(t < rem);
-        ranges.push(start..start + len);
-        start += len;
-    }
-    let ctl = Ctl::new(threads);
-    let cfg = *shared.cfg;
-    let mut final_cycle = 0u64;
-    std::thread::scope(|scope| {
-        for range in ranges[1..].iter().cloned() {
-            let slots = &slots;
-            let ctl = &ctl;
-            scope.spawn(move || worker_loop(slots, range, &cfg, ctl));
-        }
-        final_cycle = leader_loop(&slots, ranges[0].clone(), shared, &ctl);
-    });
-    sms.extend(slots.into_iter().map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()).sm));
-    if let Some(payload) = ctl.payload.lock().unwrap_or_else(|e| e.into_inner()).take() {
-        panic::resume_unwind(payload);
-    }
-    final_cycle
 }

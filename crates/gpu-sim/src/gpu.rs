@@ -9,7 +9,7 @@ use std::sync::Arc;
 use lmi_alloc::{AlignmentPolicy, DeviceHeap};
 use lmi_core::PtrConfig;
 use lmi_isa::DecodedStream;
-use lmi_mem::{layout, CacheStats, MemoryHierarchy, SparseMemory};
+use lmi_mem::{layout, BankedHierarchy, BankedMemory, Cache, CacheStats};
 use lmi_telemetry::{Scope, TelemetrySink};
 
 use crate::config::GpuConfig;
@@ -81,9 +81,16 @@ pub struct ResidentOutcome {
 /// launch again — the pattern the security suite and the examples use.
 pub struct Gpu {
     cfg: GpuConfig,
-    hierarchy: MemoryHierarchy,
-    /// Functional backing store for all address spaces.
-    pub memory: SparseMemory,
+    /// Per-SM L1 caches. SM-local state (probed in phase A), but owned
+    /// here so warmth and statistics persist across launches; each run
+    /// lends the engine one `&mut Cache` per participating SM.
+    l1: Vec<Cache>,
+    /// The banked shared memory system: L2 slices, MSHRs, DRAM channel
+    /// groups (`cfg.mem_banks` address-interleaved banks).
+    hierarchy: BankedHierarchy,
+    /// Functional backing store for all address spaces, sharded like the
+    /// timing hierarchy.
+    pub memory: BankedMemory,
     heap: DeviceHeap,
 }
 
@@ -96,10 +103,12 @@ impl Gpu {
     /// Creates a GPU with an explicit device-heap policy (the unprotected
     /// baseline uses [`AlignmentPolicy::CudaDefault`]).
     pub fn with_heap_policy(cfg: GpuConfig, policy: AlignmentPolicy) -> Gpu {
+        let banks = cfg.resolve_mem_banks();
         Gpu {
             cfg,
-            hierarchy: MemoryHierarchy::new(cfg.hierarchy),
-            memory: SparseMemory::new(),
+            l1: (0..cfg.num_sms).map(|_| Cache::new(cfg.hierarchy.l1)).collect(),
+            hierarchy: BankedHierarchy::new(cfg.hierarchy, banks),
+            memory: BankedMemory::new(banks, cfg.hierarchy.l2.line_bytes),
             heap: DeviceHeap::new(
                 PtrConfig::default(),
                 policy,
@@ -120,19 +129,34 @@ impl Gpu {
         &self.heap
     }
 
-    /// Total DRAM transactions issued so far.
+    /// Total DRAM transactions issued so far (summed over banks).
     pub fn dram_transactions(&self) -> u64 {
         self.hierarchy.dram_transactions()
     }
 
     /// L1 statistics for one SM.
     pub fn l1_stats(&self, sm: usize) -> lmi_mem::CacheStats {
-        self.hierarchy.l1_stats(sm)
+        self.l1[sm].stats()
     }
 
-    /// Shared L2 statistics.
+    /// Shared L2 statistics (summed over banks).
     pub fn l2_stats(&self) -> lmi_mem::CacheStats {
         self.hierarchy.l2_stats()
+    }
+
+    /// The effective memory-bank count this GPU was built with.
+    pub fn mem_banks(&self) -> usize {
+        self.hierarchy.num_banks()
+    }
+
+    /// Per-bank L2 statistics (index = bank id).
+    pub fn l2_stats_per_bank(&self) -> Vec<lmi_mem::CacheStats> {
+        self.hierarchy.banks().iter().map(|b| b.l2_stats()).collect()
+    }
+
+    /// Per-bank DRAM transaction counts (index = bank id).
+    pub fn dram_transactions_per_bank(&self) -> Vec<u64> {
+        self.hierarchy.banks().iter().map(|b| b.dram_transactions()).collect()
     }
 
     /// Runs one kernel to completion under `mechanism`; returns statistics.
@@ -211,7 +235,7 @@ impl Gpu {
         // Snapshot the persistent hierarchy counters so the stats report
         // this run's delta, not the GPU's lifetime totals.
         let l1_before: Vec<CacheStats> =
-            (0..self.cfg.num_sms).map(|sm| self.hierarchy.l1_stats(sm)).collect();
+            (0..self.cfg.num_sms).map(|sm| self.l1[sm].stats()).collect();
         let l2_before = self.hierarchy.l2_stats();
         let mshr_before = self.hierarchy.mshr_merges();
         let dram_before = self.hierarchy.dram_transactions();
@@ -231,7 +255,7 @@ impl Gpu {
                 cfg: &self.cfg,
                 sink: &mut *sink,
             };
-            engine::run(&mut sms, &mut shared, threads)
+            engine::run(&mut sms, self.l1.iter_mut().collect(), &mut shared, threads)
         };
         stats.cycles = cycle.max(1);
 
@@ -239,9 +263,8 @@ impl Gpu {
             hits: after.hits - before.hits,
             misses: after.misses - before.misses,
         };
-        stats.l1_per_sm = (0..self.cfg.num_sms)
-            .map(|sm| delta(self.hierarchy.l1_stats(sm), l1_before[sm]))
-            .collect();
+        stats.l1_per_sm =
+            (0..self.cfg.num_sms).map(|sm| delta(self.l1[sm].stats(), l1_before[sm])).collect();
         stats.l2 = delta(self.hierarchy.l2_stats(), l2_before);
         stats.mshr_merges = self.hierarchy.mshr_merges() - mshr_before;
         stats.dram_transactions = self.hierarchy.dram_transactions() - dram_before;
@@ -336,7 +359,7 @@ impl Gpu {
         sms.sort_by_key(|sm| sm.id);
 
         let l1_before: Vec<CacheStats> =
-            (0..self.cfg.num_sms).map(|sm| self.hierarchy.l1_stats(sm)).collect();
+            (0..self.cfg.num_sms).map(|sm| self.l1[sm].stats()).collect();
         let l2_before = self.hierarchy.l2_stats();
         let mshr_before = self.hierarchy.mshr_merges();
         let dram_before = self.hierarchy.dram_transactions();
@@ -361,7 +384,23 @@ impl Gpu {
                 cfg: &self.cfg,
                 sink: &mut *sink,
             };
-            engine::run(&mut sms, &mut shared, threads)
+            // One L1 per participating SM, aligned with `sms` (both are in
+            // ascending SM-id order; partitions are disjoint).
+            let used: Vec<bool> = {
+                let mut used = vec![false; self.cfg.num_sms];
+                for sm in &sms {
+                    used[sm.id] = true;
+                }
+                used
+            };
+            let l1s: Vec<&mut Cache> = self
+                .l1
+                .iter_mut()
+                .enumerate()
+                .filter(|(id, _)| used[*id])
+                .map(|(_, c)| c)
+                .collect();
+            engine::run(&mut sms, l1s, &mut shared, threads)
         };
 
         let delta = |after: CacheStats, before: CacheStats| CacheStats {
@@ -381,11 +420,8 @@ impl Gpu {
                 .max()
                 .unwrap_or(job.start_offset);
             st.cycles = completed_at.saturating_sub(job.start_offset).max(1);
-            st.l1_per_sm = job
-                .partition
-                .clone()
-                .map(|sm| delta(self.hierarchy.l1_stats(sm), l1_before[sm]))
-                .collect();
+            st.l1_per_sm =
+                job.partition.clone().map(|sm| delta(self.l1[sm].stats(), l1_before[sm])).collect();
             kernels.push(KernelOutcome { stats: st, completed_at });
         }
 

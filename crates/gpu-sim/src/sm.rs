@@ -5,20 +5,25 @@
 //! bit-identical to serial execution:
 //!
 //! * **Phase A** (`Sm::step_phase_a`) — scheduling, operand fetch, ALU
-//!   execution and address generation. Touches *only* this SM's state
-//!   (warps, decoded stream, launch context), so any number of SMs can run
-//!   phase A concurrently. Operations that must touch shared state (the
-//!   memory hierarchy, the functional store, the device heap, the
-//!   mechanism, statistics, telemetry) are not executed; they are recorded
-//!   as `SharedOp`s on the cycle's `IssueEvent` list.
-//! * **Phase B** (`engine::apply_cycle`) — a single thread walks every SM's
-//!   events in canonical (sm, scheduler) order and applies the shared
-//!   operations, producing an `OpResult` per deferred op. Because the
-//!   walk order is fixed, cache hit/miss sequences, heap allocation order,
-//!   counters and forensics are independent of the thread count.
+//!   execution, address generation, and the SM-local L1 probe. Touches
+//!   *only* this SM's state (warps, decoded stream, launch context, its
+//!   own L1), so any number of SMs can run phase A concurrently. L1 hits
+//!   never cross the barrier; L1-missed lines and per-lane data movement
+//!   are routed into per-bank queues (`BankReq`) for the bank-parallel
+//!   apply. Operations that must touch genuinely global state (the device
+//!   heap, the mechanism, statistics, telemetry) are recorded as
+//!   `SharedOp`s on the cycle's `IssueEvent` list.
+//! * **Phase B** (`engine`) — a thin leader step walks every SM's events
+//!   in canonical (sm, scheduler) order: mechanism checks (producing a
+//!   `MemVerdict` per memory op), heap calls, stats/counter/tracer
+//!   absorption. Then the address-interleaved memory banks apply their
+//!   queues concurrently — each bank in canonical order, so cache hit/miss
+//!   sequences, heap allocation order, counters and forensics are
+//!   independent of both the thread count and the bank count.
 //! * **Phase C** (`Sm::apply_results`) — each SM (again concurrently)
 //!   writes the phase-B results back into its warps: register writes,
 //!   scoreboard ready times, pc advance, retirement, barrier release.
+//!   Memory-op timing is assembled here from the bank-written atomics.
 //!
 //! Deferred results only become architecturally visible at the next cycle
 //! (loads have multi-cycle latency; the issuing warp cannot issue again
@@ -35,11 +40,12 @@
 //! payload (`SharedOp`/`OpResult` lane and line lists) is drawn from the
 //! per-SM `EventPool` and returned to it after application.
 
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::sync::Arc;
 
 use lmi_core::ptr::ADDR_MASK;
 use lmi_isa::{abi, DecodedInstr, DecodedStream, MemSpace, Opcode, OpcodeClass, Operand, Reg};
-use lmi_mem::layout;
+use lmi_mem::{layout, BankRouter, Cache};
 use lmi_telemetry::{SmSample, WarpState};
 
 use crate::config::{GpuConfig, WARP_SIZE};
@@ -155,15 +161,16 @@ pub(crate) struct LaneMem {
 }
 
 /// A shared-state operation deferred from phase A to phase B.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub(crate) enum SharedOp {
     /// A hint-marked wide integer op with at least one active lane: the
     /// mechanism's OCU check runs in phase B. `(lane, input, raw_result)`.
     MarkedInt { dst: Reg, pair: bool, lanes: Vec<(usize, u64, u64)> },
     /// A device-heap call. `(lane, size_or_ptr)`.
     Heap { dst: Reg, pair: bool, malloc: bool, lanes: Vec<(usize, u64)> },
-    /// A non-constant memory access. `lines` is the coalesced line list for
-    /// the no-fault case (recomputed in phase B if a lane faults).
+    /// A non-constant memory access. Timing and data movement were routed
+    /// into the per-bank queues during phase A; the leader's B-check only
+    /// runs the mechanism and accounting on `lanes`.
     Mem {
         dst: Reg,
         pair: bool,
@@ -171,8 +178,47 @@ pub(crate) enum SharedOp {
         is_store: bool,
         space: MemSpace,
         lanes: Vec<LaneMem>,
-        lines: Vec<u64>,
+        /// Coalesced line count (1 for shared-space ops): the transaction
+        /// count charged by the B-check.
+        line_count: u64,
+        /// At least one coalesced line hit the SM-local L1 in phase A.
+        l1_hit: bool,
+        /// Bank-queue entries this op contributed (fills + moves), for the
+        /// `phase_b_banked_items` stat.
+        bank_items: u32,
+        /// Per-lane load data, OR-combined by the owning bank(s); indexed
+        /// like `lanes`. Empty for stores.
+        atoms: Vec<AtomicU64>,
     },
+}
+
+/// One entry of a per-SM per-bank queue, enqueued during phase A and
+/// applied by the owning bank's worker in canonical (SM, issue, queue)
+/// order. `op` indexes the SM's [`CycleEvents::issues`] list; addresses
+/// are bank-compacted ([`BankRouter::localize`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum BankReq {
+    /// Timing: an L1-missed coalesced line fill through the bank's
+    /// L2/MSHR/DRAM slice.
+    Fill { op: u32, local: u64 },
+    /// Functional: one lane's data movement (one part of it, if the access
+    /// straddles a line boundary). For stores `value` carries the
+    /// pre-shifted store bytes; for loads the bank ORs
+    /// `read(local, width) << 8*shift` into the op's lane atom.
+    Move { op: u32, lane_pos: u16, local: u64, width: u8, shift: u8, value: u64 },
+}
+
+/// The leader B-check's verdict on one memory op, consumed by the bank
+/// passes (gating) and phase C (assembly).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MemVerdict {
+    /// Lanes that passed the mechanism check.
+    pub survivors: LaneMask,
+    /// The op faulted under `halt_on_violation`: no timing, no data
+    /// movement, the warp halts.
+    pub cancelled: bool,
+    /// Extra completion latency charged by the mechanism.
+    pub extra_cycles: u32,
 }
 
 /// Phase-B outcome of a deferred op, applied to the warp in phase C.
@@ -210,6 +256,15 @@ pub(crate) struct IssueEvent {
     pub retired_local: bool,
     pub shared: Option<SharedOp>,
     pub result: Option<OpResult>,
+    /// B-check verdict for a deferred memory op (`None` otherwise).
+    pub verdict: Option<MemVerdict>,
+    /// Completion cycle of this op's metadata fetches (`fetch_max`ed by the
+    /// banks' metadata pass; 0 when the mechanism fetched none). Atomic
+    /// because several banks may fetch for one op concurrently.
+    pub meta_done: AtomicU64,
+    /// Completion cycle of this op's slowest L1-missed line fill
+    /// (`fetch_max`ed by the banks' data pass; 0 when every line hit L1).
+    pub data_done: AtomicU64,
 }
 
 /// Typed freelists for the deferred-op payload buffers. Phase A draws
@@ -223,6 +278,7 @@ pub(crate) struct EventPool {
     pairs: Vec<Vec<(usize, u64)>>,
     triples: Vec<Vec<(usize, u64, u64)>>,
     lines: Vec<Vec<u64>>,
+    atoms: Vec<Vec<AtomicU64>>,
 }
 
 impl EventPool {
@@ -261,6 +317,15 @@ impl EventPool {
         v.clear();
         self.lines.push(v);
     }
+
+    pub fn take_atoms(&mut self) -> Vec<AtomicU64> {
+        self.atoms.pop().unwrap_or_default()
+    }
+
+    pub fn put_atoms(&mut self, mut v: Vec<AtomicU64>) {
+        v.clear();
+        self.atoms.push(v);
+    }
 }
 
 /// Everything one SM produced in one cycle.
@@ -275,6 +340,11 @@ pub(crate) struct CycleEvents {
     pub sample: Option<SmSample>,
     /// Recycled payload buffers; survives `clear()` by design.
     pub pool: EventPool,
+    /// Per-bank request queues filled during phase A and drained by the
+    /// banks' apply passes, in canonical intra-SM order. Sized once per
+    /// run ([`CycleEvents::ensure_banks`]); inner capacity survives
+    /// `clear()` so the steady state stays allocation-free.
+    pub bank_q: Vec<Vec<BankReq>>,
 }
 
 impl CycleEvents {
@@ -282,6 +352,43 @@ impl CycleEvents {
         self.issues.clear();
         self.stalls = [0; 4];
         self.sample = None;
+        for q in &mut self.bank_q {
+            q.clear();
+        }
+    }
+
+    /// Sizes the per-bank queues for `banks` banks (run start).
+    pub fn ensure_banks(&mut self, banks: usize) {
+        if self.bank_q.len() != banks {
+            self.bank_q.resize_with(banks, Vec::new);
+        }
+    }
+}
+
+impl IssueEvent {
+    /// Completion cycle of a deferred memory op, assembled from the
+    /// bank-written atomics: metadata fetches gate the access start
+    /// (check-before-access), then the slowest of the bank fills, the
+    /// SM-local L1 hit path and the shared-memory path completes it, plus
+    /// the mechanism's extra latency. `None` for non-memory events and for
+    /// cancelled (halting) accesses.
+    pub fn mem_done_at(&self, now: u64, cfg: &GpuConfig) -> Option<u64> {
+        let Some(SharedOp::Mem { space, l1_hit, .. }) = &self.shared else {
+            return None;
+        };
+        let v = self.verdict.as_ref()?;
+        if v.cancelled {
+            return None;
+        }
+        let start = now.max(self.meta_done.load(SeqCst));
+        let mut done = start.max(self.data_done.load(SeqCst));
+        if *l1_hit {
+            done = done.max(start + cfg.hierarchy.l1.hit_latency as u64);
+        }
+        if *space == MemSpace::Shared {
+            done = done.max(start + cfg.hierarchy.shared_latency as u64);
+        }
+        Some(done + v.extra_cycles as u64)
     }
 }
 
@@ -330,13 +437,16 @@ impl Sm {
     }
 
     /// Phase A of one cycle: each scheduler issues at most one instruction
-    /// (GTO pick), executing SM-local work immediately and recording
-    /// shared-state work into `out`. Reads no shared state.
+    /// (GTO pick), executing SM-local work immediately — including the
+    /// probe of this SM's own L1 (`l1`) — and recording shared-state work
+    /// into `out` (bank-routed via `router`). Reads no shared state.
     pub fn step_phase_a(
         &mut self,
         now: u64,
         cfg: &GpuConfig,
         out: &mut CycleEvents,
+        l1: &mut Cache,
+        router: &BankRouter,
     ) -> StepOutcome {
         out.clear();
         if self.greedy.len() != cfg.schedulers_per_sm {
@@ -413,8 +523,10 @@ impl Sm {
             }
             match picked {
                 Some(w) => {
-                    let CycleEvents { issues, pool, .. } = out;
-                    let ev = self.issue_phase_a(&stream, w, now, cfg, pool);
+                    let CycleEvents { issues, pool, bank_q, .. } = out;
+                    let op_idx = issues.len() as u32;
+                    let ev =
+                        self.issue_phase_a(&stream, w, now, cfg, pool, bank_q, op_idx, l1, router);
                     issues.push(ev);
                     self.greedy[sched] = Some(w);
                     issued_any = true;
@@ -475,11 +587,49 @@ impl Sm {
 
     /// Phase C: applies phase-B results to the warps (in issue order) and
     /// releases block barriers — the tail of what the serial step used to
-    /// do after executing each instruction. `now` stamps `done_cycle` the
-    /// first time the SM drains.
-    pub fn apply_results(&mut self, events: &mut CycleEvents, now: u64) {
+    /// do after executing each instruction. Memory-op completion times are
+    /// assembled here from the bank-written atomics (SM-local again, so
+    /// phase C stays fully parallel). `now` stamps `done_cycle` the first
+    /// time the SM drains.
+    pub fn apply_results(&mut self, events: &mut CycleEvents, now: u64, cfg: &GpuConfig) {
         let CycleEvents { issues, pool, .. } = events;
         for ev in issues.iter_mut() {
+            // Completion time first: `mem_done_at` borrows the shared op
+            // this branch consumes.
+            let mem_done = ev.mem_done_at(now, cfg);
+            if let Some(SharedOp::Mem { dst, pair, width, is_store, lanes, atoms, .. }) =
+                ev.shared.take()
+            {
+                let v = ev.verdict.expect("mem op carries a B-check verdict");
+                let warp = &mut self.warps[ev.warp];
+                if v.cancelled {
+                    // The faulting access never issues: no pc advance, the
+                    // warp halts (`halt_on_violation`).
+                    warp.stack.clear();
+                    warp.retire_lanes(warp.mask);
+                } else {
+                    if !is_store {
+                        let done = mem_done.expect("live mem op has a completion time");
+                        for (pos, lm) in lanes.iter().enumerate() {
+                            if v.survivors & (1 << lm.lane) != 0 {
+                                let value = atoms[pos].load(SeqCst);
+                                if width == 8 {
+                                    warp.write64(lm.lane, dst, value);
+                                } else {
+                                    warp.write(lm.lane, dst, value as u32);
+                                }
+                            }
+                        }
+                        warp.set_ready_at_mem(dst, done);
+                        if pair {
+                            warp.set_ready_at_mem(dst.pair_high(), done);
+                        }
+                    }
+                    warp.pc += 1;
+                }
+                pool.put_lane_mem(lanes);
+                pool.put_atoms(atoms);
+            }
             if let Some(mut r) = ev.result.take() {
                 let warp = &mut self.warps[ev.warp];
                 for &(l, v) in &r.writes {
@@ -581,7 +731,9 @@ impl Sm {
     }
 
     /// Issues warp `w`'s next instruction: local work executes now, shared
-    /// work is recorded on the returned event.
+    /// work is recorded on the returned event (memory timing/data routed
+    /// into `bank_q` under this event's index `op_idx`).
+    #[allow(clippy::too_many_arguments)]
     fn issue_phase_a(
         &mut self,
         stream: &DecodedStream,
@@ -589,6 +741,10 @@ impl Sm {
         now: u64,
         cfg: &GpuConfig,
         pool: &mut EventPool,
+        bank_q: &mut [Vec<BankReq>],
+        op_idx: u32,
+        l1: &mut Cache,
+        router: &BankRouter,
     ) -> IssueEvent {
         let warp = &mut self.warps[w];
         let mut ev = IssueEvent {
@@ -603,6 +759,9 @@ impl Sm {
             retired_local: false,
             shared: None,
             result: None,
+            verdict: None,
+            meta_done: AtomicU64::new(0),
+            data_done: AtomicU64::new(0),
         };
         let di = match stream.get(warp.pc) {
             Some(d) => d,
@@ -725,7 +884,9 @@ impl Sm {
                 warp.pc += 1;
             }
             op if op.is_mem() => {
-                self.issue_mem_phase_a(w, di, exec_mask, now, cfg, &mut ev, pool);
+                self.issue_mem_phase_a(
+                    w, di, exec_mask, now, cfg, &mut ev, pool, bank_q, op_idx, l1, router,
+                );
             }
             other => panic!("unhandled opcode {other}"),
         }
@@ -868,6 +1029,10 @@ impl Sm {
         cfg: &GpuConfig,
         ev: &mut IssueEvent,
         pool: &mut EventPool,
+        bank_q: &mut [Vec<BankReq>],
+        op_idx: u32,
+        l1: &mut Cache,
+        router: &BankRouter,
     ) {
         let mem = di.mem.expect("memory instruction carries a MemRef");
         let space = di.mem_space.unwrap_or(MemSpace::Global);
@@ -955,13 +1120,61 @@ impl Sm {
                 store_value,
             });
         }
-        let mut lines = pool.take_lines();
+        // Timing: probe this SM's own L1 on the coalesced lines right here
+        // in phase A (SM-local state — hits never cross the barrier) and
+        // route the misses to their owning banks. Shared-space accesses use
+        // the fixed shared-memory path and count as one transaction.
+        let mut line_count = 1u64;
+        let mut l1_hit = false;
+        let mut bank_items = 0u32;
         if space != MemSpace::Shared {
+            let mut lines = pool.take_lines();
             coalesce_into(
                 lanes.iter().map(|m| m.timing_addr),
                 cfg.hierarchy.l1.line_bytes,
                 &mut lines,
             );
+            line_count = lines.len() as u64;
+            for &line in lines.iter() {
+                if l1.access(line) {
+                    l1_hit = true;
+                } else {
+                    bank_q[router.bank_of(line)]
+                        .push(BankReq::Fill { op: op_idx, local: router.localize(line) });
+                    bank_items += 1;
+                }
+            }
+            pool.put_lines(lines);
+        }
+        // Data movement: route every lane's bytes to the bank(s) owning its
+        // virtual address (a straddling access splits at the line boundary).
+        // Loads draw a pooled atom per lane for the banks to OR into.
+        let mut atoms = pool.take_atoms();
+        for (pos, lm) in lanes.iter().enumerate() {
+            if !is_store {
+                atoms.push(AtomicU64::new(0));
+            }
+            let (w1, rest) = router.split(lm.vaddr, mem.width as u64);
+            bank_q[router.bank_of(lm.vaddr)].push(BankReq::Move {
+                op: op_idx,
+                lane_pos: pos as u16,
+                local: router.localize(lm.vaddr),
+                width: w1 as u8,
+                shift: 0,
+                value: lm.store_value,
+            });
+            bank_items += 1;
+            if let Some((addr2, w2)) = rest {
+                bank_q[router.bank_of(addr2)].push(BankReq::Move {
+                    op: op_idx,
+                    lane_pos: pos as u16,
+                    local: router.localize(addr2),
+                    width: w2 as u8,
+                    shift: w1 as u8,
+                    value: lm.store_value >> (8 * w1),
+                });
+                bank_items += 1;
+            }
         }
         ev.shared = Some(SharedOp::Mem {
             dst: di.dst,
@@ -970,7 +1183,10 @@ impl Sm {
             is_store,
             space,
             lanes,
-            lines,
+            line_count,
+            l1_hit,
+            bank_items,
+            atoms,
         });
     }
 

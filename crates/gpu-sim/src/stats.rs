@@ -101,6 +101,15 @@ pub struct SimStats {
     /// Sampling-profiler output (warp states, stall reasons, hot PCs per
     /// SM). Empty unless [`crate::GpuConfig::sample_period`] is set.
     pub profile: KernelProfile,
+    /// Phase-B work units that must run on the single leader thread
+    /// (per-event mechanism checks, stats/counter absorption, heap calls).
+    /// Counted in deterministic work units — not wall time — so the value
+    /// is bit-identical across `sim_threads` and `mem_banks`.
+    pub phase_b_serial_items: u64,
+    /// Phase-B work units routed to the bank-parallel passes (L1-missed
+    /// line fills, per-lane data movement, metadata fetches). Same
+    /// determinism guarantee as [`SimStats::phase_b_serial_items`].
+    pub phase_b_banked_items: u64,
 }
 
 impl SimStats {
@@ -177,6 +186,18 @@ impl SimStats {
         self.l2.hit_rate()
     }
 
+    /// Fraction of phase-B work units that stay on the single leader
+    /// thread (the serial section the bank-sharded pipeline shrinks);
+    /// 0 when nothing was applied.
+    pub fn phase_b_serial_fraction(&self) -> f64 {
+        let total = self.phase_b_serial_items + self.phase_b_banked_items;
+        if total == 0 {
+            0.0
+        } else {
+            self.phase_b_serial_items as f64 / total as f64
+        }
+    }
+
     /// Machine-readable export of the whole record (the body of the bench
     /// binaries' `--json` reports).
     pub fn to_json(&self) -> Json {
@@ -229,6 +250,13 @@ impl SimStats {
             )
             .with("mshr_merges", self.mshr_merges)
             .with("dram_transactions", self.dram_transactions)
+            .with(
+                "phase_b",
+                Json::obj()
+                    .with("serial_items", self.phase_b_serial_items)
+                    .with("banked_items", self.phase_b_banked_items)
+                    .with("serial_fraction", self.phase_b_serial_fraction()),
+            )
             .with("violations", Json::Arr(violations))
             .with(
                 "forensics",
@@ -264,6 +292,15 @@ impl std::fmt::Display for SimStats {
             self.stalls.ocu_verdict,
             self.stalls.no_ready_warp
         )?;
+        if self.phase_b_serial_items + self.phase_b_banked_items > 0 {
+            writeln!(
+                f,
+                "phase-B serial    {:>12.3}  ({} serial / {} banked units)",
+                self.phase_b_serial_fraction(),
+                self.phase_b_serial_items,
+                self.phase_b_banked_items
+            )?;
+        }
         let l1 = self.l1_total();
         if l1.accesses() + self.l2.accesses() > 0 {
             writeln!(

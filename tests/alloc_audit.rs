@@ -51,8 +51,8 @@ fn audit_launch(iters: i32) -> Launch {
 }
 
 /// Runs the audit kernel and returns `(heap allocations, stats)`.
-fn measured_run(threads: usize, iters: i32) -> (u64, SimStats) {
-    let mut gpu = Gpu::new(GpuConfig::small().with_sim_threads(threads));
+fn measured_run(threads: usize, banks: usize, iters: i32) -> (u64, SimStats) {
+    let mut gpu = Gpu::new(GpuConfig::small().with_sim_threads(threads).with_mem_banks(banks));
     let mut mech = LmiMechanism::default_config();
     let launch = audit_launch(iters);
     let before = CountingAlloc::allocations();
@@ -63,13 +63,17 @@ fn measured_run(threads: usize, iters: i32) -> (u64, SimStats) {
 #[test]
 fn cycle_loop_is_allocation_free_after_warmup() {
     const N: i32 = 400;
-    for threads in [1, 2] {
+    // The banked configurations exercise the per-SM per-bank queues and
+    // the lane atoms: their capacity must be pool-retained like every
+    // other per-cycle buffer, so sharding adds launch-time allocations
+    // only, never per-cycle ones.
+    for (threads, banks) in [(1, 1), (2, 1), (1, 4), (2, 4)] {
         // Warm-up: absorbs lazy process-wide state (thread stacks, TLS,
         // allocator internals) so the measured pair sees identical setup.
-        let _ = measured_run(threads, N);
+        let _ = measured_run(threads, banks, N);
 
-        let (allocs_n, stats_n) = measured_run(threads, N);
-        let (allocs_2n, stats_2n) = measured_run(threads, 2 * N);
+        let (allocs_n, stats_n) = measured_run(threads, banks, N);
+        let (allocs_2n, stats_2n) = measured_run(threads, banks, 2 * N);
 
         assert!(!stats_n.violated() && !stats_2n.violated(), "audit kernel is violation-free");
         assert!(
@@ -81,9 +85,9 @@ fn cycle_loop_is_allocation_free_after_warmup() {
         assert_eq!(
             allocs_n,
             allocs_2n,
-            "heap allocations grew with cycle count at sim_threads={threads}: \
-             {allocs_n} for {N} iterations vs {allocs_2n} for {} — the cycle loop \
-             allocated in steady state",
+            "heap allocations grew with cycle count at sim_threads={threads} \
+             mem_banks={banks}: {allocs_n} for {N} iterations vs {allocs_2n} for {} — \
+             the cycle loop allocated in steady state",
             2 * N,
         );
     }

@@ -1,11 +1,14 @@
 //! Determinism of the parallel engine (`lmi-sim::engine`).
 //!
-//! The contract under test: for any workload, any mechanism, and any
-//! `sim_threads` setting, a run produces **bit-identical** results — the
-//! full `SimStats` record (cycles, per-SM L1 deltas, L2, MSHR, DRAM,
-//! violations, forensics), every scoped telemetry counter, the trace-event
-//! ring in arrival order, and the functional memory image. Thread count
-//! may only change wall-clock time.
+//! The contract under test: for any workload, any mechanism, any
+//! `sim_threads` setting, and any `mem_banks` setting, a run produces
+//! **bit-identical** results — the full `SimStats` record (cycles, per-SM
+//! L1 deltas, L2, MSHR, DRAM, violations, forensics), every scoped
+//! telemetry counter, the trace-event ring in arrival order, and the
+//! functional memory image. Thread count and bank count may only change
+//! wall-clock time. The bank-conflict suite additionally pins the
+//! per-bank L2/DRAM breakdown (it must re-aggregate to the run totals and
+//! be identical across thread counts at a fixed bank count).
 
 use lmi_alloc::AlignmentPolicy;
 use lmi_core::PtrConfig;
@@ -76,6 +79,84 @@ fn assert_thread_invariant(
 
 fn workload(name: &str) -> WorkloadSpec {
     all_workloads().into_iter().find(|w| w.name == name).unwrap()
+}
+
+/// Per-bank `(l2_hits, l2_misses, dram_transactions)` breakdown.
+type BankBreakdown = Vec<(u64, u64, u64)>;
+
+/// Runs `launch` with an explicit bank count, asserts that the per-bank
+/// L2/DRAM statistics re-aggregate exactly to the run totals, and returns
+/// the observable image plus the breakdown.
+fn run_banked_at(
+    cfg: GpuConfig,
+    threads: usize,
+    banks: usize,
+    launch: &Launch,
+    mechanism: &mut dyn Mechanism,
+    probe: &[u64],
+) -> (RunImage, BankBreakdown) {
+    let mut gpu = Gpu::new(cfg.with_sim_threads(threads).with_mem_banks(banks));
+    assert_eq!(gpu.mem_banks(), banks, "geometry must support {banks} banks");
+    let mut sink = TelemetrySink::with_trace_capacity(1 << 14);
+    let stats = gpu.run_with_telemetry(launch, mechanism, &mut sink);
+    let per_bank: BankBreakdown = gpu
+        .l2_stats_per_bank()
+        .iter()
+        .zip(gpu.dram_transactions_per_bank())
+        .map(|(l2, dram)| (l2.hits, l2.misses, dram))
+        .collect();
+    assert_eq!(per_bank.len(), banks);
+    let l2_hits: u64 = per_bank.iter().map(|b| b.0).sum();
+    let l2_misses: u64 = per_bank.iter().map(|b| b.1).sum();
+    let dram: u64 = per_bank.iter().map(|b| b.2).sum();
+    // Fresh GPU per run, so the run delta IS the lifetime total.
+    assert_eq!((stats.l2.hits, stats.l2.misses), (l2_hits, l2_misses), "L2 re-aggregation");
+    assert_eq!(stats.dram_transactions, dram, "DRAM re-aggregation");
+    let image = RunImage {
+        stats,
+        counters: sink.counters.iter().collect(),
+        traces: sink.tracer.records().cloned().collect(),
+        memory_probe: probe.iter().map(|&a| gpu.memory.read(a, 8)).collect(),
+    };
+    (image, per_bank)
+}
+
+/// Asserts that every cell of `sim_threads` ∈ {1, 2, 8} × `mem_banks` ∈
+/// {1, 4} reproduces the serial monolithic image exactly, and that the
+/// per-bank breakdown at 4 banks is itself thread-count invariant.
+fn assert_bank_invariant(
+    cfg: GpuConfig,
+    launch: &Launch,
+    mut mech: impl FnMut() -> Box<dyn Mechanism>,
+    probe: &[u64],
+    label: &str,
+) {
+    let (baseline, _) = run_banked_at(cfg, 1, 1, launch, mech().as_mut(), probe);
+    assert!(baseline.stats.cycles > 0, "{label}: kernel ran");
+    let mut breakdown4: Option<BankBreakdown> = None;
+    for threads in [1, 2, 8] {
+        for banks in [1, 4] {
+            if (threads, banks) == (1, 1) {
+                continue;
+            }
+            let (image, per_bank) =
+                run_banked_at(cfg, threads, banks, launch, mech().as_mut(), probe);
+            let cell = format!("{label}: {threads} threads x {banks} banks");
+            assert_eq!(baseline.stats, image.stats, "{cell}: SimStats diverged");
+            assert_eq!(baseline.counters, image.counters, "{cell}: counters diverged");
+            assert_eq!(baseline.traces, image.traces, "{cell}: trace ring diverged");
+            assert_eq!(baseline.memory_probe, image.memory_probe, "{cell}: memory diverged");
+            if banks == 4 {
+                match &breakdown4 {
+                    None => breakdown4 = Some(per_bank),
+                    Some(expect) => assert_eq!(
+                        expect, &per_bank,
+                        "{cell}: per-bank breakdown diverged across thread counts"
+                    ),
+                }
+            }
+        }
+    }
 }
 
 #[test]
@@ -162,6 +243,161 @@ fn kernel_malloc_runs_are_bit_identical_across_thread_counts() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Adversarial bank-conflict suite: workloads built to maximize cross-SM
+// traffic into the *same* lines and banks, where any ordering leak between
+// bank workers would surface immediately.
+
+#[test]
+fn cross_sm_same_line_stores_are_bank_invariant() {
+    // Every SM's every warp stores to (and reloads from) the SAME two
+    // cache lines: all eight SMs funnel their fills and byte movement into
+    // the same banks in the same cycles, and overlapping same-address
+    // stores from different SMs must resolve in canonical order for the
+    // final memory image to be stable.
+    let base = layout::GLOBAL_BASE + 0x80000;
+    let mut b = ProgramBuilder::new("line-storm");
+    b.push(Instruction::s2r(Reg(0), lmi_isa::op::SpecialReg::TidX));
+    b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
+    b.push(Instruction::lea64(Reg(6), Reg(4), Reg(0), 2));
+    b.push(Instruction::stg(MemRef::new(Reg(6), 0, 4), Reg(0)));
+    b.push(Instruction::ldg(Reg(8), MemRef::new(Reg(6), 0, 4)));
+    b.push(Instruction::stg(MemRef::new(Reg(4), 0, 4), Reg(8)));
+    b.push(Instruction::exit());
+    // Same param base for every block: no per-block offset, maximal overlap.
+    let launch = Launch::new(b.build()).grid(16).block(64).param(base);
+    let probe: Vec<u64> = (0..8).map(|i| base + i * 8).collect();
+    assert_bank_invariant(
+        GpuConfig::small(),
+        &launch,
+        || Box::new(NullMechanism),
+        &probe,
+        "line-storm",
+    );
+}
+
+#[test]
+fn mshr_merges_spanning_sms_are_bank_invariant() {
+    // Every SM's warp scatters its 32 lanes over 32 lines that all map to
+    // the same L2 set: 192 KiB stride = 1536 lines, which preserves the
+    // set index under BOTH geometries (1536 sets monolithic, 384 per bank
+    // at 4 banks) and the owning bank. The 24-way set can't hold 32 lines,
+    // so each SM's op evicts the earliest lines while their DRAM fills are
+    // still in flight — the NEXT SM's access to an evicted line L2-misses
+    // and merges with the in-flight fill. The merge bookkeeping lives
+    // inside one bank and must not depend on which worker applies it.
+    let base = layout::GLOBAL_BASE + 0x90000;
+    let mut b = ProgramBuilder::new("merge-storm");
+    b.push(Instruction::s2r(Reg(0), lmi_isa::op::SpecialReg::TidX));
+    b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
+    b.push(Instruction::lea64(Reg(6), Reg(4), Reg(0), 17));
+    b.push(Instruction::lea64(Reg(6), Reg(6), Reg(0), 16));
+    b.push(Instruction::ldg(Reg(8), MemRef::new(Reg(6), 0, 4)));
+    b.push(Instruction::exit());
+    let launch = Launch::new(b.build()).grid(8).block(32).param(base);
+    for banks in [1, 4] {
+        let (image, _) =
+            run_banked_at(GpuConfig::small(), 8, banks, &launch, &mut NullMechanism, &[]);
+        assert!(
+            image.stats.mshr_merges > 0,
+            "the scenario really exercised the MSHRs at {banks} banks"
+        );
+    }
+    assert_bank_invariant(
+        GpuConfig::small(),
+        &launch,
+        || Box::new(NullMechanism),
+        &[base],
+        "merge-storm",
+    );
+}
+
+#[test]
+fn line_straddling_accesses_are_bank_invariant() {
+    // Each thread stores and reloads 8 bytes at line_offset 124 of its own
+    // line: every access straddles a 128-byte line boundary, so with 4
+    // banks the two halves of one access live in *different* banks and the
+    // load's value is OR-assembled from two bank workers.
+    let base = layout::GLOBAL_BASE + 0xA0000;
+    let mut b = ProgramBuilder::new("straddle");
+    b.push(Instruction::s2r(Reg(0), lmi_isa::op::SpecialReg::TidX));
+    b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
+    b.push(Instruction::lea64(Reg(6), Reg(4), Reg(0), 7));
+    b.push(Instruction::stg(MemRef::new(Reg(6), 124, 8), Reg(6)));
+    b.push(Instruction::ldg(Reg(8), MemRef::new(Reg(6), 124, 8)));
+    b.push(Instruction::stg(MemRef::new(Reg(6), 0, 8), Reg(8)));
+    b.push(Instruction::exit());
+    let launch = Launch::new(b.build()).grid(8).block(32).param(base);
+    let probe: Vec<u64> = (0..32).map(|t| base + t * 128 + 124).collect();
+    assert_bank_invariant(
+        GpuConfig::small(),
+        &launch,
+        || Box::new(NullMechanism),
+        &probe,
+        "straddle",
+    );
+}
+
+#[test]
+fn violation_storms_are_bank_invariant() {
+    // Every warp faults under halt-on-violation: the cancelled ops'
+    // bank-queue entries must be skipped identically everywhere, and the
+    // poison/fault forensics stay leader-serial and canonical.
+    let cfg_ptr = PtrConfig::default();
+    let buf =
+        lmi_core::DevicePtr::encode(layout::GLOBAL_BASE + 0xB0000, 256, &cfg_ptr).unwrap().raw();
+    let mut b = ProgramBuilder::new("violation-storm");
+    b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
+    b.push(Instruction::iadd64(Reg(4), Reg(4), 4096).with_hints(HintBits::check_operand(0)));
+    b.push(Instruction::mov(Reg(0), 1));
+    b.push(Instruction::stg(MemRef::new(Reg(4), 0, 4), Reg(0)));
+    b.push(Instruction::exit());
+    let launch = Launch::new(b.build()).grid(16).block(64).param(buf);
+    let mut cfg = GpuConfig::small();
+    cfg.halt_on_violation = true;
+    assert_bank_invariant(
+        cfg,
+        &launch,
+        || Box::new(LmiMechanism::default_config()),
+        &[layout::GLOBAL_BASE + 0xB0000 + 4096],
+        "violation-storm",
+    );
+    // The cancelled stores must not have landed at any bank count.
+    let (image, _) = run_banked_at(
+        cfg,
+        8,
+        4,
+        &launch,
+        &mut LmiMechanism::default_config(),
+        &[layout::GLOBAL_BASE + 0xB0000 + 4096],
+    );
+    assert!(image.stats.violated());
+    assert_eq!(image.memory_probe[0], 0, "halted OOB store leaked to memory");
+}
+
+#[test]
+fn metadata_fetch_storms_are_bank_invariant() {
+    // GPUShield with a zero-entry RCache fetches an in-memory bounds entry
+    // on EVERY global access: the metadata pass carries real traffic each
+    // cycle, and the data fills are gated on metadata completions published
+    // by (possibly) other banks' workers.
+    let base = layout::GLOBAL_BASE + 0xC0000;
+    let mut b = ProgramBuilder::new("meta-storm");
+    b.push(Instruction::s2r(Reg(0), lmi_isa::op::SpecialReg::TidX));
+    b.push(Instruction::ldc(Reg(4), abi::LAUNCH_BANK, abi::param_offset(0), 8));
+    b.push(Instruction::lea64(Reg(6), Reg(4), Reg(0), 2));
+    b.push(Instruction::stg(MemRef::new(Reg(6), 0, 4), Reg(0)));
+    b.push(Instruction::ldg(Reg(8), MemRef::new(Reg(6), 0, 4)));
+    b.push(Instruction::exit());
+    let launch = Launch::new(b.build()).grid(8).block(64).param(base);
+    let mech = || {
+        let mut gs = lmi_baselines::GpuShield::with_rcache_entries(0);
+        gs.register_buffer(base, 64 * 4);
+        Box::new(gs) as Box<dyn Mechanism>
+    };
+    assert_bank_invariant(GpuConfig::small(), &launch, mech, &[base], "meta-storm");
+}
+
 /// Everything observable about one multi-stream runtime session.
 #[derive(Debug, PartialEq)]
 struct SessionImage {
@@ -174,8 +410,8 @@ struct SessionImage {
 /// Replays a [`TrafficMix`] through the async runtime at `threads` worker
 /// threads: per stream an upload → kernel → readback pipeline plus a
 /// completion event, then one synchronize.
-fn run_mix_at(mix: &TrafficMix, threads: usize) -> SessionImage {
-    let mut rt = Runtime::new(GpuConfig::small().with_sim_threads(threads));
+fn run_mix_at(mix: &TrafficMix, threads: usize, banks: usize) -> SessionImage {
+    let mut rt = Runtime::new(GpuConfig::small().with_sim_threads(threads).with_mem_banks(banks));
     let tenants: Vec<usize> =
         mix.tenants.iter().map(|&protected| rt.add_tenant(protected)).collect();
     let mut events = Vec::new();
@@ -208,37 +444,30 @@ fn concurrent_runtime_streams_are_bit_identical_across_thread_counts() {
     // The runtime layer extends the invariant to whole host programs:
     // concurrent multi-tenant streams must produce bit-identical per-kernel
     // SimStats, per-stream/per-tenant counters, event timestamps, and
-    // readback payloads at any `sim_threads`.
+    // readback payloads at any `sim_threads` and any `mem_banks` — the
+    // tenants' 4 GiB global slices sit at wildly different addresses, but
+    // line-granular interleaving spreads every slice across every bank.
     for mix in runtime_mixes() {
-        let serial = run_mix_at(&mix, 1);
+        let serial = run_mix_at(&mix, 1, 1);
         assert!(serial.report.total_cycles > 0, "{}: session ran", mix.name);
         assert!(
             serial.event_times.iter().all(Option::is_some),
             "{}: all completion events recorded",
             mix.name
         );
-        for threads in [2, 8] {
-            let parallel = run_mix_at(&mix, threads);
-            assert_eq!(
-                serial.report, parallel.report,
-                "{}: runtime report diverged at {threads} threads",
-                mix.name
-            );
+        for (threads, banks) in [(2, 1), (8, 1), (2, 4), (8, 4)] {
+            let parallel = run_mix_at(&mix, threads, banks);
+            let cell = format!("{}: {threads} threads x {banks} banks", mix.name);
+            assert_eq!(serial.report, parallel.report, "{cell}: runtime report diverged");
             assert_eq!(
                 serial.counters, parallel.counters,
-                "{}: stream/tenant counters diverged at {threads} threads",
-                mix.name
+                "{cell}: stream/tenant counters diverged"
             );
             assert_eq!(
                 serial.event_times, parallel.event_times,
-                "{}: event timestamps diverged at {threads} threads",
-                mix.name
+                "{cell}: event timestamps diverged"
             );
-            assert_eq!(
-                serial.readbacks, parallel.readbacks,
-                "{}: D2H payloads diverged at {threads} threads",
-                mix.name
-            );
+            assert_eq!(serial.readbacks, parallel.readbacks, "{cell}: D2H payloads diverged");
         }
     }
 }
