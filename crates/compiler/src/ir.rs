@@ -276,6 +276,13 @@ impl Function {
             .flat_map(|(b, block)| block.insts.iter().enumerate().map(move |(i, &v)| (b, i, v)))
     }
 
+    /// Number of instructions reachable from the block lists — the "IR op
+    /// count" the conformance shrinker minimizes (dead arena entries whose
+    /// values no block references are not lowered and do not count).
+    pub fn op_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
     /// Total stack bytes requested by allocas (unaligned).
     pub fn alloca_bytes(&self) -> u64 {
         self.insts
@@ -477,6 +484,13 @@ impl FunctionBuilder {
     pub fn load_f32(&mut self, ptr: ValueId) -> ValueId {
         assert!(self.ty_of(ptr).is_ptr());
         self.push(InstKind::Load { ptr, width: 4 }, Some(Ty::F32))
+    }
+
+    /// 64-bit load (a line-straddling width when the address is not
+    /// 8-aligned — the conformance generator exercises exactly that).
+    pub fn load_i64(&mut self, ptr: ValueId) -> ValueId {
+        assert!(self.ty_of(ptr).is_ptr());
+        self.push(InstKind::Load { ptr, width: 8 }, Some(Ty::I64))
     }
 
     /// Store (width 4 or 8).

@@ -1,0 +1,164 @@
+//! Corpus serialization: recipes (and their injected defects) round-trip
+//! through the workspace's dependency-free JSON value, so the fuzz binary
+//! can persist failing cases and replay them in later runs.
+
+use lmi_telemetry::Json;
+
+use crate::defect::{Defect, DefectClass};
+use crate::recipe::{BufSpec, Loc, OpSpec, Recipe};
+
+/// Corpus entry schema tag; bump on incompatible format changes.
+pub const CORPUS_SCHEMA: &str = "lmi-conformance-corpus-v1";
+
+fn loc_to_json(loc: Loc) -> Json {
+    match loc {
+        Loc::Global(i) => Json::from(format!("g{i}")),
+        Loc::Shared => Json::from("shared"),
+        Loc::Local => Json::from("local"),
+        Loc::Heap => Json::from("heap"),
+    }
+}
+
+fn loc_from_json(v: &Json) -> Option<Loc> {
+    match v.as_str()? {
+        "shared" => Some(Loc::Shared),
+        "local" => Some(Loc::Local),
+        "heap" => Some(Loc::Heap),
+        s => s.strip_prefix('g')?.parse().ok().map(Loc::Global),
+    }
+}
+
+/// Encodes one corpus entry: the recipe, the defect (absent for safe
+/// cases), and an optional failure message from the oracle.
+pub fn case_to_json(recipe: &Recipe, defect: Option<&Defect>, failure: Option<&str>) -> Json {
+    let ops: Vec<Json> = recipe
+        .ops
+        .iter()
+        .map(|op| {
+            Json::obj()
+                .with("loc", loc_to_json(op.loc))
+                .with("off", op.off)
+                .with("wide", op.wide)
+                .with("store", op.store)
+                .with("arm", u64::from(op.arm))
+        })
+        .collect();
+    let recipe_json = Json::obj()
+        .with("globals", recipe.globals.iter().map(|b| b.elems).collect::<Vec<_>>())
+        .with("shared_elems", recipe.shared_elems)
+        .with("local_elems", recipe.local_elems)
+        .with("heap_elems", recipe.heap_elems)
+        .with("outer_trips", u64::from(recipe.outer_trips))
+        .with("inner_trips", u64::from(recipe.inner_trips))
+        .with("divergent", recipe.divergent)
+        .with("ops", Json::Arr(ops));
+    let mut entry = Json::obj()
+        .with("schema", CORPUS_SCHEMA)
+        .with("seed", recipe.seed)
+        .with("recipe", recipe_json);
+    match defect {
+        Some(d) => {
+            entry.set("class", d.class.label());
+            entry.set("op", d.op);
+        }
+        None => {
+            entry.set("class", Json::Null);
+        }
+    }
+    if let Some(msg) = failure {
+        entry.set("failure", msg);
+    }
+    entry
+}
+
+/// Decodes a corpus entry; `None` on schema mismatch or malformed fields.
+pub fn case_from_json(entry: &Json) -> Option<(Recipe, Option<Defect>)> {
+    if entry.get("schema")?.as_str()? != CORPUS_SCHEMA {
+        return None;
+    }
+    let r = entry.get("recipe")?;
+    let globals = r
+        .get("globals")?
+        .items()
+        .iter()
+        .map(|g| g.as_u64().map(|e| BufSpec { elems: e as u32 }))
+        .collect::<Option<Vec<_>>>()?;
+    let ops = r
+        .get("ops")?
+        .items()
+        .iter()
+        .map(|op| {
+            Some(OpSpec {
+                loc: loc_from_json(op.get("loc")?)?,
+                off: op.get("off")?.as_u64()? as u32,
+                wide: matches!(op.get("wide")?, Json::Bool(true)),
+                store: matches!(op.get("store")?, Json::Bool(true)),
+                arm: op.get("arm")?.as_u64()? as u8,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let recipe = Recipe {
+        seed: entry.get("seed")?.as_u64()?,
+        globals,
+        shared_elems: r.get("shared_elems")?.as_u64()? as u32,
+        local_elems: r.get("local_elems")?.as_u64()? as u32,
+        heap_elems: r.get("heap_elems")?.as_u64()? as u32,
+        outer_trips: r.get("outer_trips")?.as_u64()? as u8,
+        inner_trips: r.get("inner_trips")?.as_u64()? as u8,
+        divergent: matches!(r.get("divergent")?, Json::Bool(true)),
+        ops,
+    };
+    let defect = match entry.get("class") {
+        None | Some(Json::Null) => None,
+        Some(c) => Some(Defect {
+            class: DefectClass::parse(c.as_str()?)?,
+            op: entry.get("op")?.as_u64()? as usize,
+        }),
+    };
+    Some((recipe, defect))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defect::{mutate, ALL_CLASSES};
+    use crate::recipe::generate;
+    use lmi_telemetry::json::parse;
+    use lmi_telemetry::SplitMix64;
+
+    #[test]
+    fn safe_cases_round_trip() {
+        for seed in 0..50 {
+            let recipe = generate(seed);
+            let text = case_to_json(&recipe, None, None).to_compact();
+            let back = parse(&text).expect("corpus entries are valid JSON");
+            let (decoded, defect) = case_from_json(&back).expect("round trip");
+            assert_eq!(decoded, recipe);
+            assert_eq!(defect, None);
+        }
+    }
+
+    #[test]
+    fn defective_cases_round_trip_with_failure_message() {
+        let mut rng = SplitMix64::new(11);
+        for seed in 0..20 {
+            let safe = generate(seed);
+            for class in ALL_CLASSES {
+                let (mutant, defect) = mutate(&safe, class, &mut rng);
+                let text = case_to_json(&mutant, Some(&defect), Some("boom")).to_compact();
+                let back = parse(&text).expect("valid JSON");
+                assert_eq!(back.get("failure").and_then(|f| f.as_str()), Some("boom"));
+                let (decoded, d) = case_from_json(&back).expect("round trip");
+                assert_eq!(decoded, mutant);
+                assert_eq!(d, Some(defect));
+            }
+        }
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let recipe = generate(1);
+        let entry = case_to_json(&recipe, None, None).with("schema", "something-else");
+        assert!(case_from_json(&entry).is_none());
+    }
+}

@@ -1,0 +1,188 @@
+//! Single-defect mutation: takes a safe recipe and injects exactly one
+//! classified memory-safety defect.
+//!
+//! Spatial defects are baked into the recipe itself (one op's offset is
+//! pushed outside the envelope); temporal and cast defects are structural
+//! and consumed by [`crate::recipe::build`].
+
+use lmi_telemetry::SplitMix64;
+
+use crate::recipe::{Loc, Recipe};
+
+/// Element delta past the end used by far-spatial mutants: ~800 bytes past
+/// the buffer, beyond any canary guard but (for heap/local) still inside
+/// the coarse single-region checks that miss it.
+pub const FAR_DELTA: u32 = 199;
+
+/// The injected defect taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DefectClass {
+    /// Out-of-bounds access starting at the first element past the
+    /// *protection granule* — the buffer's size rounded up to LMI's
+    /// minimum 2ⁿ extent (K = 256 B). Overflows inside the rounding
+    /// padding are the paper's documented intra-object blind spot (Table
+    /// III's all-zero row) and are deliberately not generated.
+    SpatialNear,
+    /// Out-of-bounds access [`FAR_DELTA`] elements past the buffer.
+    SpatialFar,
+    /// Dereference of a heap pointer after `free` (§VIII: the LMI pass
+    /// nullifies the extent at the free, so the dangling access faults).
+    Uaf,
+    /// Second `free` of the same heap allocation (§IX-B: validated by the
+    /// device-runtime allocator under every mechanism).
+    DoubleFree,
+    /// A forbidden `inttoptr` cast — rejected at compile time under LMI's
+    /// correct-by-construction rule (§XII-B), not a runtime fault.
+    IntToPtrEscape,
+}
+
+/// Every class, in a stable order (the fuzz matrix iterates this).
+pub const ALL_CLASSES: [DefectClass; 5] = [
+    DefectClass::SpatialNear,
+    DefectClass::SpatialFar,
+    DefectClass::Uaf,
+    DefectClass::DoubleFree,
+    DefectClass::IntToPtrEscape,
+];
+
+impl DefectClass {
+    /// Stable label (CLI flags, corpus JSON, reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            DefectClass::SpatialNear => "spatial-near",
+            DefectClass::SpatialFar => "spatial-far",
+            DefectClass::Uaf => "uaf",
+            DefectClass::DoubleFree => "double-free",
+            DefectClass::IntToPtrEscape => "inttoptr-escape",
+        }
+    }
+
+    /// Parses a [`DefectClass::label`].
+    pub fn parse(s: &str) -> Option<DefectClass> {
+        ALL_CLASSES.iter().copied().find(|c| c.label() == s)
+    }
+
+    /// `true` for the two spatial classes.
+    pub fn is_spatial(self) -> bool {
+        matches!(self, DefectClass::SpatialNear | DefectClass::SpatialFar)
+    }
+}
+
+/// One injected defect: a class plus the recipe op it targets (the op
+/// index is meaningless for `DoubleFree` and `IntToPtrEscape`, which are
+/// structural).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Defect {
+    /// The defect class.
+    pub class: DefectClass,
+    /// Index into `recipe.ops` of the mutated/target op.
+    pub op: usize,
+}
+
+/// Mutates `recipe` to carry exactly one `class` defect; returns the
+/// mutated recipe and its [`Defect`] descriptor.
+///
+/// The mutation keeps the rest of the recipe intact where it can; temporal
+/// classes force a straight-line, non-divergent shape (so the injected
+/// `free` executes exactly once before the dangling access) and force a
+/// heap buffer into recipes that had none.
+pub fn mutate(recipe: &Recipe, class: DefectClass, rng: &mut SplitMix64) -> (Recipe, Defect) {
+    let mut r = recipe.clone();
+    match class {
+        DefectClass::SpatialNear | DefectClass::SpatialFar => {
+            let target = rng.below(r.ops.len() as u64) as usize;
+            let op = &mut r.ops[target];
+            let elems = match op.loc {
+                Loc::Global(i) => r.globals[i as usize].elems,
+                Loc::Shared => r.shared_elems,
+                Loc::Local => r.local_elems,
+                Loc::Heap => r.heap_elems,
+            };
+            // The lowest accessed element sits exactly one granule-rounded
+            // buffer past the base for every executing thread, so detection
+            // cannot depend on which divergent arm runs, and small heap
+            // buffers (< 256 B) don't degenerate into padding accesses the
+            // mechanisms legitimately allow.
+            let granule_elems = (lmi_core::PtrConfig::default().min_align() / 4) as u32;
+            let past_end = elems.max(granule_elems);
+            op.off =
+                if class == DefectClass::SpatialNear { past_end } else { past_end + FAR_DELTA };
+            (r, Defect { class, op: target })
+        }
+        DefectClass::Uaf => {
+            if r.heap_elems == 0 {
+                r.heap_elems = 16;
+            }
+            r.outer_trips = 0;
+            r.inner_trips = 0;
+            r.divergent = false;
+            let target = match r.ops.iter().position(|op| op.loc == Loc::Heap) {
+                Some(i) => i,
+                None => {
+                    // Retarget the last op at the heap buffer.
+                    let i = r.ops.len() - 1;
+                    let op = &mut r.ops[i];
+                    op.loc = Loc::Heap;
+                    op.off = 0;
+                    op.wide = false;
+                    i
+                }
+            };
+            (r, Defect { class, op: target })
+        }
+        DefectClass::DoubleFree => {
+            if r.heap_elems == 0 {
+                r.heap_elems = 16;
+            }
+            (r, Defect { class, op: 0 })
+        }
+        DefectClass::IntToPtrEscape => (r, Defect { class, op: 0 }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recipe::{build, generate};
+
+    #[test]
+    fn labels_round_trip() {
+        for c in ALL_CLASSES {
+            assert_eq!(DefectClass::parse(c.label()), Some(c));
+        }
+        assert_eq!(DefectClass::parse("nope"), None);
+    }
+
+    #[test]
+    fn spatial_mutants_escape_the_envelope() {
+        let mut rng = SplitMix64::new(7);
+        for seed in 0..50 {
+            let safe = generate(seed);
+            for class in [DefectClass::SpatialNear, DefectClass::SpatialFar] {
+                let (mutant, defect) = mutate(&safe, class, &mut rng);
+                let op = &mutant.ops[defect.op];
+                assert!(op.off >= mutant.elems_of(op.loc), "offset must be out of bounds");
+                // The mutant still builds (the envelope is a semantic
+                // property, not a builder precondition).
+                build(&mutant, Some(&defect));
+            }
+        }
+    }
+
+    #[test]
+    fn temporal_mutants_always_have_a_heap() {
+        let mut rng = SplitMix64::new(8);
+        for seed in 0..50 {
+            let safe = generate(seed);
+            for class in [DefectClass::Uaf, DefectClass::DoubleFree] {
+                let (mutant, defect) = mutate(&safe, class, &mut rng);
+                assert!(mutant.heap_elems > 0);
+                if class == DefectClass::Uaf {
+                    assert_eq!(mutant.ops[defect.op].loc, Loc::Heap);
+                    assert_eq!(mutant.outer_trips, 0);
+                }
+                build(&mutant, Some(&defect));
+            }
+        }
+    }
+}

@@ -433,6 +433,7 @@ fn apply_heap(
 ) -> crate::sm::OpResult {
     let mut writes = pool.take_pairs();
     let mut violation = None;
+    let issue_index = leader.kernel(sm_id).stats.issued;
     for &(l, value) in lanes {
         let gtid = ev.base_tid + l as u64;
         let slot = leader.kernel(sm_id);
@@ -442,12 +443,30 @@ fn apply_heap(
             slot.stats.mallocs += 1;
         } else {
             slot.stats.frees += 1;
-            if let Err(e) = slot.heap.free(value) {
-                let kind = match e {
-                    AllocError::DoubleFree(_) => TemporalKind::DoubleFree,
-                    _ => TemporalKind::InvalidFree,
-                };
-                violation = Some((l, Violation::Temporal(kind)));
+            match slot.heap.free(value) {
+                Err(e) => {
+                    let kind = match e {
+                        AllocError::DoubleFree(_) => TemporalKind::DoubleFree,
+                        _ => TemporalKind::InvalidFree,
+                    };
+                    violation = Some((l, Violation::Temporal(kind)));
+                }
+                // Extent nullification (§VIII): under LMI the pass clears
+                // the freed pointer's extent right after this call, so the
+                // pointer is poisoned *here*. Remember the site so a later
+                // use-after-free fault reports its poison-to-fault latency.
+                Ok(()) if slot.mechanism.nullifies_on_free() => {
+                    leader.sink.forensics.record_poison(PoisonEvent {
+                        sm: sm_id,
+                        warp: ev.warp,
+                        lane: l,
+                        pc: ev.pc,
+                        op: mnemonic,
+                        cycle: now,
+                        instr_index: issue_index,
+                    });
+                }
+                Ok(()) => {}
             }
         }
     }

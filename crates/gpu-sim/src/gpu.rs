@@ -94,6 +94,33 @@ pub struct Gpu {
     heap: DeviceHeap,
 }
 
+/// A functional-memory snapshot of selected address ranges, taken with
+/// [`Gpu::snapshot`] and re-applied with [`Gpu::restore`].
+///
+/// Snapshots are the conformance suite's replay entry point: capture the
+/// seeded input image once, restore it into a fresh [`Gpu`] per engine
+/// configuration (`sim_threads` × `mem_banks`), run the same launch, and
+/// compare post-run snapshots — `PartialEq` makes "bit-identical memory"
+/// a single assertion. The capture is bank-layout independent, so images
+/// move freely between monolithic and sharded GPUs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemorySnapshot {
+    /// `(base address, bytes)` pairs, in capture order.
+    pub regions: Vec<(u64, Vec<u8>)>,
+}
+
+impl MemorySnapshot {
+    /// Total captured bytes.
+    pub fn len(&self) -> usize {
+        self.regions.iter().map(|(_, b)| b.len()).sum()
+    }
+
+    /// `true` if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
 impl Gpu {
     /// Creates a GPU whose device heap uses LMI's power-of-two policy.
     pub fn new(cfg: GpuConfig) -> Gpu {
@@ -157,6 +184,26 @@ impl Gpu {
     /// Per-bank DRAM transaction counts (index = bank id).
     pub fn dram_transactions_per_bank(&self) -> Vec<u64> {
         self.hierarchy.banks().iter().map(|b| b.dram_transactions()).collect()
+    }
+
+    /// Captures the functional contents of `(base, len)` address ranges.
+    pub fn snapshot(&self, ranges: &[(u64, u64)]) -> MemorySnapshot {
+        let regions = ranges
+            .iter()
+            .map(|&(base, len)| {
+                let mut bytes = vec![0u8; len as usize];
+                self.memory.read_bytes(base, &mut bytes);
+                (base, bytes)
+            })
+            .collect();
+        MemorySnapshot { regions }
+    }
+
+    /// Writes a snapshot back into functional memory (replay setup).
+    pub fn restore(&mut self, snapshot: &MemorySnapshot) {
+        for (base, bytes) in &snapshot.regions {
+            self.memory.write_bytes(*base, bytes);
+        }
     }
 
     /// Runs one kernel to completion under `mechanism`; returns statistics.

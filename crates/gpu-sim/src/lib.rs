@@ -49,7 +49,7 @@ pub mod trace;
 pub mod warp;
 
 pub use config::GpuConfig;
-pub use gpu::{Gpu, KernelOutcome, ResidentKernel, ResidentOutcome};
+pub use gpu::{Gpu, KernelOutcome, MemorySnapshot, ResidentKernel, ResidentOutcome};
 pub use host::HostContext;
 pub use launch::{Launch, LaunchError};
 pub use mechanism::{IntCheck, LmiMechanism, Mechanism, MemAccessCtx, MemCheck, NullMechanism};

@@ -92,6 +92,15 @@ pub trait Mechanism {
     fn on_mem_access(&mut self, _ctx: &MemAccessCtx) -> MemCheck {
         MemCheck::allow()
     }
+
+    /// Whether a successful device `free` nullifies the freed pointer's
+    /// in-pointer metadata (paper §VIII: the LMI pass clears the extent
+    /// right after the call). Mechanisms returning `true` get a forensics
+    /// poison event recorded at the free site, so a later use-after-free
+    /// fault reports its poison-to-fault latency.
+    fn nullifies_on_free(&self) -> bool {
+        false
+    }
 }
 
 /// The unprotected baseline: no checks, no cost.
@@ -155,6 +164,10 @@ impl Mechanism for LmiMechanism {
 
     fn marked_int_delay(&self) -> u32 {
         self.ocu.delay_cycles
+    }
+
+    fn nullifies_on_free(&self) -> bool {
+        true
     }
 
     fn on_mem_access(&mut self, ctx: &MemAccessCtx) -> MemCheck {

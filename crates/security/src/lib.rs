@@ -4,26 +4,26 @@
 //! violation test cases (reconstructed from cuCatch's methodology) against
 //! GMOD, GPUShield, cuCatch, and LMI. This crate reimplements the suite:
 //!
-//! * [`defense`] — the [`Defense`] abstraction: each mechanism exposes its
-//!   own allocator layout and check path, so a test case written once runs
-//!   faithfully under every mechanism (attacks are expressed as "reach the
-//!   victim object", and each defense's *own layout* decides what that
-//!   takes — the reason aligned allocation neutralizes attacks that shadow
-//!   tags over an unchanged layout cannot);
-//! * [`defenses`] — GMOD (canary), GPUShield (region table), cuCatch
-//!   (shadow tags), LMI (OCU/EC over aligned allocators), and LMI with the
-//!   §XII-C liveness tracker;
+//! * [`defense`] — the [`Defense`] abstraction plus its implementations —
+//!   GMOD (canary), GPUShield (region table), cuCatch (shadow tags), LMI
+//!   (OCU/EC over aligned allocators), and LMI with the §XII-C liveness
+//!   tracker. Each mechanism exposes its own allocator layout and check
+//!   path, so a test case written once runs faithfully under every
+//!   mechanism (attacks are expressed as "reach the victim object", and
+//!   each defense's *own layout* decides what that takes — the reason
+//!   aligned allocation neutralizes attacks that shadow tags over an
+//!   unchanged layout cannot);
 //! * [`cases`] — the 38 test cases, grouped exactly as Table III;
 //! * [`table`] — runs the matrix and renders Table III.
 
 pub mod cases;
 pub mod defense;
-pub mod defenses;
 pub mod sim_cases;
 pub mod table;
 
 pub use cases::{all_cases, benign_controls, Case, CaseClass};
-pub use defense::{Defense, Handle, Outcome, Ptr};
-pub use defenses::{CuCatchDefense, GmodDefense, GpuShieldDefense, LmiDefense};
+pub use defense::{
+    CuCatchDefense, Defense, GmodDefense, GpuShieldDefense, Handle, LmiDefense, Outcome, Ptr,
+};
 pub use sim_cases::AttackOutcome;
 pub use table::{run_matrix, CoverageRow};

@@ -2,7 +2,7 @@
 
 use crate::cases::{all_cases, CaseClass};
 use crate::defense::Defense;
-use crate::defenses::{CuCatchDefense, GmodDefense, GpuShieldDefense, LmiDefense};
+use crate::defense::{CuCatchDefense, GmodDefense, GpuShieldDefense, LmiDefense};
 
 /// Detection counts for one Table III row under every mechanism.
 #[derive(Debug, Clone)]

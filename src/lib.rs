@@ -48,6 +48,7 @@
 pub use lmi_alloc as alloc;
 pub use lmi_baselines as baselines;
 pub use lmi_compiler as compiler;
+pub use lmi_conformance as conformance;
 pub use lmi_core as core;
 pub use lmi_isa as isa;
 pub use lmi_mem as mem;

@@ -1,202 +1,111 @@
-//! Differential fuzzing: random well-typed kernels are compiled twice —
-//! unprotected and with the LMI pass — and executed on the simulator.
+//! Differential fuzzing over the `lmi-conformance` generator.
 //!
-//! Invariants checked (the paper's correctness claims):
-//! * **No false positives**: a memory-safe kernel never faults under LMI
-//!   (correct-by-construction, delayed termination).
-//! * **Semantic transparency**: both builds produce identical memory
-//!   contents — LMI's instrumentation never changes program results.
+//! Random well-typed kernels spanning the full IR surface — multi-buffer
+//! parameters, shared memory, stack buffers, device `malloc`/`free`,
+//! divergent branches, nested loops, line-straddling widths — run through
+//! the mechanism × engine oracle matrix:
 //!
-//! Driven by `lmi-telemetry`'s seeded SplitMix64 so failures reproduce
-//! exactly and the workspace builds offline.
+//! * **No false positives**: a safe-by-construction kernel never faults
+//!   under any mechanism (correct-by-construction, delayed termination).
+//! * **Semantic transparency**: every mechanism produces bit-identical
+//!   global-buffer contents on safe kernels.
+//! * **Detection by class**: one injected defect per class is caught by
+//!   exactly the mechanisms whose design covers it (LMI all of them).
+//! * **Engine determinism**: statistics and memory are bit-identical
+//!   across `sim_threads` × `mem_banks` configurations.
+//!
+//! Seeded by `lmi-telemetry`'s SplitMix64 so failures reproduce exactly;
+//! case budgets are modest because debug-mode CI runs each case as ten
+//! simulations (5 mechanisms × 2 engine points).
 
-use lmi::compiler::ir::{CmpKind, Function, FunctionBuilder, IBinOp, Region, Ty};
-use lmi::compiler::{compile, CompileOptions};
-use lmi::core::{DevicePtr, PtrConfig};
-use lmi::mem::layout;
-use lmi::sim::{Gpu, GpuConfig, Launch, LmiMechanism, NullMechanism};
+use lmi::conformance::{generate, mutate, run_case, DefectClass, OracleConfig, ALL_CLASSES};
 use lmi::telemetry::SplitMix64;
 
-/// A recipe for one random-but-safe kernel.
-#[derive(Debug, Clone)]
-struct KernelRecipe {
-    /// Element strides for global accesses (kept within the buffer).
-    global_ops: Vec<(u16, bool)>, // (index offset, is_store)
-    /// Same for a stack buffer of 64 elements.
-    local_ops: Vec<(u8, bool)>,
-    /// Arithmetic mixed in between.
-    arith: Vec<u8>,
-    /// Loop trip count (0 = straight line).
-    trips: u8,
-}
+/// Seed base distinct from the crate's unit tests, to widen net coverage.
+const SEED_BASE: u64 = 0x00D1_FF00;
 
-fn recipe(rng: &mut SplitMix64) -> KernelRecipe {
-    KernelRecipe {
-        global_ops: (0..rng.range(1, 8))
-            .map(|_| (rng.below(900) as u16, rng.chance(0.5)))
-            .collect(),
-        local_ops: (0..rng.below(4)).map(|_| (rng.below(64) as u8, rng.chance(0.5))).collect(),
-        arith: (0..rng.below(6)).map(|_| rng.next_u32() as u8).collect(),
-        trips: rng.below(4) as u8,
-    }
-}
-
-/// Expands a recipe into a well-typed, memory-safe kernel.
-fn build_kernel(recipe: &KernelRecipe) -> Function {
-    let mut b = FunctionBuilder::new("fuzz");
-    let data = b.param(Ty::Ptr(Region::Global));
-    let buf = b.alloca(256); // 64 i32 elements
-    let tid = b.tid();
-    let zero = b.const_i32(0);
-    let acc = b.var(zero);
-    let iter = b.var(zero);
-
-    let body = b.new_block();
-    let exit = b.new_block();
-    b.jump(body);
-    b.switch_to(body);
-
-    for &(off, is_store) in &recipe.global_ops {
-        // Index stays within the 1024-element buffer: (tid + off) covers at
-        // most 255 + 900 < 1024.
-        let off_v = b.const_i32(off as i32);
-        let idx = b.ibin(IBinOp::Add, tid, off_v);
-        let e = b.gep(data, idx, 4);
-        if is_store {
-            let v = b.read_var(acc);
-            b.store(e, v, 4);
-        } else {
-            let v = b.load_i32(e);
-            let cur = b.read_var(acc);
-            let next = b.ibin(IBinOp::Add, cur, v);
-            b.write_var(acc, next);
-        }
-    }
-    for &(off, is_store) in &recipe.local_ops {
-        let off_v = b.const_i32(off as i32 % 64);
-        let e = b.gep(buf, off_v, 4);
-        if is_store {
-            let v = b.read_var(acc);
-            b.store(e, v, 4);
-        } else {
-            let v = b.load_i32(e);
-            let cur = b.read_var(acc);
-            let next = b.ibin(IBinOp::Xor, cur, v);
-            b.write_var(acc, next);
-        }
-    }
-    for &k in &recipe.arith {
-        let c = b.const_i32(k as i32 + 1);
-        let cur = b.read_var(acc);
-        let op = match k % 4 {
-            0 => IBinOp::Add,
-            1 => IBinOp::Mul,
-            2 => IBinOp::Xor,
-            _ => IBinOp::Or,
-        };
-        let next = b.ibin(op, cur, c);
-        b.write_var(acc, next);
-    }
-
-    let one = b.const_i32(1);
-    let iv = b.read_var(iter);
-    let next = b.ibin(IBinOp::Add, iv, one);
-    b.write_var(iter, next);
-    let n = b.const_i32(recipe.trips as i32);
-    let c = b.cmp(CmpKind::Lt, next, n);
-    b.branch(c, body, exit);
-    b.switch_to(exit);
-
-    // Publish the accumulator so both builds' results are observable.
-    let out = b.gep(data, tid, 4);
-    let v = b.read_var(acc);
-    b.store(out, v, 4);
-    b.ret();
-    b.build()
-}
-
-fn snapshot(gpu: &Gpu, base: u64) -> Vec<u64> {
-    (0..64u64).map(|i| gpu.memory.read(base + i * 4, 4)).collect()
-}
-
-// Quieter-than-default case count: each case runs four simulations.
 #[test]
-fn lmi_is_transparent_and_false_positive_free() {
-    let mut rng = SplitMix64::new(0xD1FF);
-    for case in 0..48 {
-        let recipe = recipe(&mut rng);
-        let cfg = PtrConfig::default();
-        let kernel = build_kernel(&recipe);
-
-        // Unprotected build + bare pointer.
-        let base_bin = compile(&kernel, CompileOptions::baseline()).unwrap();
-        let base_addr = layout::GLOBAL_BASE + 0x100000;
-        let launch = Launch::new(base_bin.program).grid(1).block(64).param(base_addr);
-        let mut gpu_base = Gpu::new(GpuConfig::security());
-        for i in 0..1024u64 {
-            gpu_base.memory.write(base_addr + i * 4, i.wrapping_mul(2654435761), 4);
+fn safe_kernels_are_transparent_and_false_positive_free() {
+    let cfg = OracleConfig::quick();
+    let (mut saw_shared, mut saw_heap, mut saw_divergent, mut saw_nested) =
+        (false, false, false, false);
+    for case in 0..24 {
+        let recipe = generate(SEED_BASE + case);
+        saw_shared |= recipe.shared_elems > 0;
+        saw_heap |= recipe.heap_elems > 0;
+        saw_divergent |= recipe.divergent;
+        saw_nested |= recipe.inner_trips > 0;
+        let report = run_case(&recipe, None, &cfg)
+            .unwrap_or_else(|f| panic!("case {case}: {f} (recipe {recipe:?})"));
+        for m in &report.mechanisms {
+            assert!(!m.detected, "case {case}: false positive under {}", m.mechanism.label());
         }
-        let stats = gpu_base.run(&launch, &mut NullMechanism);
-        assert!(!stats.violated(), "case {case}");
-
-        // LMI build + extent-carrying pointer.
-        let lmi_bin = compile(&kernel, CompileOptions::default()).unwrap();
-        let ptr = DevicePtr::encode(base_addr, 4096, &cfg).unwrap();
-        let launch = Launch::new(lmi_bin.program).grid(1).block(64).param(ptr.raw());
-        let mut gpu_lmi = Gpu::new(GpuConfig::security());
-        for i in 0..1024u64 {
-            gpu_lmi.memory.write(base_addr + i * 4, i.wrapping_mul(2654435761), 4);
-        }
-        let mut mech = LmiMechanism::default_config();
-        let stats = gpu_lmi.run(&launch, &mut mech);
-
-        // No false positives on a memory-safe kernel.
-        assert!(
-            !stats.violated(),
-            "case {case}: false positive: {:?} (recipe {recipe:?})",
-            stats.violations.first()
-        );
-        // Bit-identical results.
-        assert_eq!(
-            snapshot(&gpu_base, base_addr),
-            snapshot(&gpu_lmi, base_addr),
-            "case {case}: results diverge (recipe {recipe:?})"
-        );
     }
+    // The invariants above are only meaningful if the sample actually
+    // exercised the interesting IR surface.
+    assert!(saw_shared, "no safe case used shared memory");
+    assert!(saw_heap, "no safe case used the device heap");
+    assert!(saw_divergent, "no safe case diverged");
+    assert!(saw_nested, "no safe case had nested loops");
 }
 
-/// Injecting a single OOB global access into any safe recipe makes the
-/// LMI build fault (soundness under arbitrary surrounding code).
 #[test]
-fn injected_oob_is_always_caught() {
-    let mut rng = SplitMix64::new(0x00B);
-    for case in 0..48 {
-        let recipe = recipe(&mut rng);
-        let escape = rng.range(1024, 50_000) as u32;
-        let cfg = PtrConfig::default();
-        // Rebuild the kernel with one extra far-OOB store at the end.
-        let mut b = FunctionBuilder::new("fuzz_oob");
-        let data = b.param(Ty::Ptr(Region::Global));
-        let tid = b.tid();
-        for &(off, _) in recipe.global_ops.iter().take(3) {
-            let off_v = b.const_i32(off as i32);
-            let idx = b.ibin(IBinOp::Add, tid, off_v);
-            let e = b.gep(data, idx, 4);
-            let _ = b.load_i32(e);
+fn injected_defects_match_the_coverage_matrix() {
+    let cfg = OracleConfig::quick();
+    let mut rng = SplitMix64::new(SEED_BASE);
+    let mut spatial = (0usize, 0usize);
+    for case in 0..8 {
+        let safe = generate(SEED_BASE + 100 + case);
+        for class in ALL_CLASSES {
+            let (mutant, defect) = mutate(&safe, class, &mut rng);
+            // `run_case` internally enforces the full expectation matrix
+            // (detect/miss per mechanism, violation classification, UAF
+            // forensics, engine determinism) and fails loudly otherwise.
+            let report = run_case(&mutant, Some(&defect), &cfg)
+                .unwrap_or_else(|f| panic!("case {case} {}: {f}", class.label()));
+            if class.is_spatial() {
+                spatial.0 += 1;
+                let lmi_hit = report
+                    .mechanisms
+                    .iter()
+                    .any(|m| m.mechanism == lmi::conformance::MechanismKind::Lmi && m.detected);
+                if lmi_hit {
+                    spatial.1 += 1;
+                }
+            }
+            if class == DefectClass::IntToPtrEscape {
+                assert!(
+                    report.compile_rejected,
+                    "case {case}: cast mutant must die in the compiler"
+                );
+            }
         }
-        let oob = b.const_i32(escape as i32);
-        let e = b.gep(data, oob, 4);
-        b.store(e, tid, 4);
-        b.ret();
-        let kernel = b.build();
-
-        let lmi_bin = compile(&kernel, CompileOptions::default()).unwrap();
-        let base_addr = layout::GLOBAL_BASE + 0x200000;
-        let ptr = DevicePtr::encode(base_addr, 4096, &cfg).unwrap();
-        let launch = Launch::new(lmi_bin.program).grid(1).block(32).param(ptr.raw());
-        let mut gpu = Gpu::new(GpuConfig::security());
-        let mut mech = LmiMechanism::default_config();
-        let stats = gpu.run(&launch, &mut mech);
-        assert!(stats.violated(), "case {case}: escape to element {escape} undetected");
     }
+    assert_eq!(spatial.0, spatial.1, "LMI must detect every injected spatial defect");
+}
+
+/// Divergence-specific regression: a defect placed in each divergent arm
+/// (and after reconvergence) is still caught — detection does not depend
+/// on which half-warp executes the access.
+#[test]
+fn divergent_arm_placement_does_not_mask_detection() {
+    let mut rng = SplitMix64::new(SEED_BASE + 999);
+    let cfg = OracleConfig::quick();
+    let mut divergent_hits = 0;
+    for case in 0..40 {
+        let safe = generate(SEED_BASE + 200 + case);
+        if !safe.divergent {
+            continue;
+        }
+        for class in [DefectClass::SpatialNear, DefectClass::SpatialFar] {
+            let (mutant, defect) = mutate(&safe, class, &mut rng);
+            divergent_hits += 1;
+            run_case(&mutant, Some(&defect), &cfg)
+                .unwrap_or_else(|f| panic!("case {case} arm {}: {f}", mutant.ops[defect.op].arm));
+        }
+        if divergent_hits >= 10 {
+            break;
+        }
+    }
+    assert!(divergent_hits >= 6, "sample produced too few divergent mutants");
 }
